@@ -1,0 +1,140 @@
+// Command lobbench regenerates the tables and figures of Biliris' SIGMOD
+// 1992 study "The Performance of Three Database Storage Structures for
+// Managing Large Objects".
+//
+// Usage:
+//
+//	lobbench -exp list                 # show available experiments
+//	lobbench -exp fig5                 # one experiment at paper scale
+//	lobbench -exp fig7,fig9,fig11      # several (mix runs are shared)
+//	lobbench -exp all -quick -v        # everything, ~10x smaller, verbose
+//	lobbench -exp table3 -csv out/     # also write CSV files
+//
+// Results are aligned text tables on stdout; each carries the paper
+// reference values in its note.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"lobstore/internal/harness"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment names, 'all', or 'list'")
+		quick   = flag.Bool("quick", false, "run ~10x smaller (1 MB object, 1000 ops)")
+		verbose = flag.Bool("v", false, "print per-run progress to stderr")
+		object  = flag.String("object", "", "object size override, e.g. 10M or 512K")
+		ops     = flag.Int("ops", 0, "random-mix length override")
+		seed    = flag.Int64("seed", 0, "workload seed override")
+		csvDir  = flag.String("csv", "", "directory to also write one CSV per table")
+		sample  = flag.Int("sample", 0, "figure mark spacing override")
+	)
+	flag.Parse()
+
+	if *expFlag == "list" {
+		for _, e := range harness.Experiments {
+			fmt.Printf("%-22s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.QuickConfig()
+	}
+	if *object != "" {
+		n, err := parseSize(*object)
+		if err != nil {
+			fatalf("bad -object: %v", err)
+		}
+		cfg.ObjectBytes = n
+	}
+	if *ops > 0 {
+		cfg.MixOps = *ops
+	}
+	if *sample > 0 {
+		cfg.SampleEvery = *sample
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var names []string
+	if *expFlag == "all" {
+		names = harness.Names()
+	} else {
+		names = strings.Split(*expFlag, ",")
+	}
+
+	r := harness.NewRunner(cfg)
+	if *verbose {
+		r.Log = os.Stderr
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatalf("creating %s: %v", *csvDir, err)
+		}
+	}
+
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		e, ok := harness.Lookup(name)
+		if !ok {
+			fatalf("unknown experiment %q (try -exp list)", name)
+		}
+		tables, err := e.Run(r)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		for _, t := range tables {
+			if err := t.WriteText(os.Stdout); err != nil {
+				fatalf("writing %s: %v", t.ID, err)
+			}
+			if *csvDir != "" {
+				f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
+				if err != nil {
+					fatalf("creating csv: %v", err)
+				}
+				if err := t.WriteCSV(f); err != nil {
+					fatalf("writing csv: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					fatalf("closing csv: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// parseSize accepts raw bytes or K/M/G suffixes.
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("size must be positive")
+	}
+	return n * mult, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lobbench: "+format+"\n", args...)
+	os.Exit(1)
+}

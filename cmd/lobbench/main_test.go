@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"100":  100,
+		"4K":   4096,
+		"4k":   4096,
+		"10M":  10 << 20,
+		"2G":   2 << 30,
+		"512K": 512 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5", "0", "1.5M", "K"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) succeeded", bad)
+		}
+	}
+}

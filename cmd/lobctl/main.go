@@ -1,0 +1,223 @@
+// Command lobctl drives a large object interactively through the public
+// API, printing the simulated I/O cost of every operation. It reads one
+// command per line from stdin (or from -c), making it easy to explore how
+// the three storage structures respond to the same operation sequence:
+//
+//	$ lobctl -engine esm -leaf 4 <<'EOF'
+//	append 1M
+//	insert 5000 64K
+//	read 0 10K
+//	stat
+//	EOF
+//
+// Commands:
+//
+//	append N          append N fresh bytes
+//	insert OFF N      insert N bytes before offset OFF
+//	delete OFF N      delete N bytes at OFF
+//	replace OFF N     overwrite N bytes at OFF
+//	read OFF N        read N bytes at OFF
+//	scan CHUNK        sequential scan in CHUNK-byte pieces
+//	stat              object and database statistics
+//	close             finalize (trim) the object
+//	destroy           free all object space
+//	help              this list
+//
+// Sizes accept K/M suffixes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lobstore"
+	"lobstore/internal/workload"
+)
+
+func main() {
+	var (
+		engine    = flag.String("engine", "eos", "storage structure: esm, starburst or eos")
+		leaf      = flag.Int("leaf", 4, "ESM leaf size in pages")
+		threshold = flag.Int("threshold", 16, "EOS segment size threshold in pages")
+		maxSeg    = flag.Int("maxseg", 0, "Starburst max segment pages (0 = allocator max)")
+		script    = flag.String("c", "", "semicolon-separated commands instead of stdin")
+	)
+	flag.Parse()
+
+	db, err := lobstore.Open(lobstore.DefaultConfig())
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	var obj lobstore.Object
+	switch *engine {
+	case "esm":
+		obj, err = db.NewESM(*leaf)
+	case "starburst":
+		obj, err = db.NewStarburst(*maxSeg)
+	case "eos":
+		obj, err = db.NewEOS(*threshold)
+	default:
+		fatalf("unknown engine %q (esm, starburst, eos)", *engine)
+	}
+	if err != nil {
+		fatalf("create object: %v", err)
+	}
+
+	var in io.Reader = os.Stdin
+	if *script != "" {
+		in = strings.NewReader(strings.ReplaceAll(*script, ";", "\n"))
+	}
+	if err := run(db, obj, in, os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func run(db *lobstore.DB, obj lobstore.Object, in io.Reader, out io.Writer) error {
+	var filler workload.Filler
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		stats, err := db.Measure(func() error {
+			return apply(obj, &filler, out, cmd, args)
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", line, err)
+		}
+		fmt.Fprintf(out, "%-30s  ios=%-4d pages=%-6d cost=%v\n",
+			line, stats.Calls(), stats.Pages(), stats.Time)
+	}
+	return sc.Err()
+}
+
+func apply(obj lobstore.Object, filler *workload.Filler, out io.Writer, cmd string, args []string) error {
+	size := func(i int) (int64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("missing argument %d", i+1)
+		}
+		return parseSize(args[i])
+	}
+	switch cmd {
+	case "append":
+		n, err := size(0)
+		if err != nil {
+			return err
+		}
+		return obj.Append(filler.Bytes(int(n)))
+	case "insert":
+		off, err := size(0)
+		if err != nil {
+			return err
+		}
+		n, err := size(1)
+		if err != nil {
+			return err
+		}
+		return obj.Insert(off, filler.Bytes(int(n)))
+	case "delete":
+		off, err := size(0)
+		if err != nil {
+			return err
+		}
+		n, err := size(1)
+		if err != nil {
+			return err
+		}
+		return obj.Delete(off, n)
+	case "replace":
+		off, err := size(0)
+		if err != nil {
+			return err
+		}
+		n, err := size(1)
+		if err != nil {
+			return err
+		}
+		return obj.Replace(off, filler.Bytes(int(n)))
+	case "read":
+		off, err := size(0)
+		if err != nil {
+			return err
+		}
+		n, err := size(1)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, n)
+		if err := obj.Read(off, buf); err != nil {
+			return err
+		}
+		preview := buf
+		if len(preview) > 16 {
+			preview = preview[:16]
+		}
+		fmt.Fprintf(out, "  data[%d:+%d] = % x…\n", off, n, preview)
+		return nil
+	case "scan":
+		chunk, err := size(0)
+		if err != nil {
+			return err
+		}
+		return workload.Scan(obj, int(chunk))
+	case "stat":
+		u := obj.Utilization()
+		fmt.Fprintf(out, "  size=%d bytes, utilization=%v\n", obj.Size(), u)
+		return nil
+	case "dump":
+		l, err := lobstore.Inspect(obj)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %d segment(s), %d index page(s), %d index level(s)\n",
+			len(l.Segments), l.IndexPages, l.IndexLevels)
+		for i, s := range l.Segments {
+			if i >= 20 {
+				fmt.Fprintf(out, "  … %d more\n", len(l.Segments)-i)
+				break
+			}
+			fmt.Fprintf(out, "  seg %3d: page %-6d x%-4d %8d bytes\n", i, s.StartPage, s.Pages, s.Bytes)
+		}
+		return nil
+	case "close":
+		return obj.Close()
+	case "destroy":
+		return obj.Destroy()
+	case "help":
+		fmt.Fprintln(out, "  commands: append insert delete replace read scan stat dump close destroy help")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size")
+	}
+	return n * mult, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lobctl: "+format+"\n", args...)
+	os.Exit(1)
+}

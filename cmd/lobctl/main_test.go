@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lobstore"
+)
+
+func testDB(t *testing.T) (*lobstore.DB, lobstore.Object) {
+	t.Helper()
+	cfg := lobstore.DefaultConfig()
+	cfg.LeafAreaPages = 1 << 14
+	cfg.MetaAreaPages = 1 << 12
+	cfg.MaxSegmentPages = 512
+	db, err := lobstore.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := db.NewEOS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, obj
+}
+
+func TestRunScript(t *testing.T) {
+	db, obj := testDB(t)
+	script := strings.Join([]string{
+		"# a comment",
+		"",
+		"append 100K",
+		"insert 5000 4K",
+		"read 0 64",
+		"replace 10 32",
+		"delete 100 2K",
+		"scan 8K",
+		"stat",
+		"help",
+		"close",
+		"destroy",
+	}, "\n")
+	var out strings.Builder
+	if err := run(db, obj, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("script failed: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"append 100K", "ios=", "cost=", "size=", "data[0:+64]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunRejectsBadCommands(t *testing.T) {
+	for _, script := range []string{
+		"frobnicate 1",
+		"append",
+		"insert 10",
+		"read 0 -5",
+		"append 10X",
+	} {
+		db, obj := testDB(t)
+		var out strings.Builder
+		if err := run(db, obj, strings.NewReader(script), &out); err == nil {
+			t.Errorf("script %q succeeded", script)
+		}
+	}
+}
+
+func TestRunSurfacesObjectErrors(t *testing.T) {
+	db, obj := testDB(t)
+	var out strings.Builder
+	if err := run(db, obj, strings.NewReader("read 100 10"), &out); err == nil {
+		t.Error("read past end of empty object succeeded")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	if n, err := parseSize("64K"); err != nil || n != 65536 {
+		t.Errorf("parseSize(64K) = %d, %v", n, err)
+	}
+	if _, err := parseSize("-1"); err == nil {
+		t.Error("negative size accepted")
+	}
+}

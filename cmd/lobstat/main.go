@@ -1,0 +1,81 @@
+// Command lobstat inspects a saved database image: the catalog, each
+// object's size, utilization and physical layout, and overall space use.
+//
+//	lobbench …                 # run experiments
+//	lobctl …                   # drive one object interactively
+//	lobstat db.img             # what is inside this database?
+//	lobstat -v db.img          # include per-segment layout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lobstore"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-segment layout of every object")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lobstat [-v] <image-file>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *verbose, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "lobstat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, verbose bool, out *os.File) error {
+	db, err := lobstore.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	cfg := db.Config()
+	fmt.Fprintf(out, "database image %s\n", path)
+	fmt.Fprintf(out, "  page size %d, max segment %d pages, pool %d/%d\n",
+		cfg.PageSize, cfg.MaxSegmentPages, cfg.BufferPages, cfg.MaxBufferedRun)
+
+	infos, err := db.Objects()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %d cataloged object(s)\n\n", len(infos))
+	var totalBytes, totalPages int64
+	for _, info := range infos {
+		if info.Engine == "records" {
+			rf, err := db.OpenRecordFile(info.Name)
+			if err != nil {
+				return err
+			}
+			_ = rf
+			fmt.Fprintf(out, "%-24s %-10s (record file)\n", info.Name, info.Engine)
+			continue
+		}
+		obj, err := db.OpenObject(info.Name)
+		if err != nil {
+			return err
+		}
+		u := obj.Utilization()
+		l, err := lobstore.Inspect(obj)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-24s %-10s %10d bytes  %4d segment(s)  %5.1f%% util  %d index page(s)\n",
+			info.Name, info.Engine, obj.Size(), len(l.Segments), 100*u.Ratio(), l.IndexPages)
+		totalBytes += obj.Size()
+		totalPages += u.DataPages + u.IndexPages
+		if verbose {
+			for i, s := range l.Segments {
+				fmt.Fprintf(out, "    seg %4d: page %-8d x%-5d %10d bytes\n", i, s.StartPage, s.Pages, s.Bytes)
+			}
+		}
+	}
+	dataPages, metaPages := db.SpaceInUse()
+	fmt.Fprintf(out, "\ntotals: %d object bytes; %d data + %d metadata pages in use\n",
+		totalBytes, dataPages, metaPages)
+	_ = totalPages
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lobstore"
+)
+
+func TestRunOnImage(t *testing.T) {
+	cfg := lobstore.DefaultConfig()
+	cfg.LeafAreaPages = 1 << 14
+	cfg.MetaAreaPages = 1 << 12
+	cfg.MaxSegmentPages = 256
+	db, err := lobstore.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := db.Create("clip", lobstore.ObjectSpec{Engine: "eos", Threshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Append(bytes.Repeat([]byte{7}, 100_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateRecordFile("meta"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.img")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	outPath := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"clip", "eos", "100000 bytes", "record file", "seg", "pages in use"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lobstat output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunOnGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, os.Stdout); err == nil {
+		t.Fatal("garbage image accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing"), false, os.Stdout); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,210 @@
+package lobstore_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lobstore"
+)
+
+var errCrash = errors.New("simulated power failure")
+
+// TestCrashRecoveryBasic: a clean crash (no operation in flight) loses
+// nothing, and the recovered database accepts further updates.
+func TestCrashRecoveryBasic(t *testing.T) {
+	db, err := lobstore.Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirrors := map[string][]byte{}
+	for _, e := range []struct{ name, engine string }{
+		{"a", "esm"}, {"b", "starburst"}, {"c", "eos"},
+	} {
+		obj, err := db.Create(e.name, lobstore.ObjectSpec{
+			Engine: e.engine, LeafPages: 2, Threshold: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte(e.name), 30_000)
+		if err := obj.Append(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := obj.Insert(100, []byte("<mark>")); err != nil {
+			t.Fatal(err)
+		}
+		data = append(data[:100:100], append([]byte("<mark>"), data[100:]...)...)
+		mirrors[e.name] = data
+	}
+
+	db2, err := db.Crash()
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	for name, want := range mirrors {
+		obj, err := db2.OpenObject(name)
+		if err != nil {
+			t.Fatalf("open %s after crash: %v", name, err)
+		}
+		got := make([]byte, obj.Size())
+		if err := obj.Read(0, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s lost data across a clean crash", name)
+		}
+		// The recovered allocators must support further updates.
+		if err := obj.Append([]byte("post-crash")); err != nil {
+			t.Fatalf("%s: append after recovery: %v", name, err)
+		}
+		if err := obj.Delete(0, 5); err != nil {
+			t.Fatalf("%s: delete after recovery: %v", name, err)
+		}
+	}
+}
+
+// TestCrashSweep is the money test for §3.3's shadowing: for every engine,
+// inject a disk failure at each successive I/O position of one update
+// operation, crash, recover, and require the object to hold exactly the
+// pre-operation bytes (the operation never committed) or, when the
+// operation completed before the fault position, the post-operation bytes.
+func TestCrashSweep(t *testing.T) {
+	type opFn func(obj lobstore.Object, mirror []byte) ([]byte, error)
+	insertOp := func(obj lobstore.Object, mirror []byte) ([]byte, error) {
+		data := bytes.Repeat([]byte{0xEE}, 9_000)
+		off := int64(len(mirror) / 3)
+		if err := obj.Insert(off, data); err != nil {
+			return nil, err
+		}
+		return append(mirror[:off:off], append(append([]byte{}, data...), mirror[off:]...)...), nil
+	}
+	deleteOp := func(obj lobstore.Object, mirror []byte) ([]byte, error) {
+		off, n := int64(len(mirror)/4), int64(7_000)
+		if err := obj.Delete(off, n); err != nil {
+			return nil, err
+		}
+		return append(mirror[:off:off], mirror[off+n:]...), nil
+	}
+
+	for _, tc := range []struct {
+		name string
+		spec lobstore.ObjectSpec
+		op   opFn
+	}{
+		{"esm-insert", lobstore.ObjectSpec{Engine: "esm", LeafPages: 2}, insertOp},
+		{"esm-delete", lobstore.ObjectSpec{Engine: "esm", LeafPages: 2}, deleteOp},
+		{"eos-insert", lobstore.ObjectSpec{Engine: "eos", Threshold: 4}, insertOp},
+		{"eos-delete", lobstore.ObjectSpec{Engine: "eos", Threshold: 4}, deleteOp},
+		{"starburst-insert", lobstore.ObjectSpec{Engine: "starburst", MaxSegmentPages: 16}, insertOp},
+		{"starburst-delete", lobstore.ObjectSpec{Engine: "starburst", MaxSegmentPages: 16}, deleteOp},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			completedAt := int64(-1)
+			for failAt := int64(0); failAt < 500; failAt++ {
+				db, err := lobstore.Open(testConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				obj, err := db.Create("x", tc.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				before := bytes.Repeat([]byte{0xAA, 0xBB, 0xCC}, 20_000) // 60 KB
+				if err := obj.Append(before); err != nil {
+					t.Fatal(err)
+				}
+				if err := obj.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				db.InjectIOFailure(failAt, errCrash)
+				after, opErr := tc.op(obj, before)
+				db.InjectIOFailure(-1, nil)
+
+				rec, err := db.Crash()
+				if err != nil {
+					t.Fatalf("fail@%d: recovery failed: %v", failAt, err)
+				}
+				robj, err := rec.OpenObject("x")
+				if err != nil {
+					t.Fatalf("fail@%d: open after recovery: %v", failAt, err)
+				}
+				want := before
+				if opErr == nil {
+					want = after // the operation committed before the fault hit
+				} else if !errors.Is(opErr, errCrash) {
+					t.Fatalf("fail@%d: unexpected op error: %v", failAt, opErr)
+				}
+				if robj.Size() != int64(len(want)) {
+					t.Fatalf("fail@%d: recovered size %d, want %d (op err: %v)",
+						failAt, robj.Size(), len(want), opErr)
+				}
+				got := make([]byte, robj.Size())
+				if err := robj.Read(0, got); err != nil {
+					t.Fatalf("fail@%d: read: %v", failAt, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("fail@%d: recovered content wrong (op err: %v)", failAt, opErr)
+				}
+				if opErr == nil {
+					completedAt = failAt
+					break // later fault positions never trigger
+				}
+			}
+			if completedAt < 0 {
+				t.Fatal("operation never completed within the sweep")
+			}
+		})
+	}
+}
+
+// TestCrashReclaimsOrphans: pages allocated by an interrupted operation
+// are unreachable after recovery and must be reclaimed — space in use
+// equals exactly what the surviving objects occupy.
+func TestCrashReclaimsOrphans(t *testing.T) {
+	db, err := lobstore.Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := db.Create("x", lobstore.ObjectSpec{Engine: "eos", Threshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Append(bytes.Repeat([]byte{1}, 100_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt an insert after its fresh-segment writes but before commit.
+	db.InjectIOFailure(3, errCrash)
+	opErr := obj.Insert(50_000, bytes.Repeat([]byte{2}, 20_000))
+	db.InjectIOFailure(-1, nil)
+	if opErr == nil {
+		t.Skip("operation completed in fewer I/Os than expected")
+	}
+
+	rec, err := db.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	robj, err := rec.OpenObject("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := lobstore.Inspect(robj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var layoutPages int64
+	for _, s := range layout.Segments {
+		layoutPages += int64(s.Pages)
+	}
+	dataPages, _ := rec.SpaceInUse()
+	if dataPages != layoutPages {
+		t.Fatalf("data pages in use %d, object layout occupies %d — orphans leaked",
+			dataPages, layoutPages)
+	}
+}

@@ -1,0 +1,112 @@
+// Mediastream: the paper's motivating multimedia workload (§1) — store a
+// digitized video as one large object, then play it back frame by frame
+// and seek to random frames.
+//
+// Media objects are written once and scanned sequentially, which is where
+// Starburst's doubling extents and EOS's large segments shine; ESM's answer
+// depends heavily on the leaf size chosen.
+//
+//	go run ./examples/mediastream
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"lobstore"
+)
+
+const (
+	frameBytes = 32 << 10 // one 32 KB frame
+	numFrames  = 600      // ~19 MB of "video", 24 fps → 25 seconds
+)
+
+func main() {
+	fmt.Printf("video: %d frames x %d KB = %.1f MB\n\n",
+		numFrames, frameBytes>>10, float64(numFrames*frameBytes)/(1<<20))
+
+	type result struct {
+		name               string
+		ingest, play, seek time.Duration
+		utilization        float64
+	}
+	var results []result
+
+	for _, e := range []struct {
+		name string
+		open func(db *lobstore.DB) (lobstore.Object, error)
+	}{
+		{"ESM leaf=1", func(db *lobstore.DB) (lobstore.Object, error) { return db.NewESM(1) }},
+		{"ESM leaf=16", func(db *lobstore.DB) (lobstore.Object, error) { return db.NewESM(16) }},
+		{"Starburst", func(db *lobstore.DB) (lobstore.Object, error) { return db.NewStarburst(0) }},
+		{"EOS T=16", func(db *lobstore.DB) (lobstore.Object, error) { return db.NewEOS(16) }},
+	} {
+		db, err := lobstore.Open(lobstore.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		video, err := e.open(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Ingest: the camera delivers one frame at a time.
+		frame := make([]byte, frameBytes)
+		start := db.Now()
+		for i := 0; i < numFrames; i++ {
+			for j := range frame {
+				frame[j] = byte(i + j)
+			}
+			if err := video.Append(frame); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := video.Close(); err != nil {
+			log.Fatal(err)
+		}
+		ingest := db.Now() - start
+
+		// Playback: frame-to-frame sequential access (§1: "think of
+		// playing digital sound recordings, frame-to-frame accessing of a
+		// movie").
+		start = db.Now()
+		for i := 0; i < numFrames; i++ {
+			if err := video.Read(int64(i)*frameBytes, frame); err != nil {
+				log.Fatal(err)
+			}
+			if frame[0] != byte(i) {
+				log.Fatalf("frame %d corrupted", i)
+			}
+		}
+		play := db.Now() - start
+
+		// Scrubbing: seek to 100 random frames.
+		rng := rand.New(rand.NewSource(7))
+		start = db.Now()
+		for i := 0; i < 100; i++ {
+			f := rng.Intn(numFrames)
+			if err := video.Read(int64(f)*frameBytes, frame); err != nil {
+				log.Fatal(err)
+			}
+		}
+		seek := db.Now() - start
+
+		results = append(results, result{
+			name:        e.name,
+			ingest:      ingest,
+			play:        play,
+			seek:        seek / 100,
+			utilization: video.Utilization().Ratio(),
+		})
+	}
+
+	fmt.Printf("%-12s %12s %12s %14s %12s\n", "engine", "ingest", "playback", "seek/frame", "utilization")
+	for _, r := range results {
+		fmt.Printf("%-12s %12v %12v %14v %11.1f%%\n",
+			r.name, r.ingest.Round(time.Millisecond), r.play.Round(time.Millisecond),
+			r.seek.Round(time.Millisecond), 100*r.utilization)
+	}
+	fmt.Println("\nAll times are simulated disk time (33 ms seek, 1 KB/ms transfer).")
+}

@@ -1,0 +1,3 @@
+module lobstore
+
+go 1.22

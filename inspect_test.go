@@ -1,0 +1,71 @@
+package lobstore_test
+
+import (
+	"testing"
+
+	"lobstore"
+)
+
+// TestInspectLayouts validates the Layout view of all three managers: the
+// segments must tile the object exactly and page counts must be
+// consistent with dense packing.
+func TestInspectLayouts(t *testing.T) {
+	db, err := lobstore.Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 300_000
+	for _, e := range []struct {
+		name string
+		open func() (lobstore.Object, error)
+	}{
+		{"esm", func() (lobstore.Object, error) { return db.NewESM(4) }},
+		{"starburst", func() (lobstore.Object, error) { return db.NewStarburst(16) }},
+		{"eos", func() (lobstore.Object, error) { return db.NewEOS(4) }},
+	} {
+		t.Run(e.name, func(t *testing.T) {
+			obj, err := e.open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := obj.Append(make([]byte, size)); err != nil {
+				t.Fatal(err)
+			}
+			if err := obj.Insert(1234, make([]byte, 5000)); err != nil {
+				t.Fatal(err)
+			}
+			if err := obj.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l, err := lobstore.Inspect(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total int64
+			for i, s := range l.Segments {
+				if s.Bytes <= 0 || s.Pages <= 0 {
+					t.Fatalf("segment %d: %+v", i, s)
+				}
+				if int64(s.Pages)*4096 < s.Bytes {
+					t.Fatalf("segment %d holds %d bytes in %d pages", i, s.Bytes, s.Pages)
+				}
+				total += s.Bytes
+			}
+			if total != obj.Size() {
+				t.Fatalf("layout covers %d bytes, object has %d", total, obj.Size())
+			}
+			if l.IndexPages < 1 {
+				t.Fatal("no index pages reported")
+			}
+			// Utilization derived from the layout must agree with the
+			// object's own accounting.
+			var pages int64
+			for _, s := range l.Segments {
+				pages += int64(s.Pages)
+			}
+			if u := obj.Utilization(); u.DataPages != pages {
+				t.Fatalf("layout pages %d, utilization reports %d", pages, u.DataPages)
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+package lobstore_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lobstore"
+)
+
+// TestPoolPressureTorture runs a random mix against each engine with a
+// pool barely larger than the deepest pin chain, maximizing eviction,
+// write-back and shadow-relocation churn, and verifies content byte for
+// byte against a mirror throughout.
+func TestPoolPressureTorture(t *testing.T) {
+	for _, engine := range []string{"esm", "starburst", "eos"} {
+		t.Run(engine, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.BufferPages = 6
+			cfg.MaxBufferedRun = 2
+			db, err := lobstore.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj, err := db.Create("x", lobstore.ObjectSpec{
+				Engine: engine, LeafPages: 2, Threshold: 2, MaxSegmentPages: 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(33))
+			var mirror []byte
+			var fill byte
+			data := func(n int) []byte {
+				out := make([]byte, n)
+				for i := range out {
+					fill++
+					out[i] = fill
+				}
+				return out
+			}
+			for step := 0; step < 150; step++ {
+				size := int64(len(mirror))
+				switch op := rng.Intn(4); {
+				case size == 0 || op == 0:
+					d := data(1 + rng.Intn(8000))
+					if err := obj.Append(d); err != nil {
+						t.Fatalf("step %d append: %v", step, err)
+					}
+					mirror = append(mirror, d...)
+				case op == 1:
+					off := rng.Int63n(size + 1)
+					d := data(1 + rng.Intn(5000))
+					if err := obj.Insert(off, d); err != nil {
+						t.Fatalf("step %d insert: %v", step, err)
+					}
+					mirror = append(mirror[:off:off], append(append([]byte{}, d...), mirror[off:]...)...)
+				case op == 2:
+					off := rng.Int63n(size)
+					n := 1 + rng.Int63n(size-off)
+					if n > 4000 {
+						n = 4000
+					}
+					if err := obj.Delete(off, n); err != nil {
+						t.Fatalf("step %d delete: %v", step, err)
+					}
+					mirror = append(mirror[:off:off], mirror[off+n:]...)
+				default:
+					off := rng.Int63n(size)
+					n := 1 + rng.Int63n(size-off)
+					got := make([]byte, n)
+					if err := obj.Read(off, got); err != nil {
+						t.Fatalf("step %d read: %v", step, err)
+					}
+					if !bytes.Equal(got, mirror[off:off+n]) {
+						t.Fatalf("step %d: read mismatch at [%d,+%d)", step, off, n)
+					}
+				}
+			}
+			got := make([]byte, len(mirror))
+			if len(mirror) > 0 {
+				if err := obj.Read(0, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, mirror) {
+					t.Fatal("final content mismatch under pool pressure")
+				}
+			}
+		})
+	}
+}
+
+// TestManyObjectsInterleaved drives a dozen objects across all engines in
+// one database, interleaving operations, destroying some mid-way, and
+// verifying the survivors are unaffected.
+func TestManyObjectsInterleaved(t *testing.T) {
+	db, err := lobstore.Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tracked struct {
+		name   string
+		obj    lobstore.Object
+		mirror []byte
+	}
+	engines := []string{"esm", "starburst", "eos"}
+	var objs []*tracked
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		spec := lobstore.ObjectSpec{
+			Engine: engines[i%3], LeafPages: 1 + i%4, Threshold: 1 + i%4, MaxSegmentPages: 64,
+		}
+		obj, err := db.Create(name, spec)
+		if err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		objs = append(objs, &tracked{name: name, obj: obj})
+	}
+	rng := rand.New(rand.NewSource(5))
+	var fill byte
+	for step := 0; step < 300; step++ {
+		tr := objs[rng.Intn(len(objs))]
+		n := 1 + rng.Intn(3000)
+		d := make([]byte, n)
+		for i := range d {
+			fill++
+			d[i] = fill
+		}
+		if len(tr.mirror) > 0 && rng.Intn(3) == 0 {
+			off := rng.Int63n(int64(len(tr.mirror)) + 1)
+			if err := tr.obj.Insert(off, d); err != nil {
+				t.Fatalf("step %d %s insert: %v", step, tr.name, err)
+			}
+			tr.mirror = append(tr.mirror[:off:off], append(append([]byte{}, d...), tr.mirror[off:]...)...)
+		} else {
+			if err := tr.obj.Append(d); err != nil {
+				t.Fatalf("step %d %s append: %v", step, tr.name, err)
+			}
+			tr.mirror = append(tr.mirror, d...)
+		}
+	}
+	// Destroy every third object.
+	var survivors []*tracked
+	for i, tr := range objs {
+		if i%3 == 2 {
+			if err := db.Drop(tr.name); err != nil {
+				t.Fatalf("drop %s: %v", tr.name, err)
+			}
+			continue
+		}
+		survivors = append(survivors, tr)
+	}
+	// Survivors must be intact and fully readable.
+	for _, tr := range survivors {
+		got := make([]byte, tr.obj.Size())
+		if err := tr.obj.Read(0, got); err != nil {
+			t.Fatalf("%s read: %v", tr.name, err)
+		}
+		if !bytes.Equal(got, tr.mirror) {
+			t.Fatalf("%s corrupted by neighbouring destroys", tr.name)
+		}
+	}
+	infos, err := db.Objects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(survivors) {
+		t.Fatalf("catalog lists %d objects, want %d", len(infos), len(survivors))
+	}
+}
+
+// TestSpaceExhaustion verifies graceful errors when the leaf area fills.
+func TestSpaceExhaustion(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeafAreaPages = 40 // about two buddy spaces of order 4
+	cfg.MaxSegmentPages = 16
+	db, err := lobstore.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := db.NewEOS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = obj.Append(make([]byte, 1<<20))
+	if err == nil {
+		t.Fatal("filling an exhausted area succeeded")
+	}
+	if !strings.Contains(err.Error(), "full") {
+		t.Fatalf("unhelpful exhaustion error: %v", err)
+	}
+}
+
+// TestClockMonotonicAcrossEngines: simulated time only moves forward, and
+// identical runs produce identical timelines.
+func TestClockMonotonicAcrossEngines(t *testing.T) {
+	run := func() []int64 {
+		db, err := lobstore.Open(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var marks []int64
+		for _, engine := range []string{"esm", "starburst", "eos"} {
+			obj, err := db.Create(engine, lobstore.ObjectSpec{
+				Engine: engine, LeafPages: 4, Threshold: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := obj.Append(make([]byte, 123456)); err != nil {
+				t.Fatal(err)
+			}
+			if err := obj.Insert(1000, []byte("abc")); err != nil {
+				t.Fatal(err)
+			}
+			marks = append(marks, int64(db.Now()))
+		}
+		return marks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic timeline: %v vs %v", a, b)
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("clock went backwards: %v", a)
+		}
+	}
+}

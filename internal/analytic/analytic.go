@@ -1,0 +1,142 @@
+// Package analytic provides closed-form expected I/O costs under the
+// paper's disk model. The package exists to validate the simulator: for
+// workloads whose I/O pattern is fully determined (sequential scans,
+// Starburst reorganisations, single random reads), the analytic cost must
+// match the simulated cost exactly, which the package tests assert.
+package analytic
+
+import (
+	"lobstore/internal/sim"
+)
+
+// pagesFor returns ceil(n / pageSize).
+func pagesFor(n int64, pageSize int) int {
+	return int((n + int64(pageSize) - 1) / int64(pageSize))
+}
+
+// FixedLeafScan returns the cost of sequentially reading an object stored
+// on fixed-size leaves of leafPages blocks, with scan chunks at least as
+// large as a leaf and segments too large to be buffered: one I/O per leaf,
+// each moving the leaf's occupied pages. Leaves are full except the final
+// one (a freshly built ESM object).
+func FixedLeafScan(m sim.CostModel, objectBytes int64, leafPages int) sim.Duration {
+	leafBytes := int64(leafPages) * int64(m.PageSize)
+	var total sim.Duration
+	for off := int64(0); off < objectBytes; off += leafBytes {
+		n := leafBytes
+		if off+n > objectBytes {
+			n = objectBytes - off
+		}
+		total += m.IOCost(pagesFor(n, m.PageSize))
+	}
+	return total
+}
+
+// SegmentedScan returns the cost of reading segments of the given byte
+// sizes, each with a single unbuffered sequential I/O (scan chunks at least
+// as large as every segment).
+func SegmentedScan(m sim.CostModel, segBytes []int64) sim.Duration {
+	var total sim.Duration
+	for _, n := range segBytes {
+		total += m.IOCost(pagesFor(n, m.PageSize))
+	}
+	return total
+}
+
+// DoublingSegments returns the byte sizes of the segments of an object of
+// objectBytes built by the Starburst/EOS growth pattern: 1 page, 2, 4, …
+// up to maxSegPages, with the final segment trimmed.
+func DoublingSegments(m sim.CostModel, objectBytes int64, maxSegPages int) []int64 {
+	var out []int64
+	pages := 1
+	remaining := objectBytes
+	for remaining > 0 {
+		segBytes := int64(pages) * int64(m.PageSize)
+		if segBytes > remaining {
+			segBytes = remaining
+		}
+		out = append(out, segBytes)
+		remaining -= segBytes
+		pages *= 2
+		if pages > maxSegPages {
+			pages = maxSegPages
+		}
+	}
+	return out
+}
+
+// RandomRead returns the cost of one read of n bytes at byte offset off
+// within a single segment, assuming no buffer pool hits: the covered pages
+// move in one I/O.
+func RandomRead(m sim.CostModel, off, n int64) sim.Duration {
+	ps := int64(m.PageSize)
+	first := off / ps
+	last := (off + n - 1) / ps
+	return m.IOCost(int(last - first + 1))
+}
+
+// StarburstInsertAtStart returns the exact cost of a Starburst insert at
+// byte offset 0: every old segment is read back and the inserted bytes plus
+// the whole old content are rewritten into maximal segments through a
+// staging buffer of bufBytes, plus one descriptor write.
+//
+// The arithmetic mirrors the manager exactly: each staging-buffer fill
+// issues one read I/O per source segment it intersects (the in-memory
+// insert bytes are free), and each buffer chunk is written with one
+// sequential I/O.
+func StarburstInsertAtStart(m sim.CostModel, segBytes []int64, insertBytes int64,
+	bufBytes, maxSegPages int) sim.Duration {
+
+	var tailOld int64
+	for _, b := range segBytes {
+		tailOld += b
+	}
+	tailNew := tailOld + insertBytes
+
+	var total sim.Duration
+	parts := append([]int64{}, segBytes...)
+	srcIdx := 0
+	readFill := func(want int64) {
+		for want > 0 && srcIdx < len(parts) {
+			take := parts[srcIdx]
+			if take > want {
+				take = want
+			}
+			if take > 0 {
+				total += m.IOCost(pagesFor(take, m.PageSize))
+			}
+			parts[srcIdx] -= take
+			want -= take
+			if parts[srcIdx] == 0 {
+				srcIdx++
+			}
+		}
+	}
+
+	maxBytes := int64(maxSegPages) * int64(m.PageSize)
+	remainingNew := tailNew
+	memLeft := insertBytes // the insert sits at the front of the stream
+	for remainingNew > 0 {
+		segNew := remainingNew
+		if segNew > maxBytes {
+			segNew = maxBytes
+		}
+		var written int64
+		for written < segNew {
+			chunk := int64(bufBytes)
+			if chunk > segNew-written {
+				chunk = segNew - written
+			}
+			fromMem := memLeft
+			if fromMem > chunk {
+				fromMem = chunk
+			}
+			memLeft -= fromMem
+			readFill(chunk - fromMem)
+			total += m.IOCost(pagesFor(chunk, m.PageSize))
+			written += chunk
+		}
+		remainingNew -= segNew
+	}
+	return total + m.IOCost(1) // descriptor write
+}

@@ -1,0 +1,407 @@
+// Package buddy implements the binary-buddy disk space manager of §3.1.
+//
+// A database area is divided into buddy spaces. Each buddy space is a
+// fixed-length run of physically adjacent blocks plus a 1-block directory
+// that records allocation state for every block in the space. Segments —
+// runs of adjacent pages — are handed out from a single space.
+//
+// Although segments are internally managed as if their sizes were integral
+// powers of two, a client may request a segment of any size and the request
+// is fulfilled down to the precision of one block: the allocator obtains the
+// smallest covering power-of-two chunk and immediately frees the unused
+// tail. Symmetrically, a client may selectively free any portion of a
+// previously allocated segment, not necessarily the whole segment — EOS
+// depends on this to trim segments in place.
+//
+// A main-memory superdirectory records (optimistically) the size of the
+// largest free segment in each space, eliminating fruitless directory
+// visits: the first wrong guess about a space corrects its entry. Directory
+// blocks are cached after first load and flushed lazily, so on steady state
+// an allocation or deallocation costs at most one disk access (§3.1).
+package buddy
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lobstore/internal/disk"
+)
+
+// Allocator manages segment allocation within one database area.
+type Allocator struct {
+	d        *disk.Disk
+	areaID   disk.AreaID
+	maxOrder uint // each space holds 1<<maxOrder data blocks
+	spaces   []*space
+	// superdirectory: believed order of the largest free chunk per space.
+	// Initialised to maxOrder+… optimistically; corrected on visit.
+	super []int
+
+	areaPages int // capacity of the area in pages
+	nextPage  int // next unused page when growing a new space
+
+	stats Stats
+}
+
+// Stats counts allocator activity.
+type Stats struct {
+	Allocs         int64
+	Frees          int64
+	DirectoryLoads int64 // cold directory-block reads (each one disk access)
+	SpacesCreated  int64
+}
+
+type space struct {
+	base disk.PageID // area page of the directory block; data starts at base+1
+	// free[o] holds the starting block offsets of free chunks of size 1<<o.
+	free []map[uint32]struct{}
+	// allocated marks individual blocks handed out to clients.
+	allocated []uint64
+	loaded    bool // directory block charged to the clock yet?
+	dirty     bool
+	maxFree   int // actual largest free order, −1 when space is full
+}
+
+// Option configures an Allocator.
+type Option func(*Allocator)
+
+// WithMaxOrder sets the buddy-space size to 1<<order data blocks.
+// The default order 13 yields 8192-block (32 MB with 4 KB pages) spaces,
+// matching the paper's maximum segment size.
+func WithMaxOrder(order uint) Option {
+	return func(a *Allocator) { a.maxOrder = order }
+}
+
+// New creates an allocator that carves buddy spaces out of area on d.
+func New(d *disk.Disk, area disk.AreaID, opts ...Option) (*Allocator, error) {
+	pages, err := d.AreaPages(area)
+	if err != nil {
+		return nil, err
+	}
+	a := &Allocator{d: d, areaID: area, maxOrder: 13, areaPages: pages}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.maxOrder < 1 || a.maxOrder > 24 {
+		return nil, fmt.Errorf("buddy: max order %d out of range [1,24]", a.maxOrder)
+	}
+	if need := dirHeaderSize + (1<<a.maxOrder+7)/8; need > d.PageSize() {
+		return nil, fmt.Errorf("buddy: order-%d allocation bitmap needs %d bytes, the 1-block directory holds %d",
+			a.maxOrder, need, d.PageSize())
+	}
+	if pages < a.spacePages() {
+		return nil, fmt.Errorf("buddy: area of %d pages cannot hold one %d-page buddy space",
+			pages, a.spacePages())
+	}
+	return a, nil
+}
+
+// spacePages returns the on-disk footprint of one space: directory + data.
+func (a *Allocator) spacePages() int { return 1 + (1 << a.maxOrder) }
+
+// MaxSegmentPages returns the largest segment this allocator can hand out.
+func (a *Allocator) MaxSegmentPages() int { return 1 << a.maxOrder }
+
+// Stats returns a snapshot of allocator activity counters.
+func (a *Allocator) Stats() Stats { return a.stats }
+
+// UsedBlocks returns the number of data blocks currently allocated.
+func (a *Allocator) UsedBlocks() int64 {
+	var n int64
+	for _, s := range a.spaces {
+		for _, w := range s.allocated {
+			n += int64(bits.OnesCount64(w))
+		}
+	}
+	return n
+}
+
+func (a *Allocator) newSpace() (*space, error) {
+	need := a.spacePages()
+	if a.nextPage+need > a.areaPages {
+		return nil, fmt.Errorf("buddy: area full (%d of %d pages used)", a.nextPage, a.areaPages)
+	}
+	s := &space{
+		base:      disk.PageID(a.nextPage),
+		free:      make([]map[uint32]struct{}, a.maxOrder+1),
+		allocated: make([]uint64, (1<<a.maxOrder+63)/64),
+		maxFree:   int(a.maxOrder),
+		loaded:    true, // a brand-new directory needs no disk read
+		dirty:     true,
+	}
+	for o := range s.free {
+		s.free[o] = make(map[uint32]struct{})
+	}
+	s.free[a.maxOrder][0] = struct{}{}
+	a.nextPage += need
+	a.spaces = append(a.spaces, s)
+	a.super = append(a.super, int(a.maxOrder))
+	a.stats.SpacesCreated++
+	return s, nil
+}
+
+// visit charges the cold read of a space's directory block, at most once.
+func (a *Allocator) visit(s *space) error {
+	if s.loaded {
+		return nil
+	}
+	buf := make([]byte, a.d.PageSize())
+	if err := a.d.Read(disk.Addr{Area: a.areaID, Page: s.base}, 1, buf); err != nil {
+		return err
+	}
+	s.loaded = true
+	a.stats.DirectoryLoads++
+	return nil
+}
+
+// orderFor returns the smallest order whose chunk covers n blocks.
+func (a *Allocator) orderFor(n int) (uint, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("buddy: segment size %d must be positive", n)
+	}
+	if n > 1<<a.maxOrder {
+		return 0, fmt.Errorf("buddy: segment of %d pages exceeds maximum %d", n, 1<<a.maxOrder)
+	}
+	o := uint(bits.Len(uint(n - 1))) // ceil(log2 n)
+	return o, nil
+}
+
+// Alloc obtains a segment of exactly npages physically adjacent pages.
+// Internally a covering power-of-two chunk is taken and its unused right
+// end is freed immediately ("the last segment is trimmed").
+func (a *Allocator) Alloc(npages int) (disk.Addr, error) {
+	order, err := a.orderFor(npages)
+	if err != nil {
+		return disk.Addr{}, err
+	}
+	for i, s := range a.spaces {
+		if a.super[i] < int(order) {
+			continue // superdirectory says this space cannot satisfy us
+		}
+		if err := a.visit(s); err != nil {
+			return disk.Addr{}, err
+		}
+		if s.maxFree < int(order) {
+			a.super[i] = s.maxFree // wrong guess corrected
+			continue
+		}
+		addr, err := a.allocIn(s, order, npages)
+		if err != nil {
+			return disk.Addr{}, err
+		}
+		a.super[i] = s.maxFree
+		return addr, nil
+	}
+	s, err := a.newSpace()
+	if err != nil {
+		return disk.Addr{}, err
+	}
+	addr, err := a.allocIn(s, order, npages)
+	if err != nil {
+		return disk.Addr{}, err
+	}
+	a.super[len(a.super)-1] = s.maxFree
+	return addr, nil
+}
+
+func (a *Allocator) allocIn(s *space, order uint, npages int) (disk.Addr, error) {
+	off, err := a.takeChunk(s, order)
+	if err != nil {
+		return disk.Addr{}, err
+	}
+	a.markAllocated(s, off, npages)
+	// Trim: free the unused right end of the covering chunk.
+	if extra := (1 << order) - npages; extra > 0 {
+		a.freeRange(s, off+uint32(npages), extra)
+	}
+	s.dirty = true
+	a.recomputeMaxFree(s)
+	a.stats.Allocs++
+	return disk.Addr{Area: a.areaID, Page: s.base + 1 + disk.PageID(off)}, nil
+}
+
+// takeChunk removes a free chunk of exactly 1<<order blocks, splitting a
+// larger chunk if necessary. The lowest-addressed suitable chunk is used so
+// allocation is deterministic.
+func (a *Allocator) takeChunk(s *space, order uint) (uint32, error) {
+	for o := order; o <= a.maxOrder; o++ {
+		if len(s.free[o]) == 0 {
+			continue
+		}
+		off := minKey(s.free[o])
+		delete(s.free[o], off)
+		// Split down to the requested order, freeing the upper buddies.
+		for cur := o; cur > order; cur-- {
+			half := uint32(1) << (cur - 1)
+			s.free[cur-1][off+half] = struct{}{}
+		}
+		return off, nil
+	}
+	return 0, fmt.Errorf("buddy: internal error: no free chunk of order %d (maxFree=%d)", order, s.maxFree)
+}
+
+func minKey(m map[uint32]struct{}) uint32 {
+	first := true
+	var min uint32
+	for k := range m {
+		if first || k < min {
+			min, first = k, false
+		}
+	}
+	return min
+}
+
+// Free releases npages pages starting at addr. The range may be any portion
+// of one or more previous allocations, but must lie within a single buddy
+// space and must be currently allocated.
+func (a *Allocator) Free(addr disk.Addr, npages int) error {
+	if addr.Area != a.areaID {
+		return fmt.Errorf("buddy: address %v is not in area %d", addr, a.areaID)
+	}
+	if npages <= 0 {
+		return fmt.Errorf("buddy: free of %d pages", npages)
+	}
+	s, off, err := a.locate(addr)
+	if err != nil {
+		return err
+	}
+	if int(off)+npages > 1<<a.maxOrder {
+		return fmt.Errorf("buddy: free range [%v,+%d) crosses the end of its buddy space", addr, npages)
+	}
+	if err := a.visit(s); err != nil {
+		return err
+	}
+	if err := a.unmarkAllocated(s, off, npages); err != nil {
+		return err
+	}
+	a.freeRange(s, off, npages)
+	s.dirty = true
+	a.recomputeMaxFree(s)
+	a.super[a.spaceIndex(s)] = s.maxFree
+	a.stats.Frees++
+	return nil
+}
+
+func (a *Allocator) spaceIndex(target *space) int {
+	for i, s := range a.spaces {
+		if s == target {
+			return i
+		}
+	}
+	return -1
+}
+
+// locate maps an area page address to its space and block offset.
+func (a *Allocator) locate(addr disk.Addr) (*space, uint32, error) {
+	sp := a.spacePages()
+	idx := int(addr.Page) / sp
+	if idx >= len(a.spaces) {
+		return nil, 0, fmt.Errorf("buddy: address %v outside any buddy space", addr)
+	}
+	s := a.spaces[idx]
+	rel := int(addr.Page) - int(s.base)
+	if rel < 1 {
+		return nil, 0, fmt.Errorf("buddy: address %v points at a directory block", addr)
+	}
+	return s, uint32(rel - 1), nil
+}
+
+// freeRange decomposes [off, off+n) into maximal aligned power-of-two chunks
+// and inserts each, coalescing with free buddies.
+func (a *Allocator) freeRange(s *space, off uint32, n int) {
+	for n > 0 {
+		// Largest order allowed by both alignment of off and remaining n.
+		align := uint(bits.TrailingZeros32(off))
+		if off == 0 {
+			align = a.maxOrder
+		}
+		sz := uint(bits.Len(uint(n))) - 1 // floor(log2 n)
+		order := align
+		if sz < order {
+			order = sz
+		}
+		if order > a.maxOrder {
+			order = a.maxOrder
+		}
+		a.insertChunk(s, off, order)
+		off += uint32(1) << order
+		n -= 1 << order
+	}
+}
+
+// insertChunk adds a free chunk and merges it with its buddy while possible.
+func (a *Allocator) insertChunk(s *space, off uint32, order uint) {
+	for order < a.maxOrder {
+		buddy := off ^ (uint32(1) << order)
+		if _, ok := s.free[order][buddy]; !ok {
+			break
+		}
+		delete(s.free[order], buddy)
+		if buddy < off {
+			off = buddy
+		}
+		order++
+	}
+	s.free[order][off] = struct{}{}
+}
+
+func (a *Allocator) recomputeMaxFree(s *space) {
+	s.maxFree = -1
+	for o := int(a.maxOrder); o >= 0; o-- {
+		if len(s.free[o]) > 0 {
+			s.maxFree = o
+			return
+		}
+	}
+}
+
+func (a *Allocator) markAllocated(s *space, off uint32, n int) {
+	for i := off; i < off+uint32(n); i++ {
+		s.allocated[i/64] |= 1 << (i % 64)
+	}
+}
+
+func (a *Allocator) unmarkAllocated(s *space, off uint32, n int) error {
+	for i := off; i < off+uint32(n); i++ {
+		mask := uint64(1) << (i % 64)
+		if s.allocated[i/64]&mask == 0 {
+			return fmt.Errorf("buddy: double free of block %d in space at page %d", i, s.base)
+		}
+	}
+	for i := off; i < off+uint32(n); i++ {
+		s.allocated[i/64] &^= 1 << (i % 64)
+	}
+	return nil
+}
+
+// CheckInvariants validates internal consistency: free chunks are aligned,
+// disjoint from allocated blocks and from each other, and every block is
+// either free or allocated. Used by tests.
+func (a *Allocator) CheckInvariants() error {
+	for si, s := range a.spaces {
+		seen := make([]bool, 1<<a.maxOrder)
+		for o, set := range s.free {
+			for off := range set {
+				if off%(1<<uint(o)) != 0 {
+					return fmt.Errorf("buddy: space %d: free chunk %d misaligned for order %d", si, off, o)
+				}
+				for i := off; i < off+1<<uint(o); i++ {
+					if seen[i] {
+						return fmt.Errorf("buddy: space %d: block %d in two free chunks", si, i)
+					}
+					seen[i] = true
+					if s.allocated[i/64]&(1<<(i%64)) != 0 {
+						return fmt.Errorf("buddy: space %d: block %d both free and allocated", si, i)
+					}
+				}
+			}
+		}
+		for i := 0; i < 1<<a.maxOrder; i++ {
+			alloc := s.allocated[i/64]&(1<<(uint(i)%64)) != 0
+			if !alloc && !seen[i] {
+				return fmt.Errorf("buddy: space %d: block %d neither free nor allocated", si, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,334 @@
+package buddy
+
+import (
+	"math/rand"
+	"testing"
+
+	"lobstore/internal/disk"
+	"lobstore/internal/sim"
+)
+
+func newAlloc(t *testing.T, areaPages int, order uint) (*Allocator, *disk.Disk) {
+	t.Helper()
+	d, err := disk.New(sim.DefaultModel(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	area, err := d.AddArea(areaPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(d, area, WithMaxOrder(order))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, d
+}
+
+func TestAllocExactAndTrimmed(t *testing.T) {
+	a, _ := newAlloc(t, 1000, 6) // 64-block spaces
+	// A 5-page request is covered by an 8-block chunk, trimmed to 5.
+	s1, err := a.Alloc(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UsedBlocks() != 5 {
+		t.Fatalf("used = %d, want 5", a.UsedBlocks())
+	}
+	// The trimmed 3 blocks are immediately reusable.
+	s2, err := a.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Page < s1.Page || s2.Page >= s1.Page+8 {
+		// Not required by the interface, but with one space the trimmed
+		// tail is the lowest free region of that size.
+		t.Logf("trimmed tail not reused first: s1=%v s2=%v", s1, s2)
+	}
+	if a.UsedBlocks() != 8 {
+		t.Fatalf("used = %d, want 8", a.UsedBlocks())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocAdjacency(t *testing.T) {
+	a, _ := newAlloc(t, 1000, 6)
+	s, err := a.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 16 pages must be physically adjacent — the whole point of
+	// segments. (Trivially true by construction; assert the invariant.)
+	if s.Page == 0 {
+		t.Fatal("segment page 0 is the directory block")
+	}
+}
+
+func TestFreeWholeAndCoalesce(t *testing.T) {
+	a, _ := newAlloc(t, 1000, 6)
+	s, err := a.Alloc(64) // entire space
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(64); err != nil {
+		t.Fatal(err) // second space created
+	}
+	if err := a.Free(s, 64); err != nil {
+		t.Fatal(err)
+	}
+	// After coalescing, a full-size chunk is available again in space 0.
+	s2, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s {
+		t.Fatalf("expected reuse of space 0 chunk %v, got %v", s, s2)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialFree(t *testing.T) {
+	a, _ := newAlloc(t, 1000, 6)
+	s, err := a.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free the middle 10 pages of the segment.
+	if err := a.Free(s.Add(11), 10); err != nil {
+		t.Fatal(err)
+	}
+	if a.UsedBlocks() != 22 {
+		t.Fatalf("used = %d, want 22", a.UsedBlocks())
+	}
+	// Free the tail.
+	if err := a.Free(s.Add(21), 11); err != nil {
+		t.Fatal(err)
+	}
+	// Free the head.
+	if err := a.Free(s, 11); err != nil {
+		t.Fatal(err)
+	}
+	if a.UsedBlocks() != 0 {
+		t.Fatalf("used = %d, want 0", a.UsedBlocks())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything coalesced back: a maximal chunk must be allocatable.
+	if _, err := a.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	a, _ := newAlloc(t, 1000, 6)
+	s, _ := a.Alloc(4)
+	if err := a.Free(s, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(s, 4); err == nil {
+		t.Fatal("double free succeeded")
+	}
+}
+
+func TestAllocRejectsBadSizes(t *testing.T) {
+	a, _ := newAlloc(t, 1000, 6)
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("zero-size alloc succeeded")
+	}
+	if _, err := a.Alloc(-1); err == nil {
+		t.Error("negative alloc succeeded")
+	}
+	if _, err := a.Alloc(65); err == nil {
+		t.Error("over-max alloc succeeded")
+	}
+	if _, err := a.Alloc(64); err != nil {
+		t.Errorf("max-size alloc failed: %v", err)
+	}
+}
+
+func TestSpaceGrowthAndSuperdirectory(t *testing.T) {
+	a, _ := newAlloc(t, 1000, 4) // 16-block spaces, 17 pages each
+	var segs []disk.Addr
+	for i := 0; i < 10; i++ {
+		s, err := a.Alloc(16)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		segs = append(segs, s)
+	}
+	if a.Stats().SpacesCreated != 10 {
+		t.Fatalf("spaces = %d, want 10", a.Stats().SpacesCreated)
+	}
+	// Free one in the middle; the superdirectory must let us find it again
+	// without creating an 11th space.
+	if err := a.Free(segs[4], 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(16); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().SpacesCreated != 10 {
+		t.Fatalf("new space created unnecessarily: %d", a.Stats().SpacesCreated)
+	}
+}
+
+func TestAreaExhaustion(t *testing.T) {
+	a, _ := newAlloc(t, 40, 4) // room for exactly two 17-page spaces
+	if _, err := a.Alloc(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(16); err == nil {
+		t.Fatal("allocation beyond area capacity succeeded")
+	}
+}
+
+// TestSteadyStateDirectoryCost: after the first touch of each directory,
+// allocation and deallocation cost no disk I/O (§3.1's "at most one disk
+// access" bound, achieved here by directory caching).
+func TestSteadyStateDirectoryCost(t *testing.T) {
+	a, d := newAlloc(t, 1000, 6)
+	if _, err := a.Alloc(4); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	for i := 0; i < 50; i++ {
+		s, err := a.Alloc(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(s, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delta := d.Stats().Sub(before); delta.Calls() != 0 {
+		t.Fatalf("steady-state alloc/free cost %d I/Os", delta.Calls())
+	}
+}
+
+func TestFlushWritesDirtyDirectories(t *testing.T) {
+	a, d := newAlloc(t, 1000, 6)
+	if _, err := a.Alloc(4); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if delta := d.Stats().Sub(before); delta.WriteCalls != 1 {
+		t.Fatalf("flush wrote %d directories, want 1", delta.WriteCalls)
+	}
+	// Second flush is a no-op.
+	before = d.Stats()
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if delta := d.Stats().Sub(before); delta.Calls() != 0 {
+		t.Fatalf("idempotent flush cost %d I/Os", delta.Calls())
+	}
+}
+
+func TestFreeValidation(t *testing.T) {
+	a, _ := newAlloc(t, 1000, 6)
+	s, _ := a.Alloc(8)
+	if err := a.Free(disk.Addr{Area: s.Area + 1, Page: s.Page}, 8); err == nil {
+		t.Error("free in wrong area succeeded")
+	}
+	if err := a.Free(disk.Addr{Area: s.Area, Page: 0}, 1); err == nil {
+		t.Error("free of directory block succeeded")
+	}
+	if err := a.Free(s, 0); err == nil {
+		t.Error("zero-size free succeeded")
+	}
+}
+
+// TestRandomizedAllocFree fuzzes alloc/trim/partial-free patterns against
+// the full structural invariant check.
+func TestRandomizedAllocFree(t *testing.T) {
+	a, _ := newAlloc(t, 4000, 7) // 128-block spaces
+	rng := rand.New(rand.NewSource(7))
+	type seg struct {
+		addr  disk.Addr
+		pages int
+	}
+	var live []seg
+	var wantUsed int64
+	for step := 0; step < 2000; step++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			n := 1 + rng.Intn(100)
+			s, err := a.Alloc(n)
+			if err != nil {
+				// Area can fill up; free something and continue.
+				if len(live) == 0 {
+					t.Fatalf("step %d: alloc %d with empty live set: %v", step, n, err)
+				}
+				k := rng.Intn(len(live))
+				if err := a.Free(live[k].addr, live[k].pages); err != nil {
+					t.Fatalf("step %d: free: %v", step, err)
+				}
+				wantUsed -= int64(live[k].pages)
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			live = append(live, seg{s, n})
+			wantUsed += int64(n)
+		} else {
+			k := rng.Intn(len(live))
+			sg := live[k]
+			switch rng.Intn(3) {
+			case 0: // whole free
+				if err := a.Free(sg.addr, sg.pages); err != nil {
+					t.Fatalf("step %d: free: %v", step, err)
+				}
+				wantUsed -= int64(sg.pages)
+				live = append(live[:k], live[k+1:]...)
+			case 1: // trim tail
+				if sg.pages > 1 {
+					cut := 1 + rng.Intn(sg.pages-1)
+					if err := a.Free(sg.addr.Add(sg.pages-cut), cut); err != nil {
+						t.Fatalf("step %d: trim: %v", step, err)
+					}
+					live[k].pages -= cut
+					wantUsed -= int64(cut)
+				}
+			case 2: // cut head
+				if sg.pages > 1 {
+					cut := 1 + rng.Intn(sg.pages-1)
+					if err := a.Free(sg.addr, cut); err != nil {
+						t.Fatalf("step %d: head cut: %v", step, err)
+					}
+					live[k].addr = sg.addr.Add(cut)
+					live[k].pages -= cut
+					wantUsed -= int64(cut)
+				}
+			}
+		}
+		if a.UsedBlocks() != wantUsed {
+			t.Fatalf("step %d: used=%d want=%d", step, a.UsedBlocks(), wantUsed)
+		}
+		if step%100 == 0 {
+			if err := a.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	// Drain and verify full coalescing.
+	for _, sg := range live {
+		if err := a.Free(sg.addr, sg.pages); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.UsedBlocks() != 0 {
+		t.Fatalf("used = %d after drain", a.UsedBlocks())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

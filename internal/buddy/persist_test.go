@@ -1,0 +1,162 @@
+package buddy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lobstore/internal/disk"
+	"lobstore/internal/sim"
+)
+
+func TestFlushAndOpenRoundTrip(t *testing.T) {
+	d, err := disk.New(sim.DefaultModel(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	area, err := d.AddArea(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(d, area, WithMaxOrder(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Allocate a mixed pattern across multiple spaces, with partial frees.
+	var live []struct {
+		addr  disk.Addr
+		pages int
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		n := 1 + rng.Intn(40)
+		s, err := a.Alloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, struct {
+			addr  disk.Addr
+			pages int
+		}{s, n})
+	}
+	for i := 0; i < 20; i++ {
+		k := rng.Intn(len(live))
+		if live[k].pages > 2 {
+			cut := 1 + rng.Intn(live[k].pages-1)
+			if err := a.Free(live[k].addr.Add(live[k].pages-cut), cut); err != nil {
+				t.Fatal(err)
+			}
+			live[k].pages -= cut
+		}
+	}
+	usedBefore := a.UsedBlocks()
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from the persisted directories.
+	b, err := Open(d, area, WithMaxOrder(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.UsedBlocks() != usedBefore {
+		t.Fatalf("reopened allocator sees %d used blocks, want %d", b.UsedBlocks(), usedBefore)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// All previously live segments must be freeable in the new instance.
+	for _, sg := range live {
+		if err := b.Free(sg.addr, sg.pages); err != nil {
+			t.Fatalf("freeing %v x%d after reopen: %v", sg.addr, sg.pages, err)
+		}
+	}
+	if b.UsedBlocks() != 0 {
+		t.Fatalf("%d blocks stuck after freeing everything", b.UsedBlocks())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenEmptyArea(t *testing.T) {
+	d, _ := disk.New(sim.DefaultModel(), sim.NewClock())
+	area, _ := d.AddArea(2000)
+	a, err := Open(d, area, WithMaxOrder(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.spaces) != 0 {
+		t.Fatalf("empty area yielded %d spaces", len(a.spaces))
+	}
+	// And it must still work as a fresh allocator.
+	if _, err := a.Alloc(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsOrderMismatch(t *testing.T) {
+	d, _ := disk.New(sim.DefaultModel(), sim.NewClock())
+	area, _ := d.AddArea(2000)
+	a, _ := New(d, area, WithMaxOrder(6))
+	if _, err := a.Alloc(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(d, area, WithMaxOrder(5)); err == nil {
+		t.Fatal("order mismatch accepted on open")
+	}
+}
+
+// Property: any alloc/free trace survives a flush/open cycle with identical
+// observable allocation state.
+func TestQuickPersistenceProperty(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		d, _ := disk.New(sim.DefaultModel(), sim.NewClock())
+		area, _ := d.AddArea(4000)
+		a, err := New(d, area, WithMaxOrder(5))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		type seg struct {
+			addr  disk.Addr
+			pages int
+		}
+		var live []seg
+		for _, op := range opsRaw {
+			if op%2 == 0 || len(live) == 0 {
+				n := 1 + rng.Intn(32)
+				s, err := a.Alloc(n)
+				if err != nil {
+					continue // area exhausted is fine
+				}
+				live = append(live, seg{s, n})
+			} else {
+				k := rng.Intn(len(live))
+				if err := a.Free(live[k].addr, live[k].pages); err != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		before := a.UsedBlocks()
+		if err := a.Flush(); err != nil {
+			return false
+		}
+		b, err := Open(d, area, WithMaxOrder(5))
+		if err != nil {
+			return false
+		}
+		if b.UsedBlocks() != before {
+			return false
+		}
+		return b.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,437 @@
+// Package buffer implements the page buffer pool of §3.2.
+//
+// The pool is a small arena of page frames (the paper uses 12). Clients fix
+// a page to obtain a pointer into the pool and must unfix it when done,
+// telling the pool whether they dirtied it. Multi-block segments up to
+// MaxRun pages can be read with a single I/O call into physically adjacent
+// frames; larger segments are not buffered at all — the large object
+// managers move them between disk and "application space" directly, using
+// the 3-step boundary-mismatch protocol implemented in package store.
+//
+// Eviction frees the least recently used clean pages first, followed by
+// dirty pages, which are written back to disk (one I/O each).
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lobstore/internal/disk"
+)
+
+// ErrNoRun is returned by FixRun when no window of adjacent unpinned frames
+// is available. Callers fall back to unbuffered I/O.
+var ErrNoRun = errors.New("buffer: no contiguous unpinned frame run available")
+
+// Pool is a buffer pool over one simulated disk. Not safe for concurrent
+// use (the simulation is single-threaded).
+type Pool struct {
+	d        *disk.Disk
+	arena    []byte
+	frames   []frame
+	index    map[disk.Addr]int // resident page → frame number
+	tick     int64
+	maxRun   int
+	pageSize int
+
+	hits   int64
+	misses int64
+}
+
+type frame struct {
+	addr    disk.Addr
+	valid   bool
+	dirty   bool
+	sticky  bool // no-steal: never evicted; shadowing pins pre-images
+	pins    int
+	lastUse int64
+}
+
+// Config sizes a pool.
+type Config struct {
+	// Frames is the number of page frames (paper: 12).
+	Frames int
+	// MaxRun is the largest segment, in pages, that may be read into the
+	// pool with one I/O call (paper: 4).
+	MaxRun int
+}
+
+// DefaultConfig returns the paper's pool parameters.
+func DefaultConfig() Config { return Config{Frames: 12, MaxRun: 4} }
+
+// New creates a pool over d.
+func New(d *disk.Disk, cfg Config) (*Pool, error) {
+	if cfg.Frames <= 0 {
+		return nil, fmt.Errorf("buffer: pool of %d frames", cfg.Frames)
+	}
+	if cfg.MaxRun <= 0 || cfg.MaxRun > cfg.Frames {
+		return nil, fmt.Errorf("buffer: max run %d must be in [1,%d]", cfg.MaxRun, cfg.Frames)
+	}
+	ps := d.PageSize()
+	return &Pool{
+		d:        d,
+		arena:    make([]byte, cfg.Frames*ps),
+		frames:   make([]frame, cfg.Frames),
+		index:    make(map[disk.Addr]int),
+		maxRun:   cfg.MaxRun,
+		pageSize: ps,
+	}, nil
+}
+
+// MaxRun returns the largest segment, in pages, the pool will buffer.
+func (p *Pool) MaxRun() int { return p.maxRun }
+
+// Frames returns the pool size in frames.
+func (p *Pool) Frames() int { return len(p.frames) }
+
+// HitRate returns pool hits and misses so far.
+func (p *Pool) HitRate() (hits, misses int64) { return p.hits, p.misses }
+
+func (p *Pool) data(i int) []byte {
+	return p.arena[i*p.pageSize : (i+1)*p.pageSize]
+}
+
+// Handle references a fixed page in the pool.
+type Handle struct {
+	p     *Pool
+	frame int
+	// Data is the page contents; valid until Unfix.
+	Data []byte
+	Addr disk.Addr
+}
+
+// Contains reports whether addr is resident. Testing aid.
+func (p *Pool) Contains(addr disk.Addr) bool {
+	_, ok := p.index[addr]
+	return ok
+}
+
+// FixPage returns a handle on page addr, reading it from disk on a miss
+// (one single-page I/O). The page stays pinned until Unfix.
+func (p *Pool) FixPage(addr disk.Addr) (*Handle, error) {
+	p.tick++
+	if i, ok := p.index[addr]; ok {
+		p.hits++
+		p.frames[i].pins++
+		p.frames[i].lastUse = p.tick
+		return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
+	}
+	p.misses++
+	i, err := p.freeWindow(1)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.d.Read(addr, 1, p.data(i)); err != nil {
+		return nil, err
+	}
+	p.install(i, addr)
+	p.frames[i].pins = 1
+	return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
+}
+
+// FixNew returns a handle on page addr without reading it from disk: the
+// frame is zeroed and marked dirty. Used when a brand-new page (e.g. a
+// freshly allocated index node) is being built.
+func (p *Pool) FixNew(addr disk.Addr) (*Handle, error) {
+	p.tick++
+	if i, ok := p.index[addr]; ok {
+		// Re-creating a page that is still resident: reuse the frame.
+		clear(p.data(i))
+		p.frames[i].pins++
+		p.frames[i].dirty = true
+		p.frames[i].lastUse = p.tick
+		return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
+	}
+	i, err := p.freeWindow(1)
+	if err != nil {
+		return nil, err
+	}
+	clear(p.data(i))
+	p.install(i, addr)
+	p.frames[i].pins = 1
+	p.frames[i].dirty = true
+	return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
+}
+
+// Unfix releases a handle. dirty declares that the caller modified the page.
+func (h *Handle) Unfix(dirty bool) {
+	f := &h.p.frames[h.frame]
+	if f.pins <= 0 {
+		panic("buffer: unfix of unpinned frame")
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// FixRun reads npages physically adjacent pages starting at addr into
+// adjacent frames with a single I/O call, returning one handle per page.
+// If every page of the run is already resident, no I/O happens and the
+// cached (possibly non-adjacent) frames are returned. npages must be at
+// most MaxRun. Returns ErrNoRun when the pool cannot host the run; callers
+// then bypass the pool.
+func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
+	if npages < 1 || npages > p.maxRun {
+		return nil, fmt.Errorf("buffer: run of %d pages outside [1,%d]", npages, p.maxRun)
+	}
+	if npages == 1 {
+		h, err := p.FixPage(addr)
+		if err != nil {
+			return nil, err
+		}
+		return []*Handle{h}, nil
+	}
+	p.tick++
+	// Full cache hit?
+	if idx, ok := p.residentRun(addr, npages); ok {
+		p.hits += int64(npages)
+		hs := make([]*Handle, npages)
+		for k, i := range idx {
+			p.frames[i].pins++
+			p.frames[i].lastUse = p.tick
+			hs[k] = &Handle{p: p, frame: i, Data: p.data(i), Addr: addr.Add(k)}
+		}
+		return hs, nil
+	}
+	p.misses += int64(npages)
+	// Flush-and-drop any stale resident copies (a dirty resident page would
+	// otherwise be lost when we re-read the run from disk).
+	for k := 0; k < npages; k++ {
+		if err := p.evictAddr(addr.Add(k)); err != nil {
+			return nil, err
+		}
+	}
+	start, err := p.freeWindow(npages)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.d.Read(addr, npages, p.arena[start*p.pageSize:(start+npages)*p.pageSize]); err != nil {
+		return nil, err
+	}
+	hs := make([]*Handle, npages)
+	for k := 0; k < npages; k++ {
+		i := start + k
+		p.install(i, addr.Add(k))
+		p.frames[i].pins = 1
+		hs[k] = &Handle{p: p, frame: i, Data: p.data(i), Addr: addr.Add(k)}
+	}
+	return hs, nil
+}
+
+// UnfixAll releases a slice of handles with a single dirty flag.
+func UnfixAll(hs []*Handle, dirty bool) {
+	for _, h := range hs {
+		h.Unfix(dirty)
+	}
+}
+
+// residentRun reports frame numbers if all npages pages are cached.
+func (p *Pool) residentRun(addr disk.Addr, npages int) ([]int, bool) {
+	idx := make([]int, npages)
+	for k := 0; k < npages; k++ {
+		i, ok := p.index[addr.Add(k)]
+		if !ok {
+			return nil, false
+		}
+		idx[k] = i
+	}
+	return idx, true
+}
+
+// evictAddr removes a resident page, writing it back first when dirty.
+func (p *Pool) evictAddr(addr disk.Addr) error {
+	i, ok := p.index[addr]
+	if !ok {
+		return nil
+	}
+	f := &p.frames[i]
+	if f.pins > 0 {
+		return fmt.Errorf("buffer: cannot evict pinned page %v", addr)
+	}
+	if f.dirty {
+		if err := p.d.Write(addr, 1, p.data(i)); err != nil {
+			return err
+		}
+	}
+	delete(p.index, addr)
+	f.valid = false
+	f.dirty = false
+	return nil
+}
+
+func (p *Pool) install(i int, addr disk.Addr) {
+	p.frames[i] = frame{addr: addr, valid: true, lastUse: p.tick}
+	p.index[addr] = i
+}
+
+// freeWindow evicts as needed to produce npages adjacent free frames and
+// returns the first frame number. Clean LRU victims are preferred over
+// dirty ones (paper §3.2).
+func (p *Pool) freeWindow(npages int) (int, error) {
+	type cand struct {
+		start, dirty int
+		recency      int64
+	}
+	var best *cand
+	for s := 0; s+npages <= len(p.frames); s++ {
+		c := cand{start: s}
+		ok := true
+		for i := s; i < s+npages; i++ {
+			f := &p.frames[i]
+			if f.pins > 0 || (f.valid && f.sticky) {
+				ok = false
+				break
+			}
+			if !f.valid {
+				continue
+			}
+			if f.dirty {
+				c.dirty++
+			}
+			if f.lastUse > c.recency {
+				c.recency = f.lastUse
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || c.dirty < best.dirty ||
+			(c.dirty == best.dirty && c.recency < best.recency) {
+			cc := c
+			best = &cc
+		}
+	}
+	if best == nil {
+		return 0, ErrNoRun
+	}
+	for i := best.start; i < best.start+npages; i++ {
+		f := &p.frames[i]
+		if f.valid {
+			if err := p.evictAddr(f.addr); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return best.start, nil
+}
+
+// SetSticky marks or unmarks a resident page as no-steal: sticky pages are
+// never evicted. The shadowing protocol sticks every pre-existing index
+// page it dirties until the end-of-operation flush, so the on-disk
+// pre-image is never overwritten by buffer replacement — a crash always
+// finds the old version intact. Marking a non-resident page sticky is an
+// error; unmarking one is a no-op.
+func (p *Pool) SetSticky(addr disk.Addr, sticky bool) error {
+	i, ok := p.index[addr]
+	if !ok {
+		if sticky {
+			return fmt.Errorf("buffer: cannot stick non-resident page %v", addr)
+		}
+		return nil
+	}
+	p.frames[i].sticky = sticky
+	return nil
+}
+
+// FlushPage writes page addr back to disk if it is resident and dirty
+// (one single-page I/O) and marks it clean.
+func (p *Pool) FlushPage(addr disk.Addr) error {
+	i, ok := p.index[addr]
+	if !ok {
+		return nil
+	}
+	f := &p.frames[i]
+	if !f.dirty {
+		return nil
+	}
+	if err := p.d.Write(addr, 1, p.data(i)); err != nil {
+		return err
+	}
+	f.dirty = false
+	return nil
+}
+
+// DropRange discards any resident pages in [addr, addr+npages) without
+// writing them back. Used when the underlying segment is freed or is about
+// to be overwritten wholesale from application space.
+func (p *Pool) DropRange(addr disk.Addr, npages int) error {
+	for k := 0; k < npages; k++ {
+		a := addr.Add(k)
+		if i, ok := p.index[a]; ok {
+			if p.frames[i].pins > 0 {
+				return fmt.Errorf("buffer: cannot drop pinned page %v", a)
+			}
+			delete(p.index, a)
+			p.frames[i].valid = false
+			p.frames[i].dirty = false
+			p.frames[i].sticky = false
+		}
+	}
+	return nil
+}
+
+// Relocate rebinds a resident page to a new disk address without I/O. The
+// shadowing protocol uses it: the in-memory copy of an index page becomes
+// the copy at its shadow location. The frame is marked dirty because the
+// new disk location holds no valid copy yet.
+func (p *Pool) Relocate(old, new disk.Addr) error {
+	i, ok := p.index[old]
+	if !ok {
+		return fmt.Errorf("buffer: relocate of non-resident page %v", old)
+	}
+	if _, clash := p.index[new]; clash {
+		return fmt.Errorf("buffer: relocate target %v already resident", new)
+	}
+	delete(p.index, old)
+	p.index[new] = i
+	p.frames[i].addr = new
+	p.frames[i].dirty = true
+	return nil
+}
+
+// FlushAll writes every dirty page back to disk, one I/O per page, in
+// address order for determinism.
+func (p *Pool) FlushAll() error {
+	var addrs []disk.Addr
+	for a, i := range p.index {
+		if p.frames[i].dirty {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		if addrs[i].Area != addrs[j].Area {
+			return addrs[i].Area < addrs[j].Area
+		}
+		return addrs[i].Page < addrs[j].Page
+	})
+	for _, a := range addrs {
+		if err := p.FlushPage(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PinnedPages returns the number of currently pinned frames. Testing aid.
+func (p *Pool) PinnedPages() int {
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// StickyPages returns the number of sticky frames. Testing aid.
+func (p *Pool) StickyPages() int {
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].sticky {
+			n++
+		}
+	}
+	return n
+}

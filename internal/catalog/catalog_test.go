@@ -1,0 +1,146 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"lobstore/internal/disk"
+	"lobstore/internal/lobtest"
+)
+
+func newCatalog(t *testing.T) (*Catalog, func() (*Catalog, error)) {
+	t.Helper()
+	st := lobtest.NewStore(t, lobtest.TestParams())
+	c, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopen := func() (*Catalog, error) { return Open(st, c.Root()) }
+	return c, reopen
+}
+
+func TestPutGetDelete(t *testing.T) {
+	c, _ := newCatalog(t)
+	e := Entry{Name: "video", Kind: KindEOS, Root: disk.Addr{Area: 0, Page: 42}}
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get("video")
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if got != e {
+		t.Fatalf("got %+v, want %+v", got, e)
+	}
+	if _, ok, _ := c.Get("nothing"); ok {
+		t.Fatal("found nonexistent entry")
+	}
+	if err := c.Delete("video"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("video"); ok {
+		t.Fatal("entry survived delete")
+	}
+	if err := c.Delete("video"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestDuplicateNamesRejected(t *testing.T) {
+	c, _ := newCatalog(t)
+	e := Entry{Name: "x", Kind: KindESM, Root: disk.Addr{Page: 1}}
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(e); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	c, _ := newCatalog(t)
+	if err := c.Put(Entry{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	long := make([]byte, MaxNameLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if err := c.Put(Entry{Name: string(long)}); err == nil {
+		t.Error("overlong name accepted")
+	}
+	exact := string(long[:MaxNameLen])
+	if err := c.Put(Entry{Name: exact, Kind: KindEOS, Root: disk.Addr{Page: 9}}); err != nil {
+		t.Errorf("max-length name rejected: %v", err)
+	}
+}
+
+func TestChainsAcrossPages(t *testing.T) {
+	c, reopen := newCatalog(t)
+	// 4 KB pages hold 68 slots; insert enough for three pages.
+	const n = 150
+	for i := 0; i < n; i++ {
+		e := Entry{Name: fmt.Sprintf("obj-%03d", i), Kind: KindStarburst, Root: disk.Addr{Page: disk.PageID(i + 1)}}
+		if err := c.Put(e); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	list, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != n {
+		t.Fatalf("listed %d entries, want %d", len(list), n)
+	}
+	// Delete from the middle of the chain, then reuse the slot.
+	if err := c.Delete("obj-075"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(Entry{Name: "replacement", Kind: KindEOS, Root: disk.Addr{Page: 999}}); err != nil {
+		t.Fatal(err)
+	}
+	// Every original entry except obj-075 is still reachable after reopen.
+	c2, err := reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("obj-%03d", i)
+		_, ok, err := c2.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok == (i == 75) {
+			t.Fatalf("entry %s presence wrong after reopen", name)
+		}
+	}
+	if _, ok, _ := c2.Get("replacement"); !ok {
+		t.Fatal("slot reuse lost the replacement entry")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	st := lobtest.NewStore(t, lobtest.TestParams())
+	addr, err := st.AllocMetaPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := st.Pool.FixNew(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Data[0] = 0xFF
+	h.Unfix(true)
+	if _, err := Open(st, addr); err == nil {
+		t.Fatal("opened a non-catalog page")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindESM.String() != "esm" || KindStarburst.String() != "starburst" || KindEOS.String() != "eos" {
+		t.Error("kind names wrong")
+	}
+	if Kind(0).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}

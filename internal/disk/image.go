@@ -1,0 +1,109 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lobstore/internal/sim"
+)
+
+// Image format: a self-describing snapshot of a simulated disk.
+//
+//	magic(4) version(2) pad(2)
+//	pageSize(4) seekµs(8) transferµs(8)
+//	nareas(4)
+//	per area: npages(4) materialize(1) pad(3) dataLen(8) data…
+const (
+	imageMagic   = 0x4C4F4244 // "LOBD"
+	imageVersion = 1
+)
+
+// WriteImage serializes the disk — cost model, area layout and every
+// materialized byte — so the database can be reopened later with ReadImage.
+// Callers must flush any write-back caches (buffer pool, space-manager
+// directories) first or the image will miss their dirty state.
+func (d *Disk) WriteImage(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [28]byte
+	binary.LittleEndian.PutUint32(hdr[0:], imageMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], imageVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(d.model.PageSize))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(d.model.SeekTime))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(d.model.TransferPerKB))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(d.areas))); err != nil {
+		return err
+	}
+	for _, a := range d.areas {
+		var ah [16]byte
+		binary.LittleEndian.PutUint32(ah[0:], uint32(a.npages))
+		if a.materialize {
+			ah[4] = 1
+		}
+		binary.LittleEndian.PutUint64(ah[8:], uint64(len(a.data)))
+		if _, err := bw.Write(ah[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(a.data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadImage reconstructs a disk from an image produced by WriteImage. The
+// new disk charges I/O to clock, which starts a fresh timeline.
+func ReadImage(r io.Reader, clock *sim.Clock) (*Disk, error) {
+	br := bufio.NewReader(r)
+	var hdr [28]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("disk: reading image header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != imageMagic {
+		return nil, fmt.Errorf("disk: not a database image")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != imageVersion {
+		return nil, fmt.Errorf("disk: image version %d unsupported", v)
+	}
+	model := sim.CostModel{
+		PageSize:      int(binary.LittleEndian.Uint32(hdr[8:])),
+		SeekTime:      sim.Duration(binary.LittleEndian.Uint64(hdr[12:])),
+		TransferPerKB: sim.Duration(binary.LittleEndian.Uint64(hdr[20:])),
+	}
+	d, err := New(model, clock)
+	if err != nil {
+		return nil, err
+	}
+	var nareas uint32
+	if err := binary.Read(br, binary.LittleEndian, &nareas); err != nil {
+		return nil, err
+	}
+	if nareas > 255 {
+		return nil, fmt.Errorf("disk: image claims %d areas", nareas)
+	}
+	for i := uint32(0); i < nareas; i++ {
+		var ah [16]byte
+		if _, err := io.ReadFull(br, ah[:]); err != nil {
+			return nil, fmt.Errorf("disk: reading area %d header: %w", i, err)
+		}
+		npages := int(binary.LittleEndian.Uint32(ah[0:]))
+		materialize := ah[4] == 1
+		dataLen := int64(binary.LittleEndian.Uint64(ah[8:]))
+		if npages <= 0 || dataLen < 0 || dataLen > int64(npages)*int64(model.PageSize) {
+			return nil, fmt.Errorf("disk: area %d header inconsistent", i)
+		}
+		a := &area{npages: npages, materialize: materialize}
+		if dataLen > 0 {
+			a.data = make([]byte, dataLen)
+			if _, err := io.ReadFull(br, a.data); err != nil {
+				return nil, fmt.Errorf("disk: reading area %d data: %w", i, err)
+			}
+		}
+		d.areas = append(d.areas, a)
+	}
+	return d, nil
+}

@@ -1,0 +1,129 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+
+	"lobstore/internal/sim"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	d := newDisk(t)
+	a0, _ := d.AddArea(50)
+	a1, _ := d.AddArea(100)
+	ps := d.PageSize()
+	p0 := bytes.Repeat([]byte{0x11}, ps)
+	p1 := bytes.Repeat([]byte{0x22}, 3*ps)
+	if err := d.Write(Addr{Area: a0, Page: 5}, 1, p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(Addr{Area: a1, Page: 90}, 3, p1); err != nil {
+		t.Fatal(err)
+	}
+
+	var img bytes.Buffer
+	if err := d.WriteImage(&img); err != nil {
+		t.Fatal(err)
+	}
+	clock := sim.NewClock()
+	d2, err := ReadImage(bytes.NewReader(img.Bytes()), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Model() != d.Model() {
+		t.Fatalf("model changed: %+v vs %+v", d2.Model(), d.Model())
+	}
+	if n, _ := d2.AreaPages(a0); n != 50 {
+		t.Fatalf("area 0 has %d pages", n)
+	}
+	got := make([]byte, ps)
+	if err := d2.Read(Addr{Area: a0, Page: 5}, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p0) {
+		t.Fatal("area 0 data lost")
+	}
+	got3 := make([]byte, 3*ps)
+	if err := d2.Read(Addr{Area: a1, Page: 90}, 3, got3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got3, p1) {
+		t.Fatal("area 1 data lost")
+	}
+	// Unwritten regions still read zero.
+	if err := d2.Read(Addr{Area: a1, Page: 0}, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("unwritten page nonzero after image round trip")
+	}
+}
+
+func TestImageCostOnlyDisk(t *testing.T) {
+	d := newDisk(t, WithoutMaterialization())
+	a, _ := d.AddArea(10)
+	if err := d.Write(Addr{Area: a, Page: 0}, 1, make([]byte, d.PageSize())); err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := d.WriteImage(&img); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadImage(bytes.NewReader(img.Bytes()), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cost-only property survives the round trip.
+	if err := d2.Peek(Addr{Area: a, Page: 0}, 1, make([]byte, d.PageSize())); err == nil {
+		t.Fatal("cost-only area became materialized")
+	}
+}
+
+func TestReadImageRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		bytes.Repeat([]byte{0xFF}, 64), // bad magic
+	}
+	for _, c := range cases {
+		if _, err := ReadImage(bytes.NewReader(c), sim.NewClock()); err == nil {
+			t.Errorf("accepted garbage image of %d bytes", len(c))
+		}
+	}
+	// Truncated but valid prefix.
+	d := newDisk(t)
+	d.AddArea(10)
+	var img bytes.Buffer
+	if err := d.WriteImage(&img); err != nil {
+		t.Fatal(err)
+	}
+	trunc := img.Bytes()[:img.Len()-4]
+	if _, err := ReadImage(bytes.NewReader(trunc), sim.NewClock()); err == nil {
+		t.Error("accepted truncated image")
+	}
+}
+
+func TestFailAfterInjection(t *testing.T) {
+	d := newDisk(t)
+	a, _ := d.AddArea(10)
+	buf := make([]byte, d.PageSize())
+	d.FailAfter(2, errTest)
+	if err := d.Read(Addr{Area: a, Page: 0}, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(Addr{Area: a, Page: 0}, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(Addr{Area: a, Page: 0}, 1, buf); err == nil {
+		t.Fatal("third I/O did not fail")
+	}
+	if err := d.Write(Addr{Area: a, Page: 0}, 1, buf); err == nil {
+		t.Fatal("fault injection did not persist")
+	}
+	d.FailAfter(-1, nil)
+	if err := d.Read(Addr{Area: a, Page: 0}, 1, buf); err != nil {
+		t.Fatalf("disarmed injection still fails: %v", err)
+	}
+}
+
+var errTest = bytes.ErrTooLarge // any sentinel

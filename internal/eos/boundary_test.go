@@ -1,0 +1,76 @@
+package eos
+
+import (
+	"testing"
+)
+
+// TestSplitBoundaryMatrix drives inserts and deletes at every alignment
+// class of the split arithmetic: page-aligned cuts, cuts inside the first
+// and last page of a segment, cuts exactly at segment edges, and deletes
+// whose dead range covers zero, one, and many whole pages.
+func TestSplitBoundaryMatrix(t *testing.T) {
+	const P = 4096
+	offsets := []int64{
+		0,         // object start
+		1,         // just inside
+		P - 1,     // last byte of page 0
+		P,         // page boundary
+		P + 1,     // just after
+		3*P - 7,   // inside a later page
+		4 * P,     // segment boundary (1+2+... growth: seg0=1pg, seg1=2pg, seg2=4pg)
+		7 * P,     // another segment boundary
+		7*P + 123, // inside the 8-page segment
+		15*P - 1,  // last byte region
+	}
+	sizes := []int64{1, 7, P - 1, P, P + 1, 3 * P, 3*P + 5}
+
+	for _, tcase := range []string{"insert", "delete"} {
+		t.Run(tcase, func(t *testing.T) {
+			for _, off := range offsets {
+				for _, n := range sizes {
+					h, o, _ := harness(t, Config{Threshold: 4, MaxSegmentPages: 16}, off*31+n)
+					h.Append(int(15 * P))
+					if err := o.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if tcase == "insert" {
+						h.Insert(off, int(n))
+					} else {
+						if off+n > int64(len(h.Mirror)) {
+							continue
+						}
+						h.Delete(off, n)
+					}
+					h.FullCheck()
+				}
+			}
+		})
+	}
+}
+
+// TestDeleteExactlyOnePage frees whole pages without touching neighbours.
+func TestDeleteExactlyOnePage(t *testing.T) {
+	h, o, st := harness(t, Config{Threshold: 1, MaxSegmentPages: 16}, 99)
+	h.Append(12 * 4096)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	usedBefore := st.Leaf.UsedBlocks()
+	// Delete page 8 (inside the 8-page segment covering pages 7..14).
+	stats, err := st.MeasureOp(func() error {
+		h.Delete(8*4096, 4096)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.FullCheck()
+	if st.Leaf.UsedBlocks() != usedBefore-1 {
+		t.Fatalf("page-aligned delete freed %d pages, want 1", usedBefore-st.Leaf.UsedBlocks())
+	}
+	// A page-aligned whole-page delete inside a segment moves no data:
+	// only index writes happen.
+	if stats.PagesRead > 2 {
+		t.Fatalf("aligned one-page delete read %d pages", stats.PagesRead)
+	}
+}

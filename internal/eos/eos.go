@@ -1,0 +1,366 @@
+// Package eos implements the EOS large object mechanism (§2.3, [Bili92]):
+// a positional tree — with the same internal nodes as ESM — over
+// variable-size segments of physically adjacent pages.
+//
+// Segments contain no holes: every page is full except possibly the last.
+// Appends follow the Starburst doubling growth pattern and never reshuffle
+// existing bytes. Byte inserts and deletes split segments in place where
+// possible — the left part of a split stays put and only its unused tail
+// pages are returned to the buddy system — and the client-chosen segment
+// size threshold T constrains fragmentation: after an update it cannot be
+// the case that bytes are kept in two adjacent segments, one of which has
+// fewer than T pages, if they could be stored in one.
+package eos
+
+import (
+	"fmt"
+
+	"lobstore/internal/core"
+	"lobstore/internal/postree"
+	"lobstore/internal/store"
+)
+
+// Config selects the EOS per-object parameters.
+type Config struct {
+	// Threshold is the segment size threshold T in pages (paper: 1, 4,
+	// 16, 64). It is not a fixed leaf size nor a minimum: a one-and-a-
+	// half-page object occupies two pages whatever T is.
+	Threshold int
+	// MaxSegmentPages caps segment size. Zero selects the allocator's
+	// maximum.
+	MaxSegmentPages int
+}
+
+// Object is one EOS large object.
+type Object struct {
+	st  *store.Store
+	cfg Config
+
+	tree *postree.Tree
+	// rightPtr/rightAlloc track the growth-pattern over-allocation of the
+	// rightmost segment; every other segment occupies exactly
+	// ceil(bytes/pageSize) pages.
+	rightPtr   uint32
+	rightAlloc int
+	nextPages  int // next allocation size in the doubling pattern
+
+	dataPages int64 // running count of allocated data pages
+}
+
+var _ core.Object = (*Object)(nil)
+
+// New creates an empty EOS large object.
+func New(st *store.Store, cfg Config) (*Object, error) {
+	if cfg.MaxSegmentPages == 0 {
+		cfg.MaxSegmentPages = st.MaxSegmentPages()
+	}
+	if cfg.MaxSegmentPages < 1 || cfg.MaxSegmentPages > st.MaxSegmentPages() {
+		return nil, fmt.Errorf("eos: max segment %d pages outside [1,%d]",
+			cfg.MaxSegmentPages, st.MaxSegmentPages())
+	}
+	if cfg.Threshold < 1 || cfg.Threshold > cfg.MaxSegmentPages {
+		return nil, fmt.Errorf("eos: threshold %d pages outside [1,%d]",
+			cfg.Threshold, cfg.MaxSegmentPages)
+	}
+	t, err := postree.New(st)
+	if err != nil {
+		return nil, err
+	}
+	o := &Object{st: st, cfg: cfg, tree: t}
+	if err := o.writeAnnotation(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Size returns the object length in bytes.
+func (o *Object) Size() int64 { return o.tree.Size() }
+
+// Tree exposes the underlying positional tree for tests and inspection.
+func (o *Object) Tree() *postree.Tree { return o.tree }
+
+// pagesFor returns the pages needed to hold n densely packed bytes.
+func (o *Object) pagesFor(n int64) int {
+	ps := int64(o.st.PageSize())
+	return int((n + ps - 1) / ps)
+}
+
+// segPages returns the allocated page count behind a leaf entry.
+func (o *Object) segPages(e postree.Entry) int {
+	if e.Ptr == o.rightPtr && o.rightAlloc > 0 {
+		return o.rightAlloc
+	}
+	return o.pagesFor(e.Bytes)
+}
+
+// seg reconstructs the segment behind a leaf entry.
+func (o *Object) seg(e postree.Entry) store.Segment {
+	return o.st.LeafSegment(e.Ptr, o.segPages(e))
+}
+
+// allocSeg allocates a data segment and maintains the page counter.
+func (o *Object) allocSeg(pages int) (store.Segment, error) {
+	seg, err := o.st.AllocSegment(pages)
+	if err != nil {
+		return store.Segment{}, err
+	}
+	o.dataPages += int64(pages)
+	return seg, nil
+}
+
+func (o *Object) freeSeg(seg store.Segment) error {
+	o.dataPages -= int64(seg.Pages)
+	return o.st.FreeSegment(seg)
+}
+
+// trimSeg returns a segment's unused tail pages to the buddy system.
+func (o *Object) trimSeg(seg store.Segment, keep int) (store.Segment, error) {
+	trimmed, err := o.st.TrimSegment(seg, keep)
+	if err != nil {
+		return store.Segment{}, err
+	}
+	o.dataPages -= int64(seg.Pages) - int64(keep)
+	return trimmed, nil
+}
+
+// writeFresh writes data into a brand-new segment, one sequential I/O over
+// exactly the pages that hold data.
+func (o *Object) writeFresh(seg store.Segment, data []byte) error {
+	ps := o.st.PageSize()
+	npages := (len(data) + ps - 1) / ps
+	buf := o.st.Scratch(npages * ps)
+	copy(buf, data)
+	clear(buf[len(data):])
+	return o.st.WritePages(seg.Addr, npages, buf)
+}
+
+// readEntry fetches a byte range of a leaf segment.
+func (o *Object) readEntry(e postree.Entry, off, n int64) ([]byte, error) {
+	buf := make([]byte, n)
+	if err := o.st.ReadRange(o.seg(e), off, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Read fills dst with the bytes at [off, off+len(dst)).
+func (o *Object) Read(off int64, dst []byte) error {
+	if err := core.CheckRange(o.Size(), off, int64(len(dst))); err != nil {
+		return err
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	e, start, path, err := o.tree.Find(off)
+	if err != nil {
+		return err
+	}
+	pos := off
+	for len(dst) > 0 {
+		offIn := pos - start
+		take := e.Bytes - offIn
+		if take > int64(len(dst)) {
+			take = int64(len(dst))
+		}
+		if err := o.st.ReadRange(o.seg(e), offIn, dst[:take]); err != nil {
+			return err
+		}
+		dst = dst[take:]
+		pos += take
+		if len(dst) == 0 {
+			break
+		}
+		start += e.Bytes
+		var ok bool
+		e, path, ok, err = o.tree.NextLeaf(path)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("eos: ran out of segments at offset %d", pos)
+		}
+	}
+	return nil
+}
+
+// Append adds data at the end of the object: fill the free space of the
+// rightmost segment in place, then allocate new segments along the doubling
+// growth pattern. No existing byte ever moves (§4.2).
+func (o *Object) appendOp(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	rest := data
+	if o.Size() > 0 {
+		e, _, path, err := o.tree.Rightmost()
+		if err != nil {
+			return err
+		}
+		free := int64(o.segPages(e))*int64(o.st.PageSize()) - e.Bytes
+		if free > 0 {
+			take := free
+			if take > int64(len(rest)) {
+				take = int64(len(rest))
+			}
+			if err := o.st.WriteRange(o.seg(e), e.Bytes, rest[:take]); err != nil {
+				return err
+			}
+			if err := o.tree.UpdateLeaf(path, postree.Entry{Bytes: e.Bytes + take, Ptr: e.Ptr}); err != nil {
+				return err
+			}
+			rest = rest[take:]
+		}
+	}
+	for len(rest) > 0 {
+		pages := o.growthPages()
+		seg, err := o.allocSeg(pages)
+		if err != nil {
+			return err
+		}
+		take := int64(pages) * int64(o.st.PageSize())
+		if take > int64(len(rest)) {
+			take = int64(len(rest))
+		}
+		if err := o.writeFresh(seg, rest[:take]); err != nil {
+			return err
+		}
+		if err := o.tree.AppendLeaves([]postree.Entry{{Bytes: take, Ptr: uint32(seg.Addr.Page)}}); err != nil {
+			return err
+		}
+		o.rightPtr = uint32(seg.Addr.Page)
+		o.rightAlloc = pages
+		rest = rest[take:]
+		o.advancePattern(pages)
+	}
+	return o.tree.FlushOp()
+}
+
+func (o *Object) growthPages() int {
+	if o.tree.LeafCount() == 0 || o.nextPages == 0 {
+		return 1
+	}
+	return o.nextPages
+}
+
+func (o *Object) advancePattern(justAllocated int) {
+	next := justAllocated * 2
+	if next > o.cfg.MaxSegmentPages {
+		next = o.cfg.MaxSegmentPages
+	}
+	o.nextPages = next
+}
+
+// normalizeRight trims the growth-pattern over-allocation of the rightmost
+// segment so that every segment obeys pages == ceil(bytes/pageSize). Called
+// before structural updates; costs no I/O (the buddy directory is cached).
+func (o *Object) normalizeRight() error {
+	if o.rightAlloc == 0 || o.Size() == 0 {
+		o.rightPtr, o.rightAlloc = 0, 0
+		return nil
+	}
+	e, _, _, err := o.tree.Rightmost()
+	if err != nil {
+		return err
+	}
+	if e.Ptr != o.rightPtr {
+		o.rightPtr, o.rightAlloc = 0, 0
+		return nil
+	}
+	need := o.pagesFor(e.Bytes)
+	if o.rightAlloc > need {
+		if _, err := o.trimSeg(o.st.LeafSegment(e.Ptr, o.rightAlloc), need); err != nil {
+			return err
+		}
+	}
+	o.rightPtr, o.rightAlloc = 0, 0
+	return nil
+}
+
+// Close trims the rightmost segment's unused pages.
+func (o *Object) closeOp() error {
+	if err := o.normalizeRight(); err != nil {
+		return err
+	}
+	return o.tree.FlushOp()
+}
+
+// Utilization reports the disk footprint: only the last page of each
+// segment may have unused space, so larger segments mean better utilization
+// (§4.4.1).
+func (o *Object) Utilization() core.Utilization {
+	return core.Utilization{
+		ObjectBytes: o.Size(),
+		DataPages:   o.dataPages,
+		IndexPages:  int64(o.tree.IndexPages()),
+		PageSize:    o.st.PageSize(),
+	}
+}
+
+// Destroy releases every segment and index page.
+func (o *Object) destroyOp() error {
+	if err := o.normalizeRight(); err != nil {
+		return err
+	}
+	return o.tree.Destroy(func(e postree.Entry) error {
+		return o.freeSeg(o.st.LeafSegment(e.Ptr, o.pagesFor(e.Bytes)))
+	})
+}
+
+// SegmentSizes returns (pages, bytes) of each segment in object order.
+// Testing and inspection aid.
+func (o *Object) SegmentSizes() ([][2]int64, error) {
+	var out [][2]int64
+	err := o.tree.Walk(func(e postree.Entry) bool {
+		out = append(out, [2]int64{int64(o.segPages(e)), e.Bytes})
+		return true
+	})
+	return out, err
+}
+
+// CheckInvariants validates the tree plus the EOS segment rules: dense
+// packing (pages == ceil(bytes/pageSize), rightmost may over-allocate along
+// the growth pattern) and the bookkeeping counters.
+func (o *Object) CheckInvariants() error {
+	if err := o.tree.CheckInvariants(); err != nil {
+		return err
+	}
+	var pages int64
+	var last postree.Entry
+	err := o.tree.Walk(func(e postree.Entry) bool {
+		pages += int64(o.segPages(e))
+		last = e
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if pages != o.dataPages {
+		return fmt.Errorf("eos: data page counter %d, segments hold %d", o.dataPages, pages)
+	}
+	if o.rightAlloc > 0 && o.tree.LeafCount() > 0 && last.Ptr == o.rightPtr {
+		if o.rightAlloc < o.pagesFor(last.Bytes) {
+			return fmt.Errorf("eos: rightmost under-allocated: %d pages for %d bytes", o.rightAlloc, last.Bytes)
+		}
+	}
+	return nil
+}
+
+// Layout reports the object's physical structure: every variable-size
+// segment in byte order plus the index page count.
+func (o *Object) Layout() (core.Layout, error) {
+	l := core.Layout{
+		IndexPages:  o.tree.IndexPages(),
+		IndexLevels: o.tree.Height(),
+	}
+	err := o.tree.Walk(func(e postree.Entry) bool {
+		l.Segments = append(l.Segments, core.SegmentInfo{
+			StartPage: e.Ptr,
+			Pages:     o.segPages(e),
+			Bytes:     e.Bytes,
+		})
+		return true
+	})
+	return l, err
+}
+
+var _ core.Inspector = (*Object)(nil)

@@ -1,0 +1,37 @@
+package eos
+
+// Public mutating operations run inside a shadow epoch (§3.3): pages freed
+// during the operation — old segment fragments, trimmed tails, old index
+// page versions — are reclaimed only after the commit point (the in-place
+// root write at the end of the tree flush), so a crash mid-operation
+// leaves the previous object version fully intact and recoverable.
+
+// Append adds data at the end of the object.
+func (o *Object) Append(data []byte) error {
+	return o.st.RunOp(func() error { return o.appendOp(data) })
+}
+
+// Insert adds data before the byte at off.
+func (o *Object) Insert(off int64, data []byte) error {
+	return o.st.RunOp(func() error { return o.insertOp(off, data) })
+}
+
+// Delete removes the n bytes at [off, off+n).
+func (o *Object) Delete(off, n int64) error {
+	return o.st.RunOp(func() error { return o.deleteOp(off, n) })
+}
+
+// Replace overwrites the bytes at [off, off+len(data)).
+func (o *Object) Replace(off int64, data []byte) error {
+	return o.st.RunOp(func() error { return o.replaceOp(off, data) })
+}
+
+// Close trims the rightmost segment's unused pages.
+func (o *Object) Close() error {
+	return o.st.RunOp(o.closeOp)
+}
+
+// Destroy releases every segment and index page.
+func (o *Object) Destroy() error {
+	return o.st.RunOp(o.destroyOp)
+}

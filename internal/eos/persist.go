@@ -1,0 +1,87 @@
+package eos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lobstore/internal/core"
+	"lobstore/internal/disk"
+	"lobstore/internal/postree"
+	"lobstore/internal/store"
+)
+
+// Root-page annotation: kind(1)='O' pad(3) threshold(4) maxSegment(4).
+const annKindEOS = 'O'
+
+func (o *Object) writeAnnotation() error {
+	var ann [12]byte
+	ann[0] = annKindEOS
+	binary.LittleEndian.PutUint32(ann[4:], uint32(o.cfg.Threshold))
+	binary.LittleEndian.PutUint32(ann[8:], uint32(o.cfg.MaxSegmentPages))
+	return o.tree.SetAnnotation(ann[:])
+}
+
+// Root returns the address of the object's root page — the durable handle
+// an owner (catalog, record) stores to reopen the object later.
+func (o *Object) Root() disk.Addr { return o.tree.Root() }
+
+// Open reattaches to an EOS object previously created in this store (or in
+// a reopened database image). An object must have been Closed before its
+// database was saved, so the rightmost segment carries no growth-pattern
+// slack; the doubling pattern resumes from the last segment's size.
+func Open(st *store.Store, root disk.Addr) (*Object, error) {
+	t, err := postree.Open(st, root)
+	if err != nil {
+		return nil, err
+	}
+	ann, err := t.Annotation()
+	if err != nil {
+		return nil, err
+	}
+	if ann[0] != annKindEOS {
+		return nil, fmt.Errorf("eos: root %v belongs to manager %q", root, ann[0])
+	}
+	cfg := Config{
+		Threshold:       int(binary.LittleEndian.Uint32(ann[4:])),
+		MaxSegmentPages: int(binary.LittleEndian.Uint32(ann[8:])),
+	}
+	if cfg.Threshold < 1 || cfg.MaxSegmentPages < cfg.Threshold ||
+		cfg.MaxSegmentPages > st.MaxSegmentPages() {
+		return nil, fmt.Errorf("eos: reopened object has threshold %d / max segment %d",
+			cfg.Threshold, cfg.MaxSegmentPages)
+	}
+	o := &Object{st: st, cfg: cfg, tree: t}
+	// Rebuild the data page counter and the growth pattern state.
+	var lastBytes int64
+	err = t.Walk(func(e postree.Entry) bool {
+		o.dataPages += int64(o.pagesFor(e.Bytes))
+		lastBytes = e.Bytes
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if lastBytes > 0 {
+		o.advancePattern(o.pagesFor(lastBytes))
+	}
+	return o, nil
+}
+
+// MarkPages reports every page the object occupies — index pages plus each
+// segment's allocated extent — for shadow recovery.
+func (o *Object) MarkPages(mark func(addr disk.Addr, pages int) error) error {
+	if err := o.tree.MarkPages(mark); err != nil {
+		return err
+	}
+	var inner error
+	err := o.tree.Walk(func(e postree.Entry) bool {
+		inner = mark(o.seg(e).Addr, o.segPages(e))
+		return inner == nil
+	})
+	if err != nil {
+		return err
+	}
+	return inner
+}
+
+var _ core.PageMarker = (*Object)(nil)

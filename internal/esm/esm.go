@@ -1,0 +1,266 @@
+// Package esm implements the EXODUS Storage Manager large object structure
+// (§2.1, §3.4): a positional B⁺-tree whose leaves are fixed-size segments of
+// a client-chosen number of disk blocks.
+//
+// Both internal nodes and leaf segments are kept at least half full. Byte
+// inserts use the "improved" algorithm of [Care86] by default — when a leaf
+// overflows, the new bytes are first redistributed with one neighbour if
+// that avoids creating a new leaf — with the "basic" even-split algorithm
+// available for ablation.
+//
+// Updates that overwrite useful bytes of a leaf shadow the whole leaf:
+// a new segment of the same size is allocated, the modified content is
+// written there and the old segment is freed (§3.3). Appends are performed
+// in place, and only the blocks that actually contain data are ever written
+// (§3.4).
+package esm
+
+import (
+	"fmt"
+
+	"lobstore/internal/core"
+	"lobstore/internal/postree"
+	"lobstore/internal/store"
+)
+
+// Algorithm selects the byte-insert strategy of §3.4.
+type Algorithm int
+
+const (
+	// Improved redistributes overflowing bytes with a neighbour leaf when
+	// that avoids allocating a new leaf. This is the paper's default.
+	Improved Algorithm = iota
+	// Basic always splits an overflowing leaf into evenly filled new
+	// leaves, as in the basic algorithm of [Care86].
+	Basic
+)
+
+// Config selects the ESM per-object parameters.
+type Config struct {
+	// LeafPages is the fixed size, in disk blocks, of every leaf segment.
+	// The paper evaluates 1, 4, 16 and 64.
+	LeafPages int
+	// Insert selects the insert algorithm; the zero value is Improved.
+	Insert Algorithm
+	// WholeLeafIO makes entire leaf segments the unit of read I/O even
+	// when few pages are needed, reproducing the [Care86] simulation
+	// assumption that §4.5 argues against. Ablation knob.
+	WholeLeafIO bool
+	// NoShadow applies in-leaf updates in place instead of shadowing the
+	// whole segment, isolating the recovery cost of §3.3. Ablation knob.
+	NoShadow bool
+}
+
+// Object is one ESM large object.
+type Object struct {
+	st       *store.Store
+	tree     *postree.Tree
+	cfg      Config
+	leafCap  int64  // leaf capacity in bytes
+	wholeBuf []byte // staging buffer for the WholeLeafIO ablation
+}
+
+var _ core.Object = (*Object)(nil)
+
+// New creates an empty ESM large object.
+func New(st *store.Store, cfg Config) (*Object, error) {
+	if cfg.LeafPages <= 0 {
+		return nil, fmt.Errorf("esm: leaf size %d pages", cfg.LeafPages)
+	}
+	if cfg.LeafPages > st.MaxSegmentPages() {
+		return nil, fmt.Errorf("esm: leaf size %d exceeds maximum segment of %d pages",
+			cfg.LeafPages, st.MaxSegmentPages())
+	}
+	t, err := postree.New(st)
+	if err != nil {
+		return nil, err
+	}
+	o := &Object{
+		st:      st,
+		tree:    t,
+		cfg:     cfg,
+		leafCap: int64(cfg.LeafPages) * int64(st.PageSize()),
+	}
+	if err := o.writeAnnotation(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Size returns the object length in bytes.
+func (o *Object) Size() int64 { return o.tree.Size() }
+
+// Tree exposes the underlying positional tree for tests and inspection.
+func (o *Object) Tree() *postree.Tree { return o.tree }
+
+// seg reconstructs the fixed-size segment behind a leaf entry.
+func (o *Object) seg(e postree.Entry) store.Segment {
+	return o.st.LeafSegment(e.Ptr, o.cfg.LeafPages)
+}
+
+// readLeaf fetches all useful bytes of a leaf. Only the pages containing
+// data are transferred (unless WholeLeafIO is set).
+func (o *Object) readLeaf(e postree.Entry) ([]byte, error) {
+	buf := make([]byte, e.Bytes)
+	if err := o.readRange(e, 0, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readRange reads leaf bytes [off, off+len(dst)), honouring the
+// WholeLeafIO ablation (the whole fixed-size segment is transferred with
+// one I/O and the requested bytes copied out).
+func (o *Object) readRange(e postree.Entry, off int64, dst []byte) error {
+	if !o.cfg.WholeLeafIO {
+		return o.st.ReadRange(o.seg(e), off, dst)
+	}
+	if cap(o.wholeBuf) < int(o.leafCap) {
+		o.wholeBuf = make([]byte, o.leafCap)
+	}
+	buf := o.wholeBuf[:o.leafCap]
+	if err := o.st.ReadRange(o.seg(e), 0, buf); err != nil {
+		return err
+	}
+	copy(dst, buf[off:off+int64(len(dst))])
+	return nil
+}
+
+// allocLeaf allocates a fresh fixed-size leaf and writes data into it with
+// one I/O covering exactly the dirty blocks.
+func (o *Object) allocLeaf(data []byte) (postree.Entry, error) {
+	if int64(len(data)) > o.leafCap || len(data) == 0 {
+		return postree.Entry{}, fmt.Errorf("esm: leaf payload of %d bytes (capacity %d)", len(data), o.leafCap)
+	}
+	seg, err := o.st.AllocSegment(o.cfg.LeafPages)
+	if err != nil {
+		return postree.Entry{}, err
+	}
+	ps := o.st.PageSize()
+	npages := (len(data) + ps - 1) / ps
+	buf := o.st.Scratch(npages * ps)
+	copy(buf, data)
+	clear(buf[len(data):])
+	if err := o.st.WritePages(seg.Addr, npages, buf); err != nil {
+		return postree.Entry{}, err
+	}
+	return postree.Entry{Bytes: int64(len(data)), Ptr: uint32(seg.Addr.Page)}, nil
+}
+
+func (o *Object) freeLeaf(e postree.Entry) error {
+	return o.st.FreeSegment(o.seg(e))
+}
+
+// Read fills dst with the bytes at [off, off+len(dst)).
+func (o *Object) Read(off int64, dst []byte) error {
+	if err := core.CheckRange(o.Size(), off, int64(len(dst))); err != nil {
+		return err
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	e, start, path, err := o.tree.Find(off)
+	if err != nil {
+		return err
+	}
+	pos := off
+	for len(dst) > 0 {
+		offIn := pos - start
+		take := e.Bytes - offIn
+		if take > int64(len(dst)) {
+			take = int64(len(dst))
+		}
+		if err := o.readRange(e, offIn, dst[:take]); err != nil {
+			return err
+		}
+		dst = dst[take:]
+		pos += take
+		if len(dst) == 0 {
+			break
+		}
+		start += e.Bytes
+		var ok bool
+		e, path, ok, err = o.tree.NextLeaf(path)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("esm: ran out of leaves at offset %d", pos)
+		}
+	}
+	return nil
+}
+
+// Utilization reports the disk footprint (§4.4.1). Every leaf occupies its
+// full fixed size regardless of how many useful bytes it holds — the root
+// cause of ESM's utilization/leaf-size trade-off.
+func (o *Object) Utilization() core.Utilization {
+	return core.Utilization{
+		ObjectBytes: o.Size(),
+		DataPages:   int64(o.tree.LeafCount()) * int64(o.cfg.LeafPages),
+		IndexPages:  int64(o.tree.IndexPages()),
+		PageSize:    o.st.PageSize(),
+	}
+}
+
+// Close finalizes the object. ESM has nothing to trim; any pending index
+// updates are flushed.
+func (o *Object) Close() error { return o.tree.FlushOp() }
+
+// Destroy releases all leaf segments and index pages.
+func (o *Object) destroyOp() error {
+	return o.tree.Destroy(func(e postree.Entry) error { return o.freeLeaf(e) })
+}
+
+// LeafSizes returns the useful byte count of every leaf in object order.
+// Testing and inspection aid.
+func (o *Object) LeafSizes() ([]int64, error) {
+	var out []int64
+	err := o.tree.Walk(func(e postree.Entry) bool {
+		out = append(out, e.Bytes)
+		return true
+	})
+	return out, err
+}
+
+// CheckInvariants validates the tree structure plus the ESM-specific leaf
+// occupancy rule: every leaf holds at least half its capacity, except a
+// sole leaf, which may be smaller.
+func (o *Object) CheckInvariants() error {
+	if err := o.tree.CheckInvariants(); err != nil {
+		return err
+	}
+	sizes, err := o.LeafSizes()
+	if err != nil {
+		return err
+	}
+	for i, b := range sizes {
+		if b > o.leafCap {
+			return fmt.Errorf("esm: leaf %d holds %d bytes, capacity %d", i, b, o.leafCap)
+		}
+		if len(sizes) > 1 && 2*b < o.leafCap {
+			return fmt.Errorf("esm: leaf %d under half full: %d of %d", i, b, o.leafCap)
+		}
+	}
+	return nil
+}
+
+// Layout reports the object's physical structure: every fixed-size leaf
+// segment in byte order plus the index page count.
+func (o *Object) Layout() (core.Layout, error) {
+	l := core.Layout{
+		IndexPages:  o.tree.IndexPages(),
+		IndexLevels: o.tree.Height(),
+	}
+	err := o.tree.Walk(func(e postree.Entry) bool {
+		l.Segments = append(l.Segments, core.SegmentInfo{
+			StartPage: e.Ptr,
+			Pages:     o.cfg.LeafPages,
+			Bytes:     e.Bytes,
+		})
+		return true
+	})
+	return l, err
+}
+
+var _ core.Inspector = (*Object)(nil)

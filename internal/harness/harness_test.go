@@ -1,0 +1,260 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickRunner() *Runner {
+	return NewRunner(QuickConfig())
+}
+
+func TestTableWriteText(t *testing.T) {
+	tab := &Table{
+		ID:      "t",
+		Title:   "Example",
+		Note:    "a note",
+		Headers: []string{"col1", "column2"},
+	}
+	tab.AddRow("a", "1")
+	tab.AddRow("bbbb", "22")
+	var b bytes.Buffer
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"t — Example", "col1", "column2", "bbbb", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	var b bytes.Buffer
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int64]string{
+		100:       "100",
+		1024:      "1K",
+		10 << 10:  "10K",
+		1 << 20:   "1M",
+		10 << 20:  "10M",
+		3000:      "3000",
+		512 << 10: "512K",
+	}
+	for n, want := range cases {
+		if got := sizeLabel(n); got != want {
+			t.Errorf("sizeLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	if _, ok := Lookup("fig5"); !ok {
+		t.Error("fig5 not registered")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("bogus experiment found")
+	}
+	names := Names()
+	if len(names) != len(Experiments) {
+		t.Error("Names length mismatch")
+	}
+	sorted := SortedNames()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] > sorted[i] {
+			t.Error("SortedNames not sorted")
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tabs, err := quickRunner().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || len(tabs[0].Rows) < 5 {
+		t.Fatalf("unexpected table1 shape: %+v", tabs)
+	}
+}
+
+// TestTable2Quick verifies the 100-byte Starburst read costs exactly one
+// single-page I/O: 37 ms with the paper's parameters.
+func TestTable2Quick(t *testing.T) {
+	tabs, err := quickRunner().Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tabs[0].Rows[0]
+	ms, err := strconv.ParseFloat(row[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One single-page I/O is 37 ms; occasional quick-scale pool hits can
+	// only pull the average down slightly.
+	if ms < 30 || ms > 40 {
+		t.Fatalf("100-byte Starburst read = %v ms, want ≈37", ms)
+	}
+}
+
+// TestTable3Quick verifies the flat, object-size-proportional Starburst
+// update cost: for a 1 MB object ≈ 1/10 of the paper's 22.3 s.
+func TestTable3Quick(t *testing.T) {
+	tabs, err := quickRunner().Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var values []float64
+	for _, row := range tabs[0].Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			values = append(values, v)
+		}
+	}
+	for _, v := range values {
+		if v < 1.5 || v > 3.5 {
+			t.Fatalf("quick-scale Starburst update = %v s, want ≈2.2 (1/10 of 22.3)", v)
+		}
+	}
+	// Flat across operation sizes: max/min below 1.5x.
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max > 1.5*min {
+		t.Fatalf("Starburst update cost not flat: %v", values)
+	}
+}
+
+// TestFig7Quick verifies the headline utilization crossover at quick scale:
+// for 100K operations, small leaves beat large leaves.
+func TestFig7Quick(t *testing.T) {
+	r := quickRunner()
+	tabs, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("fig7 produced %d tables", len(tabs))
+	}
+	// Last row of fig7c: ESM-1 must beat ESM-64.
+	c := tabs[2]
+	last := c.Rows[len(c.Rows)-1]
+	u1, _ := strconv.ParseFloat(last[1], 64)
+	u64, _ := strconv.ParseFloat(last[4], 64)
+	if u1 <= u64 {
+		t.Fatalf("fig7c: ESM-1 utilization %v not above ESM-64 %v", u1, u64)
+	}
+}
+
+// TestFig8Quick verifies the EOS utilization ordering: larger thresholds
+// yield better utilization.
+func TestFig8Quick(t *testing.T) {
+	r := quickRunner()
+	tabs, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig8b (10K ops) last row: T=64 ≥ T=1.
+	b := tabs[1]
+	last := b.Rows[len(b.Rows)-1]
+	u1, _ := strconv.ParseFloat(last[1], 64)
+	u64, _ := strconv.ParseFloat(last[4], 64)
+	if u64 < u1 {
+		t.Fatalf("fig8b: EOS-64 utilization %v below EOS-1 %v", u64, u1)
+	}
+	if u64 < 95 {
+		t.Fatalf("fig8b: EOS-64 utilization %v, want ≥95", u64)
+	}
+}
+
+// TestFig9Fig10ReadOrdering verifies that larger segments read cheaper for
+// large reads in both tree managers.
+func TestFig9Fig10ReadOrdering(t *testing.T) {
+	r := quickRunner()
+	tabs9, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tabs9[2] // 100K reads
+	last := c.Rows[len(c.Rows)-1]
+	esm1, _ := strconv.ParseFloat(last[1], 64)
+	esm64, _ := strconv.ParseFloat(last[4], 64)
+	if esm1 <= esm64 {
+		t.Fatalf("fig9c: ESM-1 read %v not above ESM-64 %v", esm1, esm64)
+	}
+	tabs10, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = tabs10[2]
+	last = c.Rows[len(c.Rows)-1]
+	eos1, _ := strconv.ParseFloat(last[1], 64)
+	eos64, _ := strconv.ParseFloat(last[4], 64)
+	if eos1 <= eos64 {
+		t.Fatalf("fig10c: EOS-1 read %v not above EOS-64 %v", eos1, eos64)
+	}
+}
+
+// TestAblationWholeLeaf verifies the §4.5 claim: whole-leaf reads inflate
+// the cost of multi-block leaves.
+func TestAblationWholeLeaf(t *testing.T) {
+	tabs, err := quickRunner().AblationWholeLeaf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64-page leaves: whole-leaf I/O must cost strictly more.
+	row := tabs[0].Rows[3]
+	pageGranular, _ := strconv.ParseFloat(row[1], 64)
+	wholeLeaf, _ := strconv.ParseFloat(row[2], 64)
+	if wholeLeaf <= pageGranular {
+		t.Fatalf("64-page leaves: whole-leaf %v not above page-granular %v", wholeLeaf, pageGranular)
+	}
+}
+
+func TestAblationNoShadow(t *testing.T) {
+	tabs, err := quickRunner().AblationNoShadow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64-page leaves: shadowing must cost more than in-place updates.
+	row := tabs[0].Rows[3]
+	shadowed, _ := strconv.ParseFloat(row[1], 64)
+	inPlace, _ := strconv.ParseFloat(row[2], 64)
+	if shadowed <= inPlace {
+		t.Fatalf("64-page leaves: shadowed %v not above in-place %v", shadowed, inPlace)
+	}
+}
+
+func TestAblationPoolRun(t *testing.T) {
+	tabs, err := quickRunner().AblationPoolRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows
+	withRuns, _ := strconv.ParseFloat(rows[0][1], 64)
+	without, _ := strconv.ParseFloat(rows[1][1], 64)
+	if withRuns >= without {
+		t.Fatalf("multi-page pool runs (%v s) not faster than single-page (%v s)", withRuns, without)
+	}
+}

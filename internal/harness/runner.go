@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"lobstore"
+	"lobstore/internal/workload"
+)
+
+// Config scales the experiments. DefaultConfig reproduces the paper's
+// setup; QuickConfig shrinks everything for smoke runs.
+type Config struct {
+	// DB holds the simulated system parameters (paper Table 1).
+	DB lobstore.Config
+	// ObjectBytes is the object size under test (paper: 10 MB).
+	ObjectBytes int64
+	// MixOps is the length of each §4.4 random operation run.
+	MixOps int
+	// SampleEvery sets the mark spacing on the figure series (paper: the
+	// mark at 10,000 operations averages the previous 2,000).
+	SampleEvery int
+	// BuildChunk is the append size used when an experiment just needs an
+	// object (utilization and cost runs); Figures 5-6 sweep their own.
+	BuildChunk int
+	// StarburstUpdateOps and StarburstReadOps bound the (expensive)
+	// Starburst measurements for Tables 2-3.
+	StarburstUpdateOps int
+	StarburstReadOps   int
+	// Seed drives all workload randomness.
+	Seed int64
+}
+
+// DefaultConfig reproduces the paper's experimental scale.
+func DefaultConfig() Config {
+	return Config{
+		DB:                 lobstore.DefaultConfig(),
+		ObjectBytes:        10 << 20,
+		MixOps:             10_000,
+		SampleEvery:        2_000,
+		BuildChunk:         256 << 10,
+		StarburstUpdateOps: 20,
+		StarburstReadOps:   400,
+		Seed:               1,
+	}
+}
+
+// QuickConfig shrinks the experiments ~10x for smoke runs and tests.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.ObjectBytes = 1 << 20
+	c.MixOps = 1_000
+	c.SampleEvery = 200
+	c.StarburstUpdateOps = 6
+	c.StarburstReadOps = 60
+	return c
+}
+
+// Runner executes experiments, caching the expensive mix runs so that the
+// utilization, read-cost, insert-cost and delete-cost figures extracted
+// from the same run are computed once.
+type Runner struct {
+	Cfg Config
+	// Log, when non-nil, receives one progress line per run.
+	Log io.Writer
+
+	mixCache   map[string]*mixSeries
+	buildCache map[string]buildResult
+}
+
+// NewRunner creates a runner over cfg.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{
+		Cfg:        cfg,
+		mixCache:   make(map[string]*mixSeries),
+		buildCache: make(map[string]buildResult),
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// engineSpec names one storage configuration under test.
+type engineSpec struct {
+	name  string // column label, e.g. "ESM-4" or "Starburst"
+	kind  string // "esm", "starburst", "eos"
+	param int    // leaf pages (esm) or threshold (eos)
+}
+
+func (r *Runner) newObject(db *lobstore.DB, e engineSpec) (lobstore.Object, error) {
+	switch e.kind {
+	case "esm":
+		return db.NewESM(e.param)
+	case "eos":
+		return db.NewEOS(e.param)
+	case "starburst":
+		return db.NewStarburst(0)
+	default:
+		return nil, fmt.Errorf("harness: unknown engine %q", e.kind)
+	}
+}
+
+var (
+	esmSpecs = []engineSpec{
+		{"ESM-1", "esm", 1}, {"ESM-4", "esm", 4}, {"ESM-16", "esm", 16}, {"ESM-64", "esm", 64},
+	}
+	eosSpecs = []engineSpec{
+		{"EOS-1", "eos", 1}, {"EOS-4", "eos", 4}, {"EOS-16", "eos", 16}, {"EOS-64", "eos", 64},
+	}
+	starburstSpec = engineSpec{"Starburst", "starburst", 0}
+)
+
+// buildResult caches a Figure 5/6 cell: build an object with chunk-sized
+// appends, then scan it with chunk-sized reads.
+type buildResult struct {
+	buildSeconds float64
+	scanSeconds  float64
+}
+
+// buildAndScan runs one Figure 5/6 cell on a fresh database.
+func (r *Runner) buildAndScan(e engineSpec, chunk int) (buildResult, error) {
+	key := fmt.Sprintf("%s/%s/%d", e.kind, e.name, chunk)
+	if res, ok := r.buildCache[key]; ok {
+		return res, nil
+	}
+	db, err := lobstore.Open(r.Cfg.DB)
+	if err != nil {
+		return buildResult{}, err
+	}
+	obj, err := r.newObject(db, e)
+	if err != nil {
+		return buildResult{}, err
+	}
+	start := db.Now()
+	if err := workload.Build(obj, r.Cfg.ObjectBytes, chunk); err != nil {
+		return buildResult{}, fmt.Errorf("build %s chunk=%d: %w", e.name, chunk, err)
+	}
+	build := (db.Now() - start).Seconds()
+	start = db.Now()
+	if err := workload.Scan(obj, chunk); err != nil {
+		return buildResult{}, fmt.Errorf("scan %s chunk=%d: %w", e.name, chunk, err)
+	}
+	scan := (db.Now() - start).Seconds()
+	res := buildResult{buildSeconds: build, scanSeconds: scan}
+	r.buildCache[key] = res
+	r.logf("build+scan %-10s chunk=%-8s build=%7.1fs scan=%7.1fs",
+		e.name, sizeLabel(int64(chunk)), build, scan)
+	return res, nil
+}
+
+// mixSeries holds the sampled series of one §4.4 run: the source of the
+// Figure 7-12 data points.
+type mixSeries struct {
+	ops      []int     // operation count at each mark
+	util     []float64 // utilization ratio at the mark
+	readMs   []float64 // average read cost since the previous mark
+	insertMs []float64
+	deleteMs []float64
+}
+
+// runMix executes (and caches) one random-mix run: engine × mean op size.
+func (r *Runner) runMix(e engineSpec, meanOp int) (*mixSeries, error) {
+	key := fmt.Sprintf("%s/%d/%d", e.name, e.param, meanOp)
+	if s, ok := r.mixCache[key]; ok {
+		return s, nil
+	}
+	db, err := lobstore.Open(r.Cfg.DB)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := r.newObject(db, e)
+	if err != nil {
+		return nil, err
+	}
+	if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
+		return nil, err
+	}
+	mix := &workload.Mix{
+		Obj:        obj,
+		Rng:        rand.New(rand.NewSource(r.Cfg.Seed)),
+		MeanOpSize: meanOp,
+	}
+	s := &mixSeries{}
+	var sums [3]float64
+	var counts [3]int
+	for i := 1; i <= r.Cfg.MixOps; i++ {
+		before := db.Stats()
+		kind, err := mix.Step()
+		if err != nil {
+			return nil, fmt.Errorf("mix %s mean=%d op %d: %w", e.name, meanOp, i, err)
+		}
+		cost := db.Stats().Sub(before).Time.Seconds() * 1000
+		sums[kind] += cost
+		counts[kind]++
+		if i%r.Cfg.SampleEvery == 0 {
+			s.ops = append(s.ops, i)
+			s.util = append(s.util, obj.Utilization().Ratio())
+			s.readMs = append(s.readMs, avg(sums[workload.Read], counts[workload.Read]))
+			s.insertMs = append(s.insertMs, avg(sums[workload.Insert], counts[workload.Insert]))
+			s.deleteMs = append(s.deleteMs, avg(sums[workload.Delete], counts[workload.Delete]))
+			sums = [3]float64{}
+			counts = [3]int{}
+		}
+	}
+	r.mixCache[key] = s
+	last := len(s.ops) - 1
+	r.logf("mix %-6s mean=%-7s util=%5.1f%% read=%6.1fms ins=%8.1fms del=%8.1fms",
+		e.name, sizeLabel(int64(meanOp)), 100*s.util[last], s.readMs[last], s.insertMs[last], s.deleteMs[last])
+	return s, nil
+}
+
+func avg(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// meanOpSizes are the paper's operation sizes (§4.4).
+var meanOpSizes = []int{100, 10_000, 100_000}
+
+// appendSizesKB is the exact Figure 5 horizontal axis (footnote 2).
+var appendSizesKB = []int{3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32, 50, 64, 100, 128, 200, 256, 512}

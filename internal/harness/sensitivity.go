@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lobstore"
+	"lobstore/internal/workload"
+)
+
+// MixSensitivity validates the paper's footnote 4: "the results do not
+// depend on the mix rather on the operation size. A larger search
+// percentage will simply require more runs to stabilize the performance
+// curves." The experiment runs the utilization measurement under three
+// different read/insert/delete mixes and shows the steady state agrees.
+func (r *Runner) MixSensitivity() ([]*Table, error) {
+	mixes := []struct {
+		name              string
+		read, insert, del int
+	}{
+		{"40/30/30 (paper)", 40, 30, 30},
+		{"20/40/40", 20, 40, 40},
+		{"60/20/20", 60, 20, 20},
+	}
+	t := &Table{
+		ID:    "mixsense",
+		Title: "Steady-state results under different operation mixes (footnote 4)",
+		Note: "Paper: the results depend on the operation size, not the mix — a larger read share " +
+			"only slows convergence. Utilization and read cost must agree across rows.",
+		Headers: []string{"mix", "ESM-4 util (%)", "ESM-4 read (ms)", "EOS-4 util (%)", "EOS-4 read (ms)"},
+	}
+	for _, mix := range mixes {
+		row := []string{mix.name}
+		for _, spec := range []engineSpec{{"ESM-4", "esm", 4}, {"EOS-4", "eos", 4}} {
+			db, err := lobstore.Open(r.Cfg.DB)
+			if err != nil {
+				return nil, err
+			}
+			obj, err := r.newObject(db, spec)
+			if err != nil {
+				return nil, err
+			}
+			if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
+				return nil, err
+			}
+			m := &workload.Mix{
+				Obj:        obj,
+				Rng:        rand.New(rand.NewSource(r.Cfg.Seed)),
+				MeanOpSize: 10_000,
+				ReadPct:    mix.read,
+				InsertPct:  mix.insert,
+				DeletePct:  mix.del,
+			}
+			// Scale the run length so each mix performs a comparable number
+			// of updates (the structure-degrading operations).
+			steps := r.Cfg.MixOps * 60 / (mix.insert + mix.del)
+			var readSum float64
+			var readCount int
+			for i := 0; i < steps; i++ {
+				before := db.Stats()
+				kind, err := m.Step()
+				if err != nil {
+					return nil, fmt.Errorf("mixsense %s %s: %w", mix.name, spec.name, err)
+				}
+				if kind == workload.Read && i > steps/2 {
+					readSum += db.Stats().Sub(before).Time.Seconds() * 1000
+					readCount++
+				}
+			}
+			row = append(row, pct(obj.Utilization().Ratio()), millis(avg(readSum, readCount)))
+			r.logf("mixsense %s %s done", mix.name, spec.name)
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+// Hotspot runs the random mix with 90% of operations hitting the first 10%
+// of the object — an extension beyond the paper's uniform workload showing
+// how skew interacts with the structures (hot-region segments degrade
+// faster; EOS's threshold localizes the damage).
+func (r *Runner) Hotspot() ([]*Table, error) {
+	t := &Table{
+		ID:    "hotspot",
+		Title: "Uniform vs 90/10-skewed operations (extension; mean op 10K)",
+		Headers: []string{"workload", "ESM-4 util (%)", "ESM-4 read (ms)",
+			"EOS-16 util (%)", "EOS-16 read (ms)"},
+	}
+	for _, w := range []struct {
+		name    string
+		hotspot float64
+	}{
+		{"uniform", 0},
+		{"90% ops on first 10%", 0.9},
+	} {
+		row := []string{w.name}
+		for _, spec := range []engineSpec{{"ESM-4", "esm", 4}, {"EOS-16", "eos", 16}} {
+			db, err := lobstore.Open(r.Cfg.DB)
+			if err != nil {
+				return nil, err
+			}
+			obj, err := r.newObject(db, spec)
+			if err != nil {
+				return nil, err
+			}
+			if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
+				return nil, err
+			}
+			m := &workload.Mix{
+				Obj:        obj,
+				Rng:        rand.New(rand.NewSource(r.Cfg.Seed)),
+				MeanOpSize: 10_000,
+				Hotspot:    w.hotspot,
+			}
+			var readSum float64
+			var readCount int
+			for i := 0; i < r.Cfg.MixOps; i++ {
+				before := db.Stats()
+				kind, err := m.Step()
+				if err != nil {
+					return nil, fmt.Errorf("hotspot %s %s: %w", w.name, spec.name, err)
+				}
+				if kind == workload.Read && i > r.Cfg.MixOps/2 {
+					readSum += db.Stats().Sub(before).Time.Seconds() * 1000
+					readCount++
+				}
+			}
+			row = append(row, pct(obj.Utilization().Ratio()), millis(avg(readSum, readCount)))
+			r.logf("hotspot %s %s done", w.name, spec.name)
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}

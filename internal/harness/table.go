@@ -1,0 +1,105 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section (§4): object build time (Figure 5), sequential scan
+// time (Figure 6), storage utilization under random updates (Figures 7-8),
+// random read cost (Table 2, Figures 9-10), update cost (Table 3, Figures
+// 11-12), the delete-cost series mentioned in §4.4.3, object-size scaling,
+// and ablations of the design decisions discussed in §4.5.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one regenerated result: an aligned text table with a title that
+// names the paper artifact it corresponds to.
+type Table struct {
+	// ID identifies the experiment ("fig5", "table2", …).
+	ID string
+	// Title describes the table and names the paper figure or table.
+	Title string
+	// Note carries paper reference values or caveats.
+	Note string
+	// Headers labels the columns.
+	Headers []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteText renders the table as aligned monospace text.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (headers first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatting helpers shared by the experiments
+
+func seconds(d float64) string { return fmt.Sprintf("%.1f", d) }
+func millis(d float64) string  { return fmt.Sprintf("%.1f", d) }
+func pct(r float64) string     { return fmt.Sprintf("%.1f", 100*r) }
+
+// sizeLabel renders a byte count the way the paper labels its axes.
+func sizeLabel(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1024 && n%1024 == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lobstore"
+	"lobstore/internal/workload"
+)
+
+// Tuning regenerates the §4.6 threshold selection process as a concrete
+// sweep: for one operation-size profile it reports, per threshold, the
+// three quantities the paper says to trade off — storage utilization,
+// random read cost and update cost — so the selection rules can be read
+// directly off the table:
+//
+//   - "segments less than 4 blocks must be avoided": T=1 strictly worse on
+//     utilization and reads at the same update cost as T=4.
+//   - "for often-updated objects, the T value should be somewhat larger
+//     than the size of the search operations expected".
+//   - "for more static objects the larger the threshold the better".
+func (r *Runner) Tuning() ([]*Table, error) {
+	const mean = 10_000
+	t := &Table{
+		ID:    "tuning",
+		Title: "EOS threshold selection for a 10K-operation workload (§4.6)",
+		Note: "Reads ~2.5 pages: §4.6 suggests T somewhat above the search size. " +
+			"T=8 already buys Starburst-level reads; raising T further trades update cost for utilization.",
+		Headers: []string{"T (pages)", "utilization (%)", "read (ms)", "insert (ms)", "delete (ms)"},
+	}
+	for _, threshold := range []int{1, 2, 4, 8, 16, 32, 64} {
+		db, err := lobstore.Open(r.Cfg.DB)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := db.NewEOS(threshold)
+		if err != nil {
+			return nil, err
+		}
+		if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
+			return nil, err
+		}
+		mix := &workload.Mix{
+			Obj:        obj,
+			Rng:        rand.New(rand.NewSource(r.Cfg.Seed)),
+			MeanOpSize: mean,
+		}
+		var sums [3]float64
+		var counts [3]int
+		for i := 0; i < r.Cfg.MixOps/2; i++ {
+			before := db.Stats()
+			kind, err := mix.Step()
+			if err != nil {
+				return nil, err
+			}
+			cost := db.Stats().Sub(before).Time.Seconds() * 1000
+			// Average over the second half, once the structure settles.
+			if i >= r.Cfg.MixOps/4 {
+				sums[kind] += cost
+				counts[kind]++
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", threshold),
+			pct(obj.Utilization().Ratio()),
+			millis(avg(sums[workload.Read], counts[workload.Read])),
+			millis(avg(sums[workload.Insert], counts[workload.Insert])),
+			millis(avg(sums[workload.Delete], counts[workload.Delete])),
+		)
+		r.logf("tuning T=%d done", threshold)
+	}
+	return []*Table{t}, nil
+}

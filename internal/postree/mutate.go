@@ -1,0 +1,444 @@
+package postree
+
+import (
+	"fmt"
+
+	"lobstore/internal/disk"
+)
+
+func sumEntries(es []Entry) int64 {
+	var s int64
+	for _, e := range es {
+		s += e.Bytes
+	}
+	return s
+}
+
+// metaAddr converts a child pointer stored in an interior node into the
+// address of the index page it names.
+func (t *Tree) metaAddr(ptr uint32) disk.Addr {
+	return disk.Addr{Area: t.root.Area, Page: disk.PageID(ptr)}
+}
+
+// ReplaceLeaf substitutes the data segment entry a path points at with zero
+// or more new entries, splitting or rebalancing index nodes as required and
+// updating all ancestor counts.
+func (t *Tree) ReplaceLeaf(path Path, entries []Entry) error {
+	old, err := t.EntryAt(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.Bytes <= 0 {
+			return fmt.Errorf("postree: leaf entry with %d bytes", e.Bytes)
+		}
+	}
+	if err := t.replaceAt(path, len(path)-1, entries); err != nil {
+		return err
+	}
+	t.size += sumEntries(entries) - old.Bytes
+	t.nLeaves += len(entries) - 1
+	return nil
+}
+
+// UpdateLeaf rewrites the entry at path in place — a pointer swing (leaf
+// shadowing) and/or a byte-count change with no structural effect. A byte
+// delta is propagated to every ancestor.
+func (t *Tree) UpdateLeaf(path Path, e Entry) error {
+	if e.Bytes <= 0 {
+		return fmt.Errorf("postree: leaf entry with %d bytes", e.Bytes)
+	}
+	depth := len(path) - 1
+	step := path[depth]
+	h, n, err := t.fix(step.Addr)
+	if err != nil {
+		return err
+	}
+	delta := e.Bytes - n.bytes(step.Idx)
+	n.setPtr(step.Idx, e.Ptr)
+	n.addToCounts(step.Idx, delta)
+	h.Unfix(true)
+	t.markPathDirty(path, depth)
+	if delta != 0 && depth > 0 {
+		if err := t.propagate(path, depth-1, delta); err != nil {
+			return err
+		}
+	}
+	t.size += delta
+	return nil
+}
+
+// AppendLeaves adds entries after the current last data segment.
+func (t *Tree) AppendLeaves(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	for _, e := range entries {
+		if e.Bytes <= 0 {
+			return fmt.Errorf("postree: leaf entry with %d bytes", e.Bytes)
+		}
+	}
+	if t.nLeaves == 0 {
+		// First entries go straight into the (level-0) root.
+		h, n, err := t.fix(t.root)
+		if err != nil {
+			return err
+		}
+		first := entries[0]
+		n.setEntries([]Entry{first})
+		h.Unfix(true)
+		t.rootDirty = true
+		t.size = first.Bytes
+		t.nLeaves = 1
+		entries = entries[1:]
+		if len(entries) == 0 {
+			return nil
+		}
+	}
+	_, _, path, err := t.Rightmost()
+	if err != nil {
+		return err
+	}
+	last, err := t.EntryAt(path)
+	if err != nil {
+		return err
+	}
+	all := append([]Entry{last}, entries...)
+	if err := t.replaceAt(path, len(path)-1, all); err != nil {
+		return err
+	}
+	t.size += sumEntries(entries)
+	t.nLeaves += len(entries)
+	return nil
+}
+
+// replaceAt substitutes the single pair at path[depth] with the given
+// entries, recursing toward the root when the node overflows.
+func (t *Tree) replaceAt(path Path, depth int, entries []Entry) error {
+	step := path[depth]
+	h, n, err := t.fix(step.Addr)
+	if err != nil {
+		return err
+	}
+	if step.Idx >= n.npairs() {
+		h.Unfix(false)
+		return fmt.Errorf("postree: stale path at depth %d: index %d of %d", depth, step.Idx, n.npairs())
+	}
+	oldBytes := n.bytes(step.Idx)
+	newSum := sumEntries(entries)
+
+	if n.npairs()-1+len(entries) <= t.capAt(depth) {
+		n.replacePairs(step.Idx, 1, entries)
+		if n.level() >= 1 {
+			t.reparent(entries, step.Addr)
+		}
+		np := n.npairs()
+		h.Unfix(true)
+		t.markPathDirty(path, depth)
+		if depth > 0 {
+			if delta := newSum - oldBytes; delta != 0 {
+				if err := t.propagate(path, depth-1, delta); err != nil {
+					return err
+				}
+			}
+			if np < t.minFill() {
+				return t.rebalance(path, depth)
+			}
+			return nil
+		}
+		return t.collapseRoot()
+	}
+
+	// Overflow: distribute the merged pair sequence over several nodes.
+	all := n.entries()
+	merged := make([]Entry, 0, len(all)-1+len(entries))
+	merged = append(merged, all[:step.Idx]...)
+	merged = append(merged, entries...)
+	merged = append(merged, all[step.Idx+1:]...)
+	level := n.level()
+
+	if depth == 0 {
+		// Root split: the root page never moves; its pairs migrate into
+		// fresh children and the root rises one level.
+		groups := splitGroups(merged, t.nodeCap)
+		rootEntries := make([]Entry, len(groups))
+		for gi, g := range groups {
+			addr, err := t.newNode(level, g)
+			if err != nil {
+				h.Unfix(true)
+				return err
+			}
+			rootEntries[gi] = Entry{Bytes: sumEntries(g), Ptr: uint32(addr.Page)}
+		}
+		n.setLevel(level + 1)
+		n.setEntries(rootEntries)
+		h.Unfix(true)
+		t.rootDirty = true
+		t.height++
+		return nil
+	}
+
+	// Interior split: this node keeps the first group, new right siblings
+	// take the rest, and the parent's single pair for this node becomes one
+	// pair per group.
+	groups := splitGroups(merged, t.nodeCap)
+	n.setEntries(groups[0])
+	if level >= 1 {
+		t.reparent(groups[0], step.Addr)
+	}
+	h.Unfix(true)
+	t.markPathDirty(path, depth)
+	parentEntries := make([]Entry, 1, len(groups))
+	parentEntries[0] = Entry{Bytes: sumEntries(groups[0]), Ptr: uint32(step.Addr.Page)}
+	for _, g := range groups[1:] {
+		addr, err := t.newNode(level, g)
+		if err != nil {
+			return err
+		}
+		parentEntries = append(parentEntries, Entry{Bytes: sumEntries(g), Ptr: uint32(addr.Page)})
+	}
+	return t.replaceAt(path, depth-1, parentEntries)
+}
+
+// splitGroups partitions entries into the minimum number of groups of at
+// most cap entries, sized as evenly as possible so every group meets the
+// half-full requirement.
+func splitGroups(es []Entry, cap int) [][]Entry {
+	m := (len(es) + cap - 1) / cap
+	if m == 0 {
+		m = 1
+	}
+	base := len(es) / m
+	rem := len(es) % m
+	groups := make([][]Entry, 0, m)
+	pos := 0
+	for g := 0; g < m; g++ {
+		sz := base
+		if g < rem {
+			sz++
+		}
+		groups = append(groups, es[pos:pos+sz])
+		pos += sz
+	}
+	return groups
+}
+
+// newNode allocates and fills a fresh interior page. The page is marked
+// dirty-new: it is flushed at end of operation without shadow relocation.
+func (t *Tree) newNode(level int, es []Entry) (disk.Addr, error) {
+	a, err := t.st.AllocMetaPage()
+	if err != nil {
+		return disk.Addr{}, err
+	}
+	h, err := t.st.Pool.FixNew(a)
+	if err != nil {
+		return disk.Addr{}, err
+	}
+	n := wrapNode(h.Data, false)
+	n.setLevel(level)
+	n.setEntries(es)
+	h.Unfix(true)
+	t.dirty[a] = &dirtyRec{level: level, isNew: true}
+	t.nIndexPages++
+	if level >= 1 {
+		t.reparent(es, a)
+	}
+	return a, nil
+}
+
+// reparent repoints the dirty records of the index pages named by es at
+// their new parent. Entries that are not dirty index pages are ignored.
+func (t *Tree) reparent(es []Entry, parent disk.Addr) {
+	for _, e := range es {
+		if rec, ok := t.dirty[t.metaAddr(e.Ptr)]; ok {
+			rec.parent = parent
+		}
+	}
+}
+
+// markPathDirty records path[0..depth] as modified this operation. Every
+// marked page is made sticky in the pool so buffer replacement can never
+// overwrite its on-disk pre-image before the end-of-operation flush.
+func (t *Tree) markPathDirty(path Path, depth int) {
+	for d := depth; d >= 0; d-- {
+		addr := path[d].Addr
+		_ = t.st.Pool.SetSticky(addr, true)
+		if addr == t.root {
+			t.rootDirty = true
+			continue
+		}
+		level := t.height - d
+		if rec, ok := t.dirty[addr]; ok {
+			rec.level = level
+			rec.parent = path[d-1].Addr
+		} else {
+			t.dirty[addr] = &dirtyRec{level: level, parent: path[d-1].Addr}
+		}
+	}
+}
+
+// propagate adds delta to the counts covering path's subtree in every node
+// from depth up to the root.
+func (t *Tree) propagate(path Path, depth int, delta int64) error {
+	for d := depth; d >= 0; d-- {
+		h, n, err := t.fix(path[d].Addr)
+		if err != nil {
+			return err
+		}
+		n.addToCounts(path[d].Idx, delta)
+		h.Unfix(true)
+	}
+	t.markPathDirty(path, depth)
+	return nil
+}
+
+// rebalance restores the half-full invariant of the node at path[depth] by
+// borrowing from or merging with an adjacent sibling.
+func (t *Tree) rebalance(path Path, depth int) error {
+	parentAddr := path[depth-1].Addr
+	hp, pn, err := t.fix(parentAddr)
+	if err != nil {
+		return err
+	}
+	if pn.npairs() < 2 {
+		// Only possible at the root; collapse handles it.
+		hp.Unfix(false)
+		if depth-1 == 0 {
+			return t.collapseRoot()
+		}
+		return fmt.Errorf("postree: interior node %v with %d pairs", parentAddr, pn.npairs())
+	}
+	j := path[depth-1].Idx
+	sj := j - 1
+	if j == 0 {
+		sj = 1
+	}
+	left, right := j, sj
+	if sj < j {
+		left, right = sj, j
+	}
+	leftAddr := t.metaAddr(pn.ptr(left))
+	rightAddr := t.metaAddr(pn.ptr(right))
+
+	hl, ln, err := t.fix(leftAddr)
+	if err != nil {
+		hp.Unfix(false)
+		return err
+	}
+	hr, rn, err := t.fix(rightAddr)
+	if err != nil {
+		hl.Unfix(false)
+		hp.Unfix(false)
+		return err
+	}
+	level := ln.level()
+	el := ln.entries()
+	er := rn.entries()
+
+	if len(el)+len(er) <= t.nodeCap {
+		// Merge right into left; the right page disappears.
+		all := append(el, er...)
+		ln.setEntries(all)
+		if level >= 1 {
+			t.reparent(er, leftAddr)
+		}
+		pn.replacePairs(left, 2, []Entry{{Bytes: sumEntries(all), Ptr: uint32(leftAddr.Page)}})
+		parentPairs := pn.npairs()
+		hr.Unfix(false)
+		hl.Unfix(true)
+		hp.Unfix(true)
+		delete(t.dirty, rightAddr)
+		if err := t.st.FreeMetaPage(rightAddr); err != nil {
+			return err
+		}
+		t.nIndexPages--
+		t.markLoneDirty(leftAddr, level, parentAddr)
+		t.markPathDirty(path, depth-1)
+		if depth-1 == 0 {
+			return t.collapseRoot()
+		}
+		if parentPairs < t.minFill() {
+			return t.rebalance(path, depth-1)
+		}
+		return nil
+	}
+
+	// Redistribute the combined pairs evenly across both nodes.
+	all := append(append([]Entry{}, el...), er...)
+	nl := len(all) / 2
+	ln.setEntries(all[:nl])
+	rn.setEntries(all[nl:])
+	if level >= 1 {
+		t.reparent(all[:nl], leftAddr)
+		t.reparent(all[nl:], rightAddr)
+	}
+	pn.replacePairs(left, 2, []Entry{
+		{Bytes: sumEntries(all[:nl]), Ptr: uint32(leftAddr.Page)},
+		{Bytes: sumEntries(all[nl:]), Ptr: uint32(rightAddr.Page)},
+	})
+	hr.Unfix(true)
+	hl.Unfix(true)
+	hp.Unfix(true)
+	t.markLoneDirty(leftAddr, level, parentAddr)
+	t.markLoneDirty(rightAddr, level, parentAddr)
+	t.markPathDirty(path, depth-1)
+	return nil
+}
+
+// markLoneDirty records a node not on the current path (a sibling touched
+// by rebalancing) as modified.
+func (t *Tree) markLoneDirty(addr disk.Addr, level int, parent disk.Addr) {
+	_ = t.st.Pool.SetSticky(addr, true)
+	if addr == t.root {
+		t.rootDirty = true
+		return
+	}
+	if rec, ok := t.dirty[addr]; ok {
+		rec.level = level
+		rec.parent = parent
+		return
+	}
+	t.dirty[addr] = &dirtyRec{level: level, parent: parent}
+}
+
+// collapseRoot shrinks the tree while the root has a single interior child
+// that fits in the root page.
+func (t *Tree) collapseRoot() error {
+	for {
+		h, n, err := t.fix(t.root)
+		if err != nil {
+			return err
+		}
+		if n.level() == 0 || n.npairs() != 1 {
+			h.Unfix(false)
+			return nil
+		}
+		childAddr := t.metaAddr(n.ptr(0))
+		hc, cn, err := t.fix(childAddr)
+		if err != nil {
+			h.Unfix(false)
+			return err
+		}
+		if cn.npairs() > t.rootCap {
+			hc.Unfix(false)
+			h.Unfix(false)
+			return nil
+		}
+		es := cn.entries()
+		childLevel := cn.level()
+		hc.Unfix(false)
+		n.setLevel(childLevel)
+		n.setEntries(es)
+		if childLevel >= 1 {
+			t.reparent(es, t.root)
+		}
+		h.Unfix(true)
+		t.rootDirty = true
+		delete(t.dirty, childAddr)
+		if err := t.st.FreeMetaPage(childAddr); err != nil {
+			return err
+		}
+		t.nIndexPages--
+		t.height--
+	}
+}

@@ -1,0 +1,506 @@
+package postree
+
+import (
+	"math/rand"
+	"testing"
+
+	"lobstore/internal/store"
+)
+
+// newTestStore opens a store with small pages so splits and merges happen
+// with few entries (512-byte pages: root cap 59, interior cap 63).
+func newTestStore(t *testing.T) *store.Store {
+	t.Helper()
+	p := store.DefaultParams()
+	p.Model.PageSize = 512
+	p.LeafAreaPages = 1 << 16
+	p.MetaAreaPages = 1 << 16
+	p.MaxOrder = 8
+	st, err := store.Open(p)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	return st
+}
+
+// mirror is the reference model: the expected in-order entry sequence.
+type mirror []Entry
+
+func (m mirror) size() int64 {
+	var s int64
+	for _, e := range m {
+		s += e.Bytes
+	}
+	return s
+}
+
+// offsetOf returns the object offset of the first byte of entry k.
+func (m mirror) offsetOf(k int) int64 {
+	var s int64
+	for i := 0; i < k; i++ {
+		s += m[i].Bytes
+	}
+	return s
+}
+
+func checkAgainstMirror(t *testing.T, tr *Tree, m mirror) {
+	t.Helper()
+	if got, want := tr.Size(), m.size(); got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+	if got, want := tr.LeafCount(), len(m); got != want {
+		t.Fatalf("leaf count = %d, want %d", got, want)
+	}
+	var got []Entry
+	if err := tr.Walk(func(e Entry) bool { got = append(got, e); return true }); err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	if len(got) != len(m) {
+		t.Fatalf("walk yielded %d entries, want %d", len(got), len(m))
+	}
+	for i := range m {
+		if got[i] != m[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], m[i])
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if n := tr.DirtyIndexPages(); n != 0 {
+		t.Fatalf("dirty pages leaked after flush: %d", n)
+	}
+}
+
+func mustFlush(t *testing.T, tr *Tree) {
+	t.Helper()
+	if err := tr.FlushOp(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFlush(t, tr)
+	if tr.Size() != 0 || tr.Height() != 0 || tr.IndexPages() != 1 {
+		t.Fatalf("fresh tree: size=%d height=%d pages=%d", tr.Size(), tr.Height(), tr.IndexPages())
+	}
+	if _, _, _, err := tr.Find(0); err != ErrEmpty {
+		t.Fatalf("Find on empty = %v, want ErrEmpty", err)
+	}
+	if _, _, _, err := tr.Rightmost(); err != ErrEmpty {
+		t.Fatalf("Rightmost on empty = %v, want ErrEmpty", err)
+	}
+}
+
+func TestAppendGrowsThroughSplits(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m mirror
+	for i := 0; i < 500; i++ {
+		e := Entry{Bytes: int64(100 + i%7), Ptr: uint32(i + 1)}
+		if err := tr.AppendLeaves([]Entry{e}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		mustFlush(t, tr)
+		m = append(m, e)
+	}
+	checkAgainstMirror(t, tr, m)
+	if tr.Height() < 1 {
+		t.Fatalf("expected splits to raise the tree, height=%d", tr.Height())
+	}
+}
+
+func TestAppendBatch(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m mirror
+	batch := make([]Entry, 200)
+	for i := range batch {
+		batch[i] = Entry{Bytes: int64(50 + i), Ptr: uint32(i + 1)}
+	}
+	if err := tr.AppendLeaves(batch); err != nil {
+		t.Fatal(err)
+	}
+	mustFlush(t, tr)
+	m = append(m, batch...)
+	checkAgainstMirror(t, tr, m)
+}
+
+func TestFindLocatesEveryByteRange(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m mirror
+	for i := 0; i < 300; i++ {
+		e := Entry{Bytes: int64(10 + i%13), Ptr: uint32(i + 1)}
+		if err := tr.AppendLeaves([]Entry{e}); err != nil {
+			t.Fatal(err)
+		}
+		m = append(m, e)
+	}
+	mustFlush(t, tr)
+	for k := 0; k < len(m); k += 17 {
+		start := m.offsetOf(k)
+		for _, off := range []int64{start, start + m[k].Bytes - 1} {
+			e, gotStart, path, err := tr.Find(off)
+			if err != nil {
+				t.Fatalf("find %d: %v", off, err)
+			}
+			if e != m[k] {
+				t.Fatalf("find %d: entry %+v, want %+v", off, e, m[k])
+			}
+			if gotStart != start {
+				t.Fatalf("find %d: start %d, want %d", off, gotStart, start)
+			}
+			if got, err := tr.EntryAt(path); err != nil || got != m[k] {
+				t.Fatalf("EntryAt: %+v, %v", got, err)
+			}
+		}
+	}
+	if _, _, _, err := tr.Find(m.size()); err == nil {
+		t.Fatal("find past end succeeded")
+	}
+	if _, _, _, err := tr.Find(-1); err == nil {
+		t.Fatal("find at -1 succeeded")
+	}
+}
+
+func TestNextPrevLeafTraversal(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m mirror
+	for i := 0; i < 250; i++ {
+		e := Entry{Bytes: int64(20 + i%5), Ptr: uint32(i + 1)}
+		if err := tr.AppendLeaves([]Entry{e}); err != nil {
+			t.Fatal(err)
+		}
+		m = append(m, e)
+	}
+	mustFlush(t, tr)
+
+	// Forward from the first entry.
+	_, _, path, err := tr.Find(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m); i++ {
+		e, np, ok, err := tr.NextLeaf(path)
+		if err != nil || !ok {
+			t.Fatalf("next at %d: ok=%v err=%v", i, ok, err)
+		}
+		if e != m[i] {
+			t.Fatalf("next %d: %+v, want %+v", i, e, m[i])
+		}
+		path = np
+	}
+	if _, _, ok, _ := tr.NextLeaf(path); ok {
+		t.Fatal("NextLeaf past the end succeeded")
+	}
+
+	// Backward from the last entry.
+	_, _, path, err = tr.Rightmost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(m) - 2; i >= 0; i-- {
+		e, np, ok, err := tr.PrevLeaf(path)
+		if err != nil || !ok {
+			t.Fatalf("prev at %d: ok=%v err=%v", i, ok, err)
+		}
+		if e != m[i] {
+			t.Fatalf("prev %d: %+v, want %+v", i, e, m[i])
+		}
+		path = np
+	}
+	if _, _, ok, _ := tr.PrevLeaf(path); ok {
+		t.Fatal("PrevLeaf before the start succeeded")
+	}
+}
+
+func TestReplaceLeafVariants(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m mirror
+	for i := 0; i < 100; i++ {
+		e := Entry{Bytes: 64, Ptr: uint32(i + 1)}
+		if err := tr.AppendLeaves([]Entry{e}); err != nil {
+			t.Fatal(err)
+		}
+		m = append(m, e)
+	}
+	mustFlush(t, tr)
+
+	// Replace one entry with three.
+	k := 40
+	_, _, path, err := tr.Find(m.offsetOf(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := []Entry{{Bytes: 10, Ptr: 1000}, {Bytes: 20, Ptr: 1001}, {Bytes: 30, Ptr: 1002}}
+	if err := tr.ReplaceLeaf(path, repl); err != nil {
+		t.Fatal(err)
+	}
+	mustFlush(t, tr)
+	m = append(m[:k:k], append(append([]Entry{}, repl...), m[k+1:]...)...)
+	checkAgainstMirror(t, tr, m)
+
+	// Replace one entry with nothing (delete).
+	k = 10
+	_, _, path, err = tr.Find(m.offsetOf(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ReplaceLeaf(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	mustFlush(t, tr)
+	m = append(m[:k:k], m[k+1:]...)
+	checkAgainstMirror(t, tr, m)
+}
+
+func TestUpdateLeafInPlace(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m mirror
+	for i := 0; i < 150; i++ {
+		e := Entry{Bytes: 100, Ptr: uint32(i + 1)}
+		if err := tr.AppendLeaves([]Entry{e}); err != nil {
+			t.Fatal(err)
+		}
+		m = append(m, e)
+	}
+	mustFlush(t, tr)
+	for _, k := range []int{0, 75, 149} {
+		_, _, path, err := tr.Find(m.offsetOf(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ne := Entry{Bytes: m[k].Bytes + 37, Ptr: m[k].Ptr + 9000}
+		if err := tr.UpdateLeaf(path, ne); err != nil {
+			t.Fatal(err)
+		}
+		mustFlush(t, tr)
+		m[k] = ne
+	}
+	checkAgainstMirror(t, tr, m)
+}
+
+// TestRandomizedOps cross-checks a long random sequence of tree operations
+// against the in-memory mirror, validating structure after every step.
+func TestRandomizedOps(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var m mirror
+	nextPtr := uint32(1)
+
+	for step := 0; step < 1500; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4 || len(m) == 0: // append 1..3 entries
+			k := 1 + rng.Intn(3)
+			es := make([]Entry, k)
+			for i := range es {
+				es[i] = Entry{Bytes: int64(1 + rng.Intn(200)), Ptr: nextPtr}
+				nextPtr++
+			}
+			if err := tr.AppendLeaves(es); err != nil {
+				t.Fatalf("step %d append: %v", step, err)
+			}
+			m = append(m, es...)
+		case op < 7: // replace an entry with 0..3 entries
+			k := rng.Intn(len(m))
+			_, _, path, err := tr.Find(m.offsetOf(k))
+			if err != nil {
+				t.Fatalf("step %d find: %v", step, err)
+			}
+			n := rng.Intn(4)
+			es := make([]Entry, n)
+			for i := range es {
+				es[i] = Entry{Bytes: int64(1 + rng.Intn(200)), Ptr: nextPtr}
+				nextPtr++
+			}
+			if err := tr.ReplaceLeaf(path, es); err != nil {
+				t.Fatalf("step %d replace: %v", step, err)
+			}
+			m = append(m[:k:k], append(append([]Entry{}, es...), m[k+1:]...)...)
+		default: // in-place update
+			k := rng.Intn(len(m))
+			_, _, path, err := tr.Find(m.offsetOf(k))
+			if err != nil {
+				t.Fatalf("step %d find: %v", step, err)
+			}
+			ne := Entry{Bytes: int64(1 + rng.Intn(300)), Ptr: nextPtr}
+			nextPtr++
+			if err := tr.UpdateLeaf(path, ne); err != nil {
+				t.Fatalf("step %d update: %v", step, err)
+			}
+			m[k] = ne
+		}
+		mustFlush(t, tr)
+		if step%50 == 0 {
+			checkAgainstMirror(t, tr, m)
+		}
+	}
+	checkAgainstMirror(t, tr, m)
+}
+
+func TestShrinkToEmptyAndRegrow(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m mirror
+	for i := 0; i < 400; i++ {
+		e := Entry{Bytes: 77, Ptr: uint32(i + 1)}
+		if err := tr.AppendLeaves([]Entry{e}); err != nil {
+			t.Fatal(err)
+		}
+		mustFlush(t, tr) // FlushOp per operation, as the contract requires
+		m = append(m, e)
+	}
+	// Delete every entry, always the middle one.
+	for len(m) > 0 {
+		k := len(m) / 2
+		_, _, path, err := tr.Find(m.offsetOf(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.ReplaceLeaf(path, nil); err != nil {
+			t.Fatal(err)
+		}
+		mustFlush(t, tr)
+		m = append(m[:k:k], m[k+1:]...)
+	}
+	checkAgainstMirror(t, tr, m)
+	if tr.Height() != 0 || tr.IndexPages() != 1 {
+		t.Fatalf("after emptying: height=%d pages=%d", tr.Height(), tr.IndexPages())
+	}
+	// The tree must be reusable.
+	if err := tr.AppendLeaves([]Entry{{Bytes: 5, Ptr: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	mustFlush(t, tr)
+	checkAgainstMirror(t, tr, mirror{{Bytes: 5, Ptr: 99}})
+}
+
+func TestOpenRebuildsSummary(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m mirror
+	for i := 0; i < 300; i++ {
+		e := Entry{Bytes: int64(30 + i%11), Ptr: uint32(i + 1)}
+		if err := tr.AppendLeaves([]Entry{e}); err != nil {
+			t.Fatal(err)
+		}
+		m = append(m, e)
+	}
+	mustFlush(t, tr)
+	if err := st.Pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(st, tr.Root())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if tr2.Size() != tr.Size() || tr2.Height() != tr.Height() ||
+		tr2.LeafCount() != tr.LeafCount() || tr2.IndexPages() != tr.IndexPages() {
+		t.Fatalf("reopened summary mismatch: %d/%d %d/%d %d/%d %d/%d",
+			tr2.Size(), tr.Size(), tr2.Height(), tr.Height(),
+			tr2.LeafCount(), tr.LeafCount(), tr2.IndexPages(), tr.IndexPages())
+	}
+	checkAgainstMirror(t, tr2, m)
+}
+
+func TestDestroyReleasesEverything(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := tr.AppendLeaves([]Entry{{Bytes: 50, Ptr: uint32(i + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustFlush(t, tr)
+	if st.Meta.UsedBlocks() == 0 {
+		t.Fatal("expected meta pages in use")
+	}
+	var freed int
+	if err := tr.Destroy(func(e Entry) error { freed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if freed != 300 {
+		t.Fatalf("freeLeaf called %d times, want 300", freed)
+	}
+	if used := st.Meta.UsedBlocks(); used != 0 {
+		t.Fatalf("meta blocks still in use after destroy: %d", used)
+	}
+	if err := st.Meta.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootSplitAtHigherLevels(t *testing.T) {
+	st := newTestStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 512-byte pages: root cap 59, node cap 63. Appending >59*63 entries
+	// forces a height-2 tree.
+	n := 59*63 + 100
+	var size int64
+	for i := 0; i < n; i++ {
+		if err := tr.AppendLeaves([]Entry{{Bytes: 8, Ptr: uint32(i + 1)}}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		mustFlush(t, tr) // FlushOp per operation, as the contract requires
+		size += 8
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d, want >= 2", tr.Height())
+	}
+	if tr.Size() != size {
+		t.Fatalf("size = %d, want %d", tr.Size(), size)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check Find deep in the tree.
+	e, start, _, err := tr.Find(size / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bytes != 8 || start > size/2 || start+e.Bytes <= size/2 {
+		t.Fatalf("find mid: entry %+v start %d", e, start)
+	}
+}

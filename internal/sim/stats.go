@@ -1,0 +1,46 @@
+package sim
+
+import "fmt"
+
+// Stats counts disk activity. Every I/O call counts one seek (paper §4.1:
+// "We count a disk seek every time the disk is accessed to fetch or write a
+// segment on disk").
+type Stats struct {
+	ReadCalls    int64 // I/O calls that read pages
+	WriteCalls   int64 // I/O calls that wrote pages
+	PagesRead    int64 // total pages transferred by reads
+	PagesWritten int64 // total pages transferred by writes
+	Time         Duration
+}
+
+// Calls returns the total number of I/O calls (= seeks).
+func (s Stats) Calls() int64 { return s.ReadCalls + s.WriteCalls }
+
+// Pages returns the total number of pages transferred.
+func (s Stats) Pages() int64 { return s.PagesRead + s.PagesWritten }
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.ReadCalls += o.ReadCalls
+	s.WriteCalls += o.WriteCalls
+	s.PagesRead += o.PagesRead
+	s.PagesWritten += o.PagesWritten
+	s.Time += o.Time
+}
+
+// Sub returns the difference s − o, useful for per-operation deltas.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		ReadCalls:    s.ReadCalls - o.ReadCalls,
+		WriteCalls:   s.WriteCalls - o.WriteCalls,
+		PagesRead:    s.PagesRead - o.PagesRead,
+		PagesWritten: s.PagesWritten - o.PagesWritten,
+		Time:         s.Time - o.Time,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("ios=%d (r=%d w=%d) pages=%d (r=%d w=%d) time=%v",
+		s.Calls(), s.ReadCalls, s.WriteCalls,
+		s.Pages(), s.PagesRead, s.PagesWritten, s.Time)
+}

@@ -1,0 +1,37 @@
+package starburst
+
+// Public mutating operations run inside a shadow epoch (§3.3/§3.5): the old
+// segments read by a reorganisation are freed only after the new segment
+// set exists and the descriptor — the commit point — has been rewritten, so
+// a crash mid-operation leaves the previous field version fully intact and
+// recoverable.
+
+// Append adds data at the end of the field.
+func (o *Object) Append(data []byte) error {
+	return o.st.RunOp(func() error { return o.appendOp(data) })
+}
+
+// Insert adds data before the byte at off.
+func (o *Object) Insert(off int64, data []byte) error {
+	return o.st.RunOp(func() error { return o.insertOp(off, data) })
+}
+
+// Delete removes the n bytes at [off, off+n).
+func (o *Object) Delete(off, n int64) error {
+	return o.st.RunOp(func() error { return o.deleteOp(off, n) })
+}
+
+// Replace overwrites the bytes at [off, off+len(data)).
+func (o *Object) Replace(off int64, data []byte) error {
+	return o.st.RunOp(func() error { return o.replaceOp(off, data) })
+}
+
+// Close trims the unused blocks at the right end of the last segment.
+func (o *Object) Close() error {
+	return o.st.RunOp(o.closeOp)
+}
+
+// Destroy releases every segment and the descriptor page.
+func (o *Object) Destroy() error {
+	return o.st.RunOp(o.destroyOp)
+}

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lobstore/internal/buddy"
+	"lobstore/internal/buffer"
+	"lobstore/internal/disk"
+	"lobstore/internal/sim"
+)
+
+// Store image format: a small header with the store-level parameters,
+// followed by the disk image.
+//
+//	magic(4) version(2) pad(2) poolFrames(4) poolMaxRun(4) maxOrder(4)
+const (
+	storeImageMagic   = 0x4C4F4253 // "LOBS"
+	storeImageVersion = 1
+	storeImageHdrLen  = 20
+)
+
+// SaveImage persists the entire database: the buffer pool and the space
+// manager directories are flushed first, then the disk (with all data and
+// allocation state) is serialized. The resulting image reopens with
+// OpenImage.
+func (s *Store) SaveImage(w io.Writer) error {
+	if err := s.Pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := s.Meta.Flush(); err != nil {
+		return err
+	}
+	if err := s.Leaf.Flush(); err != nil {
+		return err
+	}
+	var hdr [storeImageHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], storeImageMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], storeImageVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.Pool.Frames()))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(s.Pool.MaxRun()))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(s.maxOrder))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	return s.Disk.WriteImage(w)
+}
+
+// OpenImage reopens a database saved with SaveImage. The simulated clock
+// starts a fresh timeline; allocation state is recovered from the buddy
+// space directories.
+func OpenImage(r io.Reader) (*Store, error) {
+	var hdr [storeImageHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: reading image header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != storeImageMagic {
+		return nil, fmt.Errorf("store: not a database image")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != storeImageVersion {
+		return nil, fmt.Errorf("store: image version %d unsupported", v)
+	}
+	clock := sim.NewClock()
+	d, err := disk.ReadImage(r, clock)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := buffer.New(d, buffer.Config{
+		Frames: int(binary.LittleEndian.Uint32(hdr[8:])),
+		MaxRun: int(binary.LittleEndian.Uint32(hdr[12:])),
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxOrder := uint(binary.LittleEndian.Uint32(hdr[16:]))
+	// Areas were created in a fixed order by Open: meta first, then leaf.
+	const metaArea, leafArea = disk.AreaID(0), disk.AreaID(1)
+	metaOrder := maxOrder
+	if metaOrder > 10 {
+		metaOrder = 10
+	}
+	meta, err := buddy.Open(d, metaArea, buddy.WithMaxOrder(metaOrder))
+	if err != nil {
+		return nil, fmt.Errorf("store: reopening meta allocator: %w", err)
+	}
+	leaf, err := buddy.Open(d, leafArea, buddy.WithMaxOrder(maxOrder))
+	if err != nil {
+		return nil, fmt.Errorf("store: reopening leaf allocator: %w", err)
+	}
+	return &Store{
+		Disk:     d,
+		Pool:     pool,
+		Clock:    clock,
+		Leaf:     leaf,
+		Meta:     meta,
+		leafArea: leafArea,
+		maxOrder: maxOrder,
+		pageSize: d.PageSize(),
+	}, nil
+}
+
+// MetaArea returns the metadata area id (index pages, roots, catalogs).
+func (s *Store) MetaArea() disk.AreaID { return disk.AreaID(0) }
+
+// LeafArea returns the data area id (large object bytes).
+func (s *Store) LeafArea() disk.AreaID { return s.leafArea }
+
+// CrashCopy returns a new Store over the same simulated disk with a cold
+// buffer pool and empty allocation state — the situation after a system
+// failure: everything the old instance held only in memory (dirty pool
+// pages, cached space directories, deferred frees) is gone. The caller
+// must rebuild allocation state with RebuildAllocators before allocating.
+func (s *Store) CrashCopy() (*Store, error) {
+	pool, err := buffer.New(s.Disk, buffer.Config{Frames: s.Pool.Frames(), MaxRun: s.Pool.MaxRun()})
+	if err != nil {
+		return nil, err
+	}
+	metaOrder := s.maxOrder
+	if metaOrder > 10 {
+		metaOrder = 10
+	}
+	meta, err := buddy.New(s.Disk, s.MetaArea(), buddy.WithMaxOrder(metaOrder))
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := buddy.New(s.Disk, s.leafArea, buddy.WithMaxOrder(s.maxOrder))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		Disk:     s.Disk,
+		Pool:     pool,
+		Clock:    s.Clock,
+		Leaf:     leaf,
+		Meta:     meta,
+		leafArea: s.leafArea,
+		maxOrder: s.maxOrder,
+		pageSize: s.pageSize,
+	}, nil
+}
+
+// RebuildAllocators installs allocation state recovered from reachability:
+// the union of the given page ranges is allocated, everything else is
+// free. This is the recovery step of shadow paging — stale on-disk space
+// directories are ignored and orphaned mid-operation allocations are
+// reclaimed implicitly.
+func (s *Store) RebuildAllocators(meta, leaf []buddy.Range) error {
+	metaOrder := s.maxOrder
+	if metaOrder > 10 {
+		metaOrder = 10
+	}
+	m, err := buddy.FromReachable(s.Disk, s.MetaArea(), meta, buddy.WithMaxOrder(metaOrder))
+	if err != nil {
+		return fmt.Errorf("store: rebuilding meta allocator: %w", err)
+	}
+	l, err := buddy.FromReachable(s.Disk, s.leafArea, leaf, buddy.WithMaxOrder(s.maxOrder))
+	if err != nil {
+		return fmt.Errorf("store: rebuilding leaf allocator: %w", err)
+	}
+	s.Meta, s.Leaf = m, l
+	return nil
+}

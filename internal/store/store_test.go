@@ -1,0 +1,320 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lobstore/internal/sim"
+)
+
+func testParams() Params {
+	p := DefaultParams()
+	p.LeafAreaPages = 1 << 14
+	p.MetaAreaPages = 1 << 12
+	p.MaxOrder = 8
+	return p
+}
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Open(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// fillSegment writes deterministic bytes into a fresh segment and returns
+// the expected contents.
+func fillSegment(t *testing.T, st *Store, npages int) (Segment, []byte) {
+	t.Helper()
+	seg, err := st.AllocSegment(npages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, npages*st.PageSize())
+	rand.New(rand.NewSource(int64(npages))).Read(data)
+	if err := st.WritePages(seg.Addr, npages, data); err != nil {
+		t.Fatal(err)
+	}
+	return seg, data
+}
+
+func TestReadRangeSmallRunThroughPool(t *testing.T) {
+	st := newStore(t)
+	seg, data := fillSegment(t, st, 8)
+	ps := st.PageSize()
+
+	// 2-page read, misaligned, fits in the pool: one 2-page I/O.
+	off := int64(ps/2 + 3)
+	dst := make([]byte, ps)
+	stats, err := st.MeasureOp(func() error { return st.ReadRange(seg, off, dst) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, data[off:off+int64(ps)]) {
+		t.Fatal("data mismatch")
+	}
+	if stats.ReadCalls != 1 || stats.PagesRead != 2 {
+		t.Fatalf("pooled 2-page read: %+v", stats)
+	}
+
+	// Same read again: pure pool hit.
+	stats, err = st.MeasureOp(func() error { return st.ReadRange(seg, off, dst) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Calls() != 0 {
+		t.Fatalf("cached read cost I/O: %+v", stats)
+	}
+}
+
+// TestReadRangeBypassAligned: a large aligned read moves directly between
+// disk and application space in one I/O call.
+func TestReadRangeBypassAligned(t *testing.T) {
+	st := newStore(t)
+	seg, data := fillSegment(t, st, 8)
+	ps := st.PageSize()
+	dst := make([]byte, 6*ps)
+	stats, err := st.MeasureOp(func() error { return st.ReadRange(seg, 0, dst) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, data[:6*ps]) {
+		t.Fatal("data mismatch")
+	}
+	if stats.ReadCalls != 1 || stats.PagesRead != 6 {
+		t.Fatalf("aligned bypass read: %+v, want 1 call, 6 pages", stats)
+	}
+}
+
+// TestReadRangeThreeStep reproduces §3.2's 3-step I/O: a byte range
+// mismatching block boundaries at both ends costs 3 calls — first and last
+// page via the pool, the interior directly.
+func TestReadRangeThreeStep(t *testing.T) {
+	st := newStore(t)
+	seg, data := fillSegment(t, st, 8)
+	ps := st.PageSize()
+	off := int64(100)
+	n := 6*ps - 200
+	dst := make([]byte, n)
+	stats, err := st.MeasureOp(func() error { return st.ReadRange(seg, off, dst) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, data[off:off+int64(n)]) {
+		t.Fatal("data mismatch")
+	}
+	if stats.ReadCalls != 3 {
+		t.Fatalf("3-step read made %d calls", stats.ReadCalls)
+	}
+	if stats.PagesRead != 6 {
+		t.Fatalf("3-step read moved %d pages, want 6", stats.PagesRead)
+	}
+	// Expected cost: 2 single-page I/Os + 1 four-page I/O = 37+37+49 ms.
+	if want := 123 * sim.Millisecond; stats.Time != want {
+		t.Fatalf("3-step cost %v, want %v", stats.Time, want)
+	}
+	// Boundary pages were placed in the pool.
+	if !st.Pool.Contains(seg.Addr) || !st.Pool.Contains(seg.Addr.Add(5)) {
+		t.Fatal("boundary pages not placed in the pool")
+	}
+	if st.Pool.Contains(seg.Addr.Add(2)) {
+		t.Fatal("interior pages of a bypass read were buffered")
+	}
+}
+
+// Mismatch on one side only: 2 I/O calls.
+func TestReadRangeTwoStep(t *testing.T) {
+	st := newStore(t)
+	seg, data := fillSegment(t, st, 8)
+	ps := st.PageSize()
+	n := 6*ps - 300
+	dst := make([]byte, n)
+	stats, err := st.MeasureOp(func() error { return st.ReadRange(seg, 0, dst) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, data[:n]) {
+		t.Fatal("data mismatch")
+	}
+	if stats.ReadCalls != 2 {
+		t.Fatalf("one-sided mismatch made %d calls, want 2", stats.ReadCalls)
+	}
+}
+
+func TestReadRangeRandomized(t *testing.T) {
+	st := newStore(t)
+	seg, data := fillSegment(t, st, 16)
+	rng := rand.New(rand.NewSource(99))
+	total := int64(len(data))
+	for i := 0; i < 300; i++ {
+		off := rng.Int63n(total)
+		n := 1 + rng.Int63n(total-off)
+		dst := make([]byte, n)
+		if err := st.ReadRange(seg, off, dst); err != nil {
+			t.Fatalf("read [%d,+%d): %v", off, n, err)
+		}
+		if !bytes.Equal(dst, data[off:off+n]) {
+			t.Fatalf("mismatch at [%d,+%d)", off, n)
+		}
+	}
+}
+
+func TestReadRangeBounds(t *testing.T) {
+	st := newStore(t)
+	seg, _ := fillSegment(t, st, 4)
+	dst := make([]byte, 10)
+	if err := st.ReadRange(seg, int64(4*st.PageSize())-5, dst); err == nil {
+		t.Error("read past segment end succeeded")
+	}
+	if err := st.ReadRange(seg, -1, dst); err == nil {
+		t.Error("negative offset read succeeded")
+	}
+	if err := st.ReadRange(seg, 0, nil); err != nil {
+		t.Errorf("empty read failed: %v", err)
+	}
+}
+
+func TestWriteRangeReadModifyWrite(t *testing.T) {
+	st := newStore(t)
+	seg, data := fillSegment(t, st, 8)
+	ps := st.PageSize()
+	// Overwrite a misaligned range; boundary pages must keep their bytes.
+	off := int64(ps + 123)
+	src := bytes.Repeat([]byte{0xCD}, 3*ps)
+	stats, err := st.MeasureOp(func() error { return st.WriteRange(seg, off, src) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data[off:], src)
+	got := make([]byte, len(data))
+	if err := st.ReadRange(seg, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("write range corrupted the segment")
+	}
+	// 2 boundary reads + 1 contiguous write of 4 pages.
+	if stats.WriteCalls != 1 || stats.PagesWritten != 4 {
+		t.Fatalf("write stats: %+v", stats)
+	}
+}
+
+func TestTrimSegment(t *testing.T) {
+	st := newStore(t)
+	seg, data := fillSegment(t, st, 8)
+	used := st.Leaf.UsedBlocks()
+	trimmed, err := st.TrimSegment(seg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.Pages != 3 || trimmed.Addr != seg.Addr {
+		t.Fatalf("trimmed = %v", trimmed)
+	}
+	if st.Leaf.UsedBlocks() != used-5 {
+		t.Fatalf("trim freed %d blocks, want 5", used-st.Leaf.UsedBlocks())
+	}
+	got := make([]byte, 3*st.PageSize())
+	if err := st.ReadRange(trimmed, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[:len(got)]) {
+		t.Fatal("trim corrupted the kept prefix")
+	}
+	// Trimming to the current size is a no-op.
+	same, err := st.TrimSegment(trimmed, 3)
+	if err != nil || same != trimmed {
+		t.Fatalf("no-op trim: %v, %v", same, err)
+	}
+	if _, err := st.TrimSegment(trimmed, 0); err == nil {
+		t.Error("trim to zero succeeded")
+	}
+	if _, err := st.TrimSegment(trimmed, 4); err == nil {
+		t.Error("trim growing the segment succeeded")
+	}
+}
+
+func TestFreeSegmentDropsBufferedPages(t *testing.T) {
+	st := newStore(t)
+	seg, _ := fillSegment(t, st, 2)
+	dst := make([]byte, 100)
+	if err := st.ReadRange(seg, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Pool.Contains(seg.Addr) {
+		t.Fatal("expected page in pool")
+	}
+	if err := st.FreeSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pool.Contains(seg.Addr) {
+		t.Fatal("freed segment page still resident")
+	}
+	if st.Leaf.UsedBlocks() != 0 {
+		t.Fatal("blocks still allocated")
+	}
+}
+
+func TestMetaPageLifecycle(t *testing.T) {
+	st := newStore(t)
+	a, err := st.AllocMetaPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := st.Pool.FixNew(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Data[0] = 1
+	h.Unfix(true)
+	if err := st.FreeMetaPage(a); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pool.Contains(a) {
+		t.Fatal("freed meta page still resident")
+	}
+	if st.Meta.UsedBlocks() != 0 {
+		t.Fatal("meta blocks leak")
+	}
+}
+
+func TestScratchReuse(t *testing.T) {
+	st := newStore(t)
+	b1 := st.Scratch(100)
+	if len(b1) != 100 {
+		t.Fatalf("scratch len %d", len(b1))
+	}
+	b2 := st.Scratch(50)
+	if len(b2) != 50 {
+		t.Fatalf("scratch len %d", len(b2))
+	}
+	b3 := st.Scratch(1 << 20)
+	if len(b3) != 1<<20 {
+		t.Fatalf("scratch len %d", len(b3))
+	}
+}
+
+// A direct read must observe bytes that are still sitting dirty in the
+// pool (flush-before-bypass).
+func TestDirectReadSeesDirtyPoolPages(t *testing.T) {
+	st := newStore(t)
+	seg, data := fillSegment(t, st, 8)
+	// Dirty page 2 via the pool.
+	h, err := st.Pool.FixPage(seg.Addr.Add(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Data[0] = 0xEA
+	h.Unfix(true)
+	data[2*st.PageSize()] = 0xEA
+	// A 6-page aligned read bypasses the pool but must see the new byte.
+	dst := make([]byte, 6*st.PageSize())
+	if err := st.ReadRange(seg, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, data[:len(dst)]) {
+		t.Fatal("bypass read missed dirty buffered data")
+	}
+}

@@ -1,0 +1,228 @@
+// Package workload implements the paper's experiment drivers (§4): object
+// builds by successive fixed-size appends, sequential scans in fixed-size
+// chunks, and the random operation mix of §4.4 — 40% reads, 30% inserts,
+// 30% deletes, operation sizes uniform ±50% about a mean, offsets uniform
+// over the object, and each delete sized like the immediately preceding
+// insert so the object size stays stable.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lobstore/internal/core"
+)
+
+// Filler deterministically generates payload bytes without allocation
+// pressure: a rolling counter pattern, reusing one buffer.
+type Filler struct {
+	buf  []byte
+	next byte
+}
+
+// Bytes returns a reusable buffer of n payload bytes. The buffer is only
+// valid until the next call.
+func (f *Filler) Bytes(n int) []byte {
+	if cap(f.buf) < n {
+		f.buf = make([]byte, n)
+	}
+	b := f.buf[:n]
+	for i := range b {
+		f.next++
+		b[i] = f.next
+	}
+	return b
+}
+
+// Build creates an object of target bytes by successive appends of chunk
+// bytes (§4.2). The final append is trimmed to hit the target exactly, and
+// Close is called to finalize the object (trimming growth-pattern slack).
+func Build(obj core.Object, target int64, chunk int) error {
+	if chunk <= 0 {
+		return fmt.Errorf("workload: chunk %d", chunk)
+	}
+	var f Filler
+	for obj.Size() < target {
+		n := int64(chunk)
+		if rest := target - obj.Size(); n > rest {
+			n = rest
+		}
+		if err := obj.Append(f.Bytes(int(n))); err != nil {
+			return err
+		}
+	}
+	return obj.Close()
+}
+
+// Scan reads the whole object sequentially in chunk-byte pieces (§4.3).
+func Scan(obj core.Object, chunk int) error {
+	if chunk <= 0 {
+		return fmt.Errorf("workload: chunk %d", chunk)
+	}
+	buf := make([]byte, chunk)
+	size := obj.Size()
+	for off := int64(0); off < size; off += int64(chunk) {
+		n := int64(chunk)
+		if off+n > size {
+			n = size - off
+		}
+		if err := obj.Read(off, buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Kind identifies one operation of the random mix.
+type Kind int
+
+const (
+	Read Kind = iota
+	Insert
+	Delete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Mix drives the §4.4 random operation mix against one object.
+type Mix struct {
+	// Obj is the object under test.
+	Obj core.Object
+	// Rng drives all randomness; use a fixed seed for reproducible runs.
+	Rng *rand.Rand
+	// MeanOpSize is the mean operation size in bytes (paper: 100, 10 K,
+	// 100 K). Actual sizes are uniform in [mean/2, 3*mean/2].
+	MeanOpSize int
+	// ReadPct, InsertPct and DeletePct give the operation mix in percent;
+	// zero values select the paper's 40/30/30.
+	ReadPct, InsertPct, DeletePct int
+	// Hotspot, when in (0,1], concentrates that fraction of operations on
+	// the first HotspotRegion fraction of the object — an extension beyond
+	// the paper's uniform offsets for studying skewed workloads. Zero
+	// selects uniform offsets.
+	Hotspot float64
+	// HotspotRegion is the fraction of the object the hot operations
+	// target; zero selects 0.1 (a 90/10-style skew when Hotspot is 0.9).
+	HotspotRegion float64
+
+	filler     Filler
+	readBuf    []byte
+	lastInsert int64
+}
+
+// normalize fills in the default mix.
+func (m *Mix) normalize() error {
+	if m.ReadPct == 0 && m.InsertPct == 0 && m.DeletePct == 0 {
+		m.ReadPct, m.InsertPct, m.DeletePct = 40, 30, 30
+	}
+	if m.ReadPct+m.InsertPct+m.DeletePct != 100 {
+		return fmt.Errorf("workload: mix %d/%d/%d does not sum to 100",
+			m.ReadPct, m.InsertPct, m.DeletePct)
+	}
+	if m.MeanOpSize <= 0 {
+		return fmt.Errorf("workload: mean operation size %d", m.MeanOpSize)
+	}
+	if m.Rng == nil {
+		return fmt.Errorf("workload: nil Rng")
+	}
+	return nil
+}
+
+// opSize samples uniformly from ±50% about the mean.
+func (m *Mix) opSize() int64 {
+	lo := m.MeanOpSize / 2
+	return int64(lo + m.Rng.Intn(m.MeanOpSize+1))
+}
+
+// offset samples an operation start in [0, max], uniform by default or
+// skewed toward the front of the object when Hotspot is set.
+func (m *Mix) offset(max int64) int64 {
+	if max <= 0 {
+		return 0
+	}
+	if m.Hotspot > 0 && m.Rng.Float64() < m.Hotspot {
+		region := m.HotspotRegion
+		if region <= 0 || region > 1 {
+			region = 0.1
+		}
+		hot := int64(float64(max) * region)
+		if hot <= 0 {
+			hot = 1
+		}
+		return m.Rng.Int63n(hot)
+	}
+	return m.Rng.Int63n(max + 1)
+}
+
+// Step performs one random operation and reports which kind ran.
+func (m *Mix) Step() (Kind, error) {
+	if err := m.normalize(); err != nil {
+		return 0, err
+	}
+	size := m.Obj.Size()
+	p := m.Rng.Intn(100)
+	switch {
+	case p < m.ReadPct:
+		n := m.opSize()
+		if n > size {
+			n = size
+		}
+		if n == 0 {
+			return Read, nil
+		}
+		off := m.offset(size - n)
+		if cap(m.readBuf) < int(n) {
+			m.readBuf = make([]byte, n)
+		}
+		return Read, m.Obj.Read(off, m.readBuf[:n])
+
+	case p < m.ReadPct+m.InsertPct:
+		n := m.opSize()
+		off := m.offset(size)
+		m.lastInsert = n
+		return Insert, m.Obj.Insert(off, m.filler.Bytes(int(n)))
+
+	default:
+		// The delete size matches the previous insert so the object size
+		// stays stable (§4.4).
+		n := m.lastInsert
+		if n == 0 {
+			n = m.opSize()
+		}
+		if n > size {
+			n = size
+		}
+		if n == 0 {
+			return Delete, nil
+		}
+		off := m.offset(size - n)
+		return Delete, m.Obj.Delete(off, n)
+	}
+}
+
+// Run executes steps operations, invoking after(step, kind) after each one
+// when non-nil.
+func (m *Mix) Run(steps int, after func(step int, kind Kind) error) error {
+	for i := 0; i < steps; i++ {
+		k, err := m.Step()
+		if err != nil {
+			return fmt.Errorf("workload: step %d (%v): %w", i, k, err)
+		}
+		if after != nil {
+			if err := after(i, k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

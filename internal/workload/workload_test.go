@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"lobstore/internal/eos"
+	"lobstore/internal/esm"
+	"lobstore/internal/lobtest"
+)
+
+func TestFillerDeterministicAndReused(t *testing.T) {
+	var f1, f2 Filler
+	a := append([]byte{}, f1.Bytes(10)...)
+	b := f2.Bytes(10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fillers with same state differ")
+		}
+	}
+	// Subsequent bytes continue the pattern rather than repeating it.
+	c := f1.Bytes(10)
+	if c[0] == a[0] {
+		t.Fatal("filler repeated itself")
+	}
+}
+
+func TestBuildReachesExactTarget(t *testing.T) {
+	st := lobtest.NewStore(t, lobtest.TestParams())
+	o, err := esm.New(st, esm.Config{LeafPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 1_000_000
+	if err := Build(o, target, 3072); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != target {
+		t.Fatalf("size %d, want %d", o.Size(), target)
+	}
+	if err := Build(o, target, 0); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+}
+
+func TestScanTouchesWholeObject(t *testing.T) {
+	st := lobtest.NewStore(t, lobtest.TestParams())
+	o, err := eos.New(st, eos.Config{Threshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Build(o, 500_000, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := Scan(o, 7000); err != nil {
+		t.Fatal(err)
+	}
+	if err := Scan(o, 0); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+}
+
+func TestMixKeepsSizeStable(t *testing.T) {
+	st := lobtest.NewStore(t, lobtest.TestParams())
+	o, err := eos.New(st, eos.Config{Threshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 2_000_000
+	if err := Build(o, target, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	m := &Mix{Obj: o, Rng: rand.New(rand.NewSource(1)), MeanOpSize: 10_000}
+	counts := map[Kind]int{}
+	err = m.Run(600, func(_ int, k Kind) error { counts[k]++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 40/30/30 mix with delete-follows-insert keeps the size within a
+	// few op sizes of the build target.
+	if drift := o.Size() - target; drift < -500_000 || drift > 500_000 {
+		t.Fatalf("object size drifted by %d bytes", drift)
+	}
+	for _, k := range []Kind{Read, Insert, Delete} {
+		if counts[k] < 100 {
+			t.Fatalf("%v ran only %d times of 600", k, counts[k])
+		}
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	st := lobtest.NewStore(t, lobtest.TestParams())
+	o, err := eos.New(st, eos.Config{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Mix{Obj: o, Rng: rand.New(rand.NewSource(1)), MeanOpSize: 0}
+	if _, err := m.Step(); err == nil {
+		t.Error("zero mean op size accepted")
+	}
+	m = &Mix{Obj: o, Rng: rand.New(rand.NewSource(1)), MeanOpSize: 100, ReadPct: 50, InsertPct: 20, DeletePct: 20}
+	if _, err := m.Step(); err == nil {
+		t.Error("mix not summing to 100 accepted")
+	}
+	m = &Mix{Obj: o, MeanOpSize: 100}
+	if _, err := m.Step(); err == nil {
+		t.Error("nil Rng accepted")
+	}
+}
+
+func TestMixOnEmptyObject(t *testing.T) {
+	st := lobtest.NewStore(t, lobtest.TestParams())
+	o, err := eos.New(st, eos.Config{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Mix{Obj: o, Rng: rand.New(rand.NewSource(2)), MeanOpSize: 1000}
+	// Reads and deletes on an empty object are no-ops; inserts grow it.
+	var maxSize int64
+	err = m.Run(50, func(int, Kind) error {
+		if s := o.Size(); s > maxSize {
+			maxSize = s
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSize == 0 {
+		t.Fatal("mix never grew the empty object")
+	}
+}
+
+func TestOpSizeRange(t *testing.T) {
+	m := &Mix{Rng: rand.New(rand.NewSource(3)), MeanOpSize: 1000}
+	for i := 0; i < 1000; i++ {
+		s := m.opSize()
+		if s < 500 || s > 1500 {
+			t.Fatalf("op size %d outside ±50%% of mean 1000", s)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Insert.String() != "insert" || Delete.String() != "delete" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind has empty string")
+	}
+}

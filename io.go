@@ -1,0 +1,111 @@
+package lobstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"lobstore/internal/core"
+)
+
+// Reader adapts a large object to io.Reader, io.Seeker and io.ReaderAt, so
+// objects plug into the standard library (io.Copy, bufio, image decoders…).
+// The paper's motivating sequential-scan access pattern (§1) is exactly
+// io.Copy(dst, lobstore.NewReader(obj)).
+type Reader struct {
+	obj Object
+	off int64
+}
+
+// NewReader returns a reader positioned at the start of obj.
+func NewReader(obj Object) *Reader { return &Reader{obj: obj} }
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	size := r.obj.Size()
+	if r.off >= size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if n > size-r.off {
+		n = size - r.off
+	}
+	if err := r.obj.Read(r.off, p[:n]); err != nil {
+		return 0, err
+	}
+	r.off += n
+	return int(n), nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	size := r.obj.Size()
+	if off < 0 {
+		return 0, fmt.Errorf("lobstore: negative offset %d", off)
+	}
+	if off >= size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	short := false
+	if n > size-off {
+		n, short = size-off, true
+	}
+	if err := r.obj.Read(off, p[:n]); err != nil {
+		return 0, err
+	}
+	if short {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// Seek implements io.Seeker.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = r.off
+	case io.SeekEnd:
+		base = r.obj.Size()
+	default:
+		return 0, fmt.Errorf("lobstore: bad seek whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, errors.New("lobstore: seek before start")
+	}
+	r.off = pos
+	return pos, nil
+}
+
+// Writer adapts a large object to io.Writer: every Write appends — the
+// expected way of creating large objects (§1: "smaller (but sizable)
+// chunks of bytes will be successively appended"). Close finalizes the
+// object, trimming growth-pattern slack.
+type Writer struct {
+	obj Object
+}
+
+// NewWriter returns an appending writer over obj.
+func NewWriter(obj Object) *Writer { return &Writer{obj: obj} }
+
+// Write implements io.Writer by appending p.
+func (w *Writer) Write(p []byte) (int, error) {
+	if err := w.obj.Append(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close implements io.Closer by finalizing the object.
+func (w *Writer) Close() error { return w.obj.Close() }
+
+var (
+	_ io.ReadSeeker  = (*Reader)(nil)
+	_ io.ReaderAt    = (*Reader)(nil)
+	_ io.WriteCloser = (*Writer)(nil)
+	_ core.Object    = Object(nil)
+)

@@ -1,0 +1,86 @@
+package lobstore_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"lobstore"
+)
+
+func TestReaderWriterAdapters(t *testing.T) {
+	db, err := lobstore.Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := db.NewEOS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("streaming bytes through io interfaces "), 3000) // ~114 KB
+
+	// Write through io.Copy in odd-sized chunks.
+	w := lobstore.NewWriter(obj)
+	if _, err := io.Copy(w, bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Size() != int64(len(payload)) {
+		t.Fatalf("size %d, want %d", obj.Size(), len(payload))
+	}
+
+	// Read everything back through io.ReadAll.
+	r := lobstore.NewReader(obj)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("io.Reader round trip mismatch")
+	}
+
+	// Seek + partial read.
+	if _, err := r.Seek(1000, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 500)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload[1000:1500]) {
+		t.Fatal("seek+read mismatch")
+	}
+	if pos, err := r.Seek(-100, io.SeekEnd); err != nil || pos != int64(len(payload))-100 {
+		t.Fatalf("seek end: pos=%d err=%v", pos, err)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil || len(rest) != 100 {
+		t.Fatalf("tail read: %d bytes, err=%v", len(rest), err)
+	}
+
+	// ReaderAt semantics, including the short-read EOF at the end.
+	ra := lobstore.NewReader(obj)
+	at := make([]byte, 200)
+	if n, err := ra.ReadAt(at, int64(len(payload))-50); n != 50 || err != io.EOF {
+		t.Fatalf("ReadAt near end: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(at[:50], payload[len(payload)-50:]) {
+		t.Fatal("ReadAt content mismatch")
+	}
+	if _, err := ra.ReadAt(at, int64(len(payload))); err != io.EOF {
+		t.Fatalf("ReadAt past end: %v", err)
+	}
+	if _, err := ra.ReadAt(at, -1); err == nil {
+		t.Fatal("negative ReadAt offset accepted")
+	}
+
+	// Seek validation.
+	if _, err := r.Seek(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+	if _, err := r.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("seek before start accepted")
+	}
+}

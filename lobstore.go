@@ -1,0 +1,281 @@
+// Package lobstore is a faithful reimplementation of the three database
+// storage structures for managing large objects compared in
+//
+//	A. Biliris, "The Performance of Three Database Storage Structures for
+//	Managing Large Objects", Proc. ACM SIGMOD 1992.
+//
+// It provides, over a simulated disk with the paper's cost model (seek +
+// transfer, buddy-system space allocation, a small buffer pool with hybrid
+// multi-block segment buffering, and segment-granularity shadowing):
+//
+//   - ESM — the EXODUS large object structure: a positional B⁺-tree over
+//     fixed-size multi-block leaf segments.
+//   - Starburst — the long field manager: doubling extents with a flat
+//     descriptor; reorganising inserts and deletes.
+//   - EOS — a positional tree over variable-size segments with a segment
+//     size threshold.
+//
+// All three implement the same Object interface. A DB is one simulated
+// database; its clock only advances when I/O happens, so measured times are
+// exactly reproducible.
+//
+//	db, _ := lobstore.Open(lobstore.DefaultConfig())
+//	obj, _ := db.NewEOS(16)           // threshold of 16 pages
+//	_ = obj.Append(make([]byte, 1<<20))
+//	fmt.Println(db.Now())             // simulated time spent
+package lobstore
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"lobstore/internal/buffer"
+	"lobstore/internal/catalog"
+	"lobstore/internal/core"
+	"lobstore/internal/eos"
+	"lobstore/internal/esm"
+	"lobstore/internal/sim"
+	"lobstore/internal/starburst"
+	"lobstore/internal/store"
+)
+
+// Object is one large object under any of the three managers. See the
+// paper's §1 for the operation set. Objects are not safe for concurrent
+// use; the simulation is single-threaded by design.
+type Object = core.Object
+
+// Utilization reports an object's disk footprint (§4.4.1).
+type Utilization = core.Utilization
+
+// Layout describes an object's physical structure: its data segments in
+// byte order plus index pages. Obtain one with Inspect.
+type Layout = core.Layout
+
+// SegmentInfo is one data segment of a Layout.
+type SegmentInfo = core.SegmentInfo
+
+// Inspect returns the physical layout of any object created by this
+// package.
+func Inspect(obj Object) (Layout, error) {
+	ins, ok := obj.(core.Inspector)
+	if !ok {
+		return Layout{}, fmt.Errorf("lobstore: object %T does not expose its layout", obj)
+	}
+	return ins.Layout()
+}
+
+// Config holds the simulated system parameters. DefaultConfig returns the
+// paper's Table 1 values.
+type Config struct {
+	// PageSize is the disk block size in bytes (paper: 4096).
+	PageSize int
+	// SeekTime is charged once per I/O call (paper: 33 ms).
+	SeekTime time.Duration
+	// TransferPerKB is the transfer time per kilobyte (paper: 1 ms).
+	TransferPerKB time.Duration
+	// BufferPages is the buffer pool size in pages (paper: 12).
+	BufferPages int
+	// MaxBufferedRun is the largest segment, in pages, read into the pool
+	// with one I/O (paper: 4).
+	MaxBufferedRun int
+	// LeafAreaPages sizes the database area for large object bytes.
+	LeafAreaPages int
+	// MetaAreaPages sizes the database area for index pages and roots.
+	MetaAreaPages int
+	// MaxSegmentPages is the largest allocatable segment; must be a power
+	// of two (paper: 8192 pages = 32 MB with 4 KB blocks).
+	MaxSegmentPages int
+	// Materialize stores every byte written so that reads return real
+	// data. Disable only for very large cost-only experiments.
+	Materialize bool
+}
+
+// DefaultConfig returns the paper's fixed system parameters with database
+// areas comfortable for 10 MB objects.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:        4096,
+		SeekTime:        33 * time.Millisecond,
+		TransferPerKB:   time.Millisecond,
+		BufferPages:     12,
+		MaxBufferedRun:  4,
+		LeafAreaPages:   64 << 10, // 256 MB
+		MetaAreaPages:   8 << 10,  // 32 MB
+		MaxSegmentPages: 8192,     // 32 MB segments
+		Materialize:     true,
+	}
+}
+
+// Stats summarizes disk activity.
+type Stats struct {
+	ReadCalls    int64
+	WriteCalls   int64
+	PagesRead    int64
+	PagesWritten int64
+	// Time is the simulated time the I/O took.
+	Time time.Duration
+}
+
+// Calls returns the total number of I/O calls, each costing one seek.
+func (s Stats) Calls() int64 { return s.ReadCalls + s.WriteCalls }
+
+// Pages returns the total pages transferred.
+func (s Stats) Pages() int64 { return s.PagesRead + s.PagesWritten }
+
+// Sub returns the component-wise difference s − o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		ReadCalls:    s.ReadCalls - o.ReadCalls,
+		WriteCalls:   s.WriteCalls - o.WriteCalls,
+		PagesRead:    s.PagesRead - o.PagesRead,
+		PagesWritten: s.PagesWritten - o.PagesWritten,
+		Time:         s.Time - o.Time,
+	}
+}
+
+func fromSim(st sim.Stats) Stats {
+	return Stats{
+		ReadCalls:    st.ReadCalls,
+		WriteCalls:   st.WriteCalls,
+		PagesRead:    st.PagesRead,
+		PagesWritten: st.PagesWritten,
+		Time:         st.Time.Std(),
+	}
+}
+
+// DB is one simulated database instance: a disk, its buffer pool, the
+// buddy-system space manager, an object catalog, and a clock that advances
+// only on I/O.
+type DB struct {
+	st  *store.Store
+	cfg Config
+	cat *catalog.Catalog
+}
+
+// Open creates a fresh simulated database.
+func Open(cfg Config) (*DB, error) {
+	if cfg.MaxSegmentPages < 1 || bits.OnesCount(uint(cfg.MaxSegmentPages)) != 1 {
+		return nil, fmt.Errorf("lobstore: MaxSegmentPages %d must be a power of two", cfg.MaxSegmentPages)
+	}
+	params := store.Params{
+		Model: sim.CostModel{
+			PageSize:      cfg.PageSize,
+			SeekTime:      sim.Duration(cfg.SeekTime.Microseconds()),
+			TransferPerKB: sim.Duration(cfg.TransferPerKB.Microseconds()),
+		},
+		Pool:          buffer.Config{Frames: cfg.BufferPages, MaxRun: cfg.MaxBufferedRun},
+		LeafAreaPages: cfg.LeafAreaPages,
+		MetaAreaPages: cfg.MetaAreaPages,
+		MaxOrder:      uint(bits.TrailingZeros(uint(cfg.MaxSegmentPages))),
+		Materialize:   cfg.Materialize,
+	}
+	st, err := store.Open(params)
+	if err != nil {
+		return nil, err
+	}
+	// The catalog claims the first metadata page so a saved image can be
+	// reopened without a bootstrap pointer.
+	cat, err := catalog.New(st)
+	if err != nil {
+		return nil, err
+	}
+	if cat.Root() != catalogAddr() {
+		return nil, fmt.Errorf("lobstore: catalog landed at %v, expected %v", cat.Root(), catalogAddr())
+	}
+	return &DB{st: st, cfg: cfg, cat: cat}, nil
+}
+
+// Config returns the configuration the database was opened with.
+func (db *DB) Config() Config { return db.cfg }
+
+// NewESM creates an ESM large object with the given fixed leaf size in
+// pages (the paper evaluates 1, 4, 16 and 64).
+func (db *DB) NewESM(leafPages int) (Object, error) {
+	return esm.New(db.st, esm.Config{LeafPages: leafPages})
+}
+
+// NewESMBasic creates an ESM object using the basic (even-split) insert
+// algorithm instead of the improved one — the paper's §3.4 ablation.
+func (db *DB) NewESMBasic(leafPages int) (Object, error) {
+	return esm.New(db.st, esm.Config{LeafPages: leafPages, Insert: esm.Basic})
+}
+
+// ESMOptions configures ablation variants of the ESM structure.
+type ESMOptions struct {
+	// LeafPages is the fixed leaf segment size in pages.
+	LeafPages int
+	// BasicInsert selects the basic even-split insert algorithm.
+	BasicInsert bool
+	// WholeLeafIO reads entire leaves even for partial byte ranges,
+	// reproducing the [Care86] simulation assumption (§4.5).
+	WholeLeafIO bool
+	// NoShadow applies in-leaf updates in place, removing the §3.3
+	// shadowing cost.
+	NoShadow bool
+}
+
+// NewESMOpts creates an ESM object with explicit ablation options.
+func (db *DB) NewESMOpts(o ESMOptions) (Object, error) {
+	cfg := esm.Config{LeafPages: o.LeafPages, WholeLeafIO: o.WholeLeafIO, NoShadow: o.NoShadow}
+	if o.BasicInsert {
+		cfg.Insert = esm.Basic
+	}
+	return esm.New(db.st, cfg)
+}
+
+// NewStarburst creates a Starburst long field. maxSegmentPages caps the
+// doubling growth pattern (0 selects the allocator maximum).
+func (db *DB) NewStarburst(maxSegmentPages int) (Object, error) {
+	return starburst.New(db.st, starburst.Config{MaxSegmentPages: maxSegmentPages})
+}
+
+// NewStarburstKnownSize creates a Starburst long field whose eventual size
+// is declared up front, so maximal segments are used from the start (§2.2).
+func (db *DB) NewStarburstKnownSize(maxSegmentPages int, knownSize int64) (Object, error) {
+	return starburst.New(db.st, starburst.Config{
+		MaxSegmentPages: maxSegmentPages,
+		KnownSize:       knownSize,
+	})
+}
+
+// NewEOS creates an EOS large object with the given segment size threshold
+// in pages (the paper evaluates 1, 4, 16 and 64).
+func (db *DB) NewEOS(threshold int) (Object, error) {
+	return eos.New(db.st, eos.Config{Threshold: threshold})
+}
+
+// NewEOSMaxSeg creates an EOS object with an explicit maximum segment size.
+func (db *DB) NewEOSMaxSeg(threshold, maxSegmentPages int) (Object, error) {
+	return eos.New(db.st, eos.Config{Threshold: threshold, MaxSegmentPages: maxSegmentPages})
+}
+
+// Now returns the simulated time spent on I/O so far.
+func (db *DB) Now() time.Duration { return db.st.Clock.Now().Std() }
+
+// Stats returns cumulative disk activity.
+func (db *DB) Stats() Stats { return fromSim(db.st.Disk.Stats()) }
+
+// Measure runs f and returns the disk activity it caused.
+func (db *DB) Measure(f func() error) (Stats, error) {
+	st, err := db.st.MeasureOp(f)
+	return fromSim(st), err
+}
+
+// PoolHitRate returns buffer pool hits and misses so far.
+func (db *DB) PoolHitRate() (hits, misses int64) { return db.st.Pool.HitRate() }
+
+// SpaceInUse reports the allocated page counts of the data and metadata
+// areas.
+func (db *DB) SpaceInUse() (dataPages, metaPages int64) {
+	return db.st.Leaf.UsedBlocks(), db.st.Meta.UsedBlocks()
+}
+
+// InjectIOFailure arms disk fault injection: the next calls I/O operations
+// succeed, after which every operation fails with err until re-armed
+// (calls < 0 disables injection). Use together with Crash to test recovery
+// behaviour.
+func (db *DB) InjectIOFailure(calls int64, err error) { db.st.Disk.FailAfter(calls, err) }
+
+// PageSize returns the disk block size.
+func (db *DB) PageSize() int { return db.cfg.PageSize }

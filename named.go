@@ -1,0 +1,185 @@
+package lobstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"lobstore/internal/catalog"
+	"lobstore/internal/disk"
+	"lobstore/internal/eos"
+	"lobstore/internal/esm"
+	"lobstore/internal/starburst"
+	"lobstore/internal/store"
+)
+
+// ObjectSpec describes a named object's storage structure and parameters.
+type ObjectSpec struct {
+	// Engine selects the storage structure: "esm", "starburst" or "eos".
+	Engine string
+	// LeafPages is the ESM fixed leaf size (ignored otherwise).
+	LeafPages int
+	// Threshold is the EOS segment size threshold (ignored otherwise).
+	Threshold int
+	// MaxSegmentPages caps segment growth for Starburst and EOS; zero
+	// selects the allocator maximum.
+	MaxSegmentPages int
+}
+
+// ObjectInfo summarizes one cataloged object.
+type ObjectInfo struct {
+	Name   string
+	Engine string
+}
+
+// Create makes a new named large object. Named objects are registered in
+// the database catalog and survive SaveImage/OpenImage.
+func (db *DB) Create(name string, spec ObjectSpec) (Object, error) {
+	var (
+		obj  Object
+		kind catalog.Kind
+		root disk.Addr
+		err  error
+	)
+	switch spec.Engine {
+	case "esm":
+		var o *esm.Object
+		o, err = esm.New(db.st, esm.Config{LeafPages: spec.LeafPages})
+		if err == nil {
+			obj, kind, root = o, catalog.KindESM, o.Root()
+		}
+	case "starburst":
+		var o *starburst.Object
+		o, err = starburst.New(db.st, starburst.Config{MaxSegmentPages: spec.MaxSegmentPages})
+		if err == nil {
+			obj, kind, root = o, catalog.KindStarburst, o.Root()
+		}
+	case "eos":
+		var o *eos.Object
+		o, err = eos.New(db.st, eos.Config{Threshold: spec.Threshold, MaxSegmentPages: spec.MaxSegmentPages})
+		if err == nil {
+			obj, kind, root = o, catalog.KindEOS, o.Root()
+		}
+	default:
+		err = fmt.Errorf("lobstore: unknown engine %q (esm, starburst, eos)", spec.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := db.cat.Put(catalog.Entry{Name: name, Kind: kind, Root: root}); err != nil {
+		// Roll the object back so a name clash leaks no space.
+		_ = obj.Destroy()
+		return nil, err
+	}
+	return obj, nil
+}
+
+// OpenObject reattaches to a named object created earlier (possibly in a
+// previous session of a saved database image).
+func (db *DB) OpenObject(name string) (Object, error) {
+	e, ok, err := db.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("lobstore: no object named %q", name)
+	}
+	switch e.Kind {
+	case catalog.KindESM:
+		return esm.Open(db.st, e.Root)
+	case catalog.KindStarburst:
+		return starburst.Open(db.st, e.Root)
+	case catalog.KindEOS:
+		return eos.Open(db.st, e.Root)
+	}
+	return nil, fmt.Errorf("lobstore: object %q has unknown kind %v", name, e.Kind)
+}
+
+// Drop destroys a named object and removes it from the catalog.
+func (db *DB) Drop(name string) error {
+	obj, err := db.OpenObject(name)
+	if err != nil {
+		return err
+	}
+	if err := obj.Destroy(); err != nil {
+		return err
+	}
+	return db.cat.Delete(name)
+}
+
+// Objects lists the cataloged objects.
+func (db *DB) Objects() ([]ObjectInfo, error) {
+	entries, err := db.cat.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ObjectInfo, len(entries))
+	for i, e := range entries {
+		out[i] = ObjectInfo{Name: e.Name, Engine: e.Kind.String()}
+	}
+	return out, nil
+}
+
+// SaveImage persists the whole database — data, allocation state and
+// catalog — to w. Objects should be Closed first so growth-pattern slack is
+// trimmed. Reopen with OpenImage.
+func (db *DB) SaveImage(w io.Writer) error {
+	return db.st.SaveImage(w)
+}
+
+// SaveFile persists the database image to a file.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.SaveImage(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenImage reopens a database saved with SaveImage. The simulated clock
+// starts at zero; the catalog and all named objects are available again.
+func OpenImage(r io.Reader) (*DB, error) {
+	st, err := store.OpenImage(r)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Open(st, catalogAddr())
+	if err != nil {
+		return nil, fmt.Errorf("lobstore: image has no catalog: %w", err)
+	}
+	return &DB{st: st, cfg: configFromStore(st), cat: cat}, nil
+}
+
+// OpenFile reopens a database image from a file.
+func OpenFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenImage(f)
+}
+
+// catalogAddr is the fixed location of the first catalog page: the first
+// page the metadata allocator hands out in a fresh database (page 0 is the
+// buddy space directory).
+func catalogAddr() disk.Addr { return disk.Addr{Area: 0, Page: 1} }
+
+// configFromStore reconstructs the public configuration of a reopened
+// database.
+func configFromStore(st *store.Store) Config {
+	m := st.Disk.Model()
+	return Config{
+		PageSize:        m.PageSize,
+		SeekTime:        m.SeekTime.Std(),
+		TransferPerKB:   m.TransferPerKB.Std(),
+		BufferPages:     st.Pool.Frames(),
+		MaxBufferedRun:  st.Pool.MaxRun(),
+		MaxSegmentPages: st.MaxSegmentPages(),
+		Materialize:     true,
+	}
+}

@@ -1,0 +1,87 @@
+package lobstore_test
+
+import (
+	"testing"
+
+	"lobstore"
+)
+
+// TestPaperTreeShapes pins §4.2's structural facts for a 10 MB object:
+//
+//   - ESM, 1-page leaves: "of level 2 — the root, one level of … internal
+//     nodes, and then 2560 leaves" (Layout.IndexLevels 1 = one interior
+//     level below the root).
+//   - ESM, 4-page leaves: level 2 with 640 leaves.
+//   - ESM, 16- and 64-page leaves: level 1 (root only).
+//   - "For Starburst and EOS the tree level is always 1."
+func TestPaperTreeShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds 10 MB objects")
+	}
+	const objectBytes = 10 << 20
+	build := func(spec lobstore.ObjectSpec) lobstore.Layout {
+		t.Helper()
+		db, err := lobstore.Open(lobstore.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := db.Create("x", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := make([]byte, 256<<10)
+		for obj.Size() < objectBytes {
+			if err := obj.Append(chunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := obj.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l, err := lobstore.Inspect(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	cases := []struct {
+		name       string
+		spec       lobstore.ObjectSpec
+		wantLevels int
+		wantSegs   int // exact for ESM (fixed leaves), -1 = don't check
+	}{
+		{"esm-1", lobstore.ObjectSpec{Engine: "esm", LeafPages: 1}, 1, 2560},
+		{"esm-4", lobstore.ObjectSpec{Engine: "esm", LeafPages: 4}, 1, 640},
+		{"esm-16", lobstore.ObjectSpec{Engine: "esm", LeafPages: 16}, 0, 160},
+		{"esm-64", lobstore.ObjectSpec{Engine: "esm", LeafPages: 64}, 0, 40},
+		{"eos", lobstore.ObjectSpec{Engine: "eos", Threshold: 16}, 0, -1},
+		{"starburst", lobstore.ObjectSpec{Engine: "starburst"}, 0, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := build(tc.spec)
+			if l.IndexLevels != tc.wantLevels {
+				t.Errorf("index levels = %d, want %d (paper tree level %d)",
+					l.IndexLevels, tc.wantLevels, tc.wantLevels+1)
+			}
+			if tc.wantSegs >= 0 && len(l.Segments) != tc.wantSegs {
+				t.Errorf("segments = %d, want %d", len(l.Segments), tc.wantSegs)
+			}
+		})
+	}
+}
+
+// TestPaperEOSMaxObjectClaim checks §4.2's arithmetic: "In EOS, to come up
+// with a tree of level greater than 1, the size of the object being created
+// must be larger than 16 Gigabytes" — 507 root pairs × 32 MB maximal
+// segments ≈ 16 GB indexed by the root alone.
+func TestPaperEOSMaxObjectClaim(t *testing.T) {
+	const rootPairs = 507
+	const maxSegBytes = 8192 * 4096
+	// 507 × 32 MB ≈ 17.0×10⁹ bytes — "larger than 16 Gigabytes" in the
+	// paper's decimal units.
+	if capacity := int64(rootPairs) * int64(maxSegBytes); capacity < 16e9 {
+		t.Fatalf("root-only EOS capacity %d below the paper's 16 GB", capacity)
+	}
+}

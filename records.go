@@ -1,0 +1,100 @@
+package lobstore
+
+import (
+	"fmt"
+
+	"lobstore/internal/catalog"
+	"lobstore/internal/record"
+)
+
+// RID identifies a record in a RecordFile.
+type RID = record.RID
+
+// Field is one record attribute: inline bytes or a long field descriptor.
+type Field = record.Field
+
+// LongRef is a long field descriptor embedded in a record.
+type LongRef = record.LongRef
+
+// ShortField builds an inline attribute.
+func ShortField(data []byte) Field { return record.ShortField(data) }
+
+// RecordFile stores small objects: records of short fields plus long field
+// descriptors (§2 of the paper). Records must fit in one page; oversized
+// attributes are stored as long fields under one of the three large object
+// managers.
+type RecordFile struct {
+	db *DB
+	f  *record.File
+}
+
+// CreateRecordFile makes a new named record file registered in the
+// database catalog.
+func (db *DB) CreateRecordFile(name string) (*RecordFile, error) {
+	f, err := record.NewFile(db.st)
+	if err != nil {
+		return nil, err
+	}
+	entry := catalog.Entry{Name: name, Kind: catalog.KindRecord, Root: f.Root()}
+	if err := db.cat.Put(entry); err != nil {
+		return nil, err
+	}
+	return &RecordFile{db: db, f: f}, nil
+}
+
+// OpenRecordFile reattaches to a named record file.
+func (db *DB) OpenRecordFile(name string) (*RecordFile, error) {
+	e, ok, err := db.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("lobstore: no record file named %q", name)
+	}
+	if e.Kind != catalog.KindRecord {
+		return nil, fmt.Errorf("lobstore: %q is a %v object, not a record file", name, e.Kind)
+	}
+	f, err := record.OpenFile(db.st, e.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &RecordFile{db: db, f: f}, nil
+}
+
+// Insert stores a record and returns its RID.
+func (rf *RecordFile) Insert(fields []Field) (RID, error) { return rf.f.Insert(fields) }
+
+// Read fetches a record by RID.
+func (rf *RecordFile) Read(rid RID) ([]Field, error) { return rf.f.Read(rid) }
+
+// Delete removes a record. Long fields it references stay allocated until
+// DestroyLong is called on their descriptors.
+func (rf *RecordFile) Delete(rid RID) error { return rf.f.Delete(rid) }
+
+// NewLongField creates a large object to back one attribute and returns
+// the live object plus the descriptor to embed in a record. spec is the
+// same engine selector used by DB.Create.
+func (rf *RecordFile) NewLongField(spec ObjectSpec) (Object, LongRef, error) {
+	ls := record.LongSpec{
+		LeafPages:       spec.LeafPages,
+		Threshold:       spec.Threshold,
+		MaxSegmentPages: spec.MaxSegmentPages,
+	}
+	switch spec.Engine {
+	case "esm":
+		ls.Kind = catalog.KindESM
+	case "starburst":
+		ls.Kind = catalog.KindStarburst
+	case "eos":
+		ls.Kind = catalog.KindEOS
+	default:
+		return nil, LongRef{}, fmt.Errorf("lobstore: unknown engine %q", spec.Engine)
+	}
+	return rf.f.CreateLong(ls)
+}
+
+// OpenLongField reattaches to a long field from its descriptor.
+func (rf *RecordFile) OpenLongField(ref LongRef) (Object, error) { return rf.f.OpenLong(ref) }
+
+// DestroyLongField releases the storage behind a long field descriptor.
+func (rf *RecordFile) DestroyLongField(ref LongRef) error { return rf.f.DestroyLong(ref) }

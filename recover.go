@@ -1,0 +1,118 @@
+package lobstore
+
+import (
+	"fmt"
+
+	"lobstore/internal/buddy"
+	"lobstore/internal/catalog"
+	"lobstore/internal/core"
+	"lobstore/internal/disk"
+	"lobstore/internal/eos"
+	"lobstore/internal/esm"
+	"lobstore/internal/record"
+	"lobstore/internal/starburst"
+)
+
+// Crash simulates a system failure followed by shadow-paging recovery and
+// returns a fresh handle on the recovered database.
+//
+// The failure model is §3.3's: every write that completed reached the
+// simulated disk, but everything held only in memory — dirty buffer pool
+// pages, cached space directories, deferred frees — is lost, and any
+// operation in flight is abandoned. Because updates shadow old pages and
+// defer their frees past the commit point (the tree root or descriptor
+// write), the on-disk state always contains a complete, consistent version
+// of every object: the post-operation version if the commit was written,
+// the pre-operation version otherwise.
+//
+// Recovery rebuilds allocation state from reachability: the catalog is the
+// root set; every cataloged object (and every long field referenced from a
+// record file) enumerates the pages it owns, and the buddy allocators are
+// reconstructed as exactly that set. Orphaned pages from the interrupted
+// operation become free automatically.
+//
+// Handles from before the crash — including obj — must not be used again.
+func (db *DB) Crash() (*DB, error) {
+	st, err := db.st.CrashCopy()
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Open(st, catalogAddr())
+	if err != nil {
+		return nil, fmt.Errorf("lobstore: recovery: %w", err)
+	}
+
+	var metaRanges, leafRanges []buddy.Range
+	mark := func(a disk.Addr, pages int) error {
+		r := buddy.Range{Addr: a, Pages: pages}
+		if a.Area == st.LeafArea() {
+			leafRanges = append(leafRanges, r)
+		} else {
+			metaRanges = append(metaRanges, r)
+		}
+		return nil
+	}
+
+	if err := cat.MarkPages(mark); err != nil {
+		return nil, fmt.Errorf("lobstore: recovery: catalog pages: %w", err)
+	}
+	entries, err := cat.List()
+	if err != nil {
+		return nil, err
+	}
+	markObject := func(kind catalog.Kind, root disk.Addr) error {
+		var m core.PageMarker
+		switch kind {
+		case catalog.KindESM:
+			o, err := esm.Open(st, root)
+			if err != nil {
+				return err
+			}
+			m = o
+		case catalog.KindStarburst:
+			o, err := starburst.Open(st, root)
+			if err != nil {
+				return err
+			}
+			m = o
+		case catalog.KindEOS:
+			o, err := eos.Open(st, root)
+			if err != nil {
+				return err
+			}
+			m = o
+		default:
+			return fmt.Errorf("unknown kind %v", kind)
+		}
+		return m.MarkPages(mark)
+	}
+	for _, e := range entries {
+		switch e.Kind {
+		case catalog.KindRecord:
+			f, err := record.OpenFile(st, e.Root)
+			if err != nil {
+				return nil, fmt.Errorf("lobstore: recovery: record file %q: %w", e.Name, err)
+			}
+			if err := f.MarkPages(mark); err != nil {
+				return nil, err
+			}
+			refs, err := f.LongRefs()
+			if err != nil {
+				return nil, err
+			}
+			for _, ref := range refs {
+				if err := markObject(ref.Kind, ref.Root); err != nil {
+					return nil, fmt.Errorf("lobstore: recovery: long field of %q: %w", e.Name, err)
+				}
+			}
+		default:
+			if err := markObject(e.Kind, e.Root); err != nil {
+				return nil, fmt.Errorf("lobstore: recovery: object %q: %w", e.Name, err)
+			}
+		}
+	}
+	if err := st.RebuildAllocators(metaRanges, leafRanges); err != nil {
+		return nil, err
+	}
+	return &DB{st: st, cfg: db.cfg, cat: cat}, nil
+}
