@@ -148,3 +148,45 @@ func BenchmarkMicroStarburstAppend(b *testing.B) {
 	}
 	reportSim(b, db)
 }
+
+// BenchmarkMicroSequentialReadObsOff pins the observability layer's
+// zero-overhead-when-disabled contract: the aligned large-segment read path
+// must stay allocation-free with no sink attached (allocs/op must be 0).
+func BenchmarkMicroSequentialReadObsOff(b *testing.B) {
+	benchSequentialRead(b, false)
+}
+
+// BenchmarkMicroSequentialReadObsOn is the same read with a metrics sink
+// attached, for before/after comparison of the tracing cost.
+func BenchmarkMicroSequentialReadObsOn(b *testing.B) {
+	benchSequentialRead(b, true)
+}
+
+func benchSequentialRead(b *testing.B, observe bool) {
+	db, err := lobstore.Open(lobstore.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := db.PageSize()
+	obj, err := db.NewStarburstKnownSize(0, int64(512*ps))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := obj.Append(make([]byte, 512*ps)); err != nil {
+		b.Fatal(err)
+	}
+	if observe {
+		db.EnableMetrics(nil)
+	}
+	buf := make([]byte, 8*ps)
+	steps := obj.Size() / int64(len(buf))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) % steps) * int64(len(buf))
+		if err := obj.Read(off, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSim(b, db)
+}

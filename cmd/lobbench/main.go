@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"lobstore"
 	"lobstore/internal/harness"
 )
 
@@ -35,6 +36,8 @@ func main() {
 		seed    = flag.Int64("seed", 0, "workload seed override")
 		csvDir  = flag.String("csv", "", "directory to also write one CSV per table")
 		sample  = flag.Int("sample", 0, "figure mark spacing override")
+		trace   = flag.String("trace", "", "write a JSONL event trace of every run to this file")
+		metrics = flag.Bool("metrics", false, "print an aggregated metrics report to stderr at the end")
 	)
 	flag.Parse()
 
@@ -83,6 +86,36 @@ func main() {
 		}
 	}
 
+	// Observability: every database the runner opens shares one trace
+	// stream and one metrics registry, so the output covers the whole
+	// invocation.
+	var (
+		traceFile   *os.File
+		traceWriter *lobstore.TraceWriter
+		agg         *lobstore.Metrics
+	)
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatalf("creating trace: %v", err)
+		}
+		traceFile = f
+		traceWriter = lobstore.NewTraceWriter(f)
+	}
+	if *metrics {
+		agg = lobstore.NewMetrics()
+	}
+	if traceWriter != nil || agg != nil {
+		r.Observe = func(db *lobstore.DB) {
+			if traceWriter != nil {
+				db.AttachTrace(traceWriter)
+			}
+			if agg != nil {
+				db.EnableMetrics(agg)
+			}
+		}
+	}
+
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		e, ok := harness.Lookup(name)
@@ -109,6 +142,20 @@ func main() {
 					fatalf("closing csv: %v", err)
 				}
 			}
+		}
+	}
+
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			fatalf("flushing trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatalf("closing trace: %v", err)
+		}
+	}
+	if agg != nil {
+		if err := agg.WriteText(os.Stderr); err != nil {
+			fatalf("writing metrics: %v", err)
 		}
 	}
 }

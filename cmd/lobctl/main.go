@@ -46,12 +46,25 @@ func main() {
 		threshold = flag.Int("threshold", 16, "EOS segment size threshold in pages")
 		maxSeg    = flag.Int("maxseg", 0, "Starburst max segment pages (0 = allocator max)")
 		script    = flag.String("c", "", "semicolon-separated commands instead of stdin")
+		trace     = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics   = flag.Bool("metrics", false, "print a metrics report to stderr on exit")
 	)
 	flag.Parse()
 
 	db, err := lobstore.Open(lobstore.DefaultConfig())
 	if err != nil {
 		fatalf("open: %v", err)
+	}
+	var traceFile *os.File
+	if *trace != "" {
+		traceFile, err = os.Create(*trace)
+		if err != nil {
+			fatalf("creating trace: %v", err)
+		}
+		db.EnableTrace(traceFile)
+	}
+	if *metrics {
+		db.EnableMetrics(nil)
 	}
 	var obj lobstore.Object
 	switch *engine {
@@ -75,6 +88,19 @@ func main() {
 	if err := run(db, obj, in, os.Stdout); err != nil {
 		fatalf("%v", err)
 	}
+	if traceFile != nil {
+		if err := db.FlushTrace(); err != nil {
+			fatalf("flushing trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatalf("closing trace: %v", err)
+		}
+	}
+	if m := db.Metrics(); m != nil {
+		if err := m.WriteText(os.Stderr); err != nil {
+			fatalf("writing metrics: %v", err)
+		}
+	}
 }
 
 func run(db *lobstore.DB, obj lobstore.Object, in io.Reader, out io.Writer) error {
@@ -88,7 +114,7 @@ func run(db *lobstore.DB, obj lobstore.Object, in io.Reader, out io.Writer) erro
 		fields := strings.Fields(line)
 		cmd, args := fields[0], fields[1:]
 		stats, err := db.Measure(func() error {
-			return apply(obj, &filler, out, cmd, args)
+			return apply(db, obj, &filler, out, cmd, args)
 		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", line, err)
@@ -99,7 +125,7 @@ func run(db *lobstore.DB, obj lobstore.Object, in io.Reader, out io.Writer) erro
 	return sc.Err()
 }
 
-func apply(obj lobstore.Object, filler *workload.Filler, out io.Writer, cmd string, args []string) error {
+func apply(db *lobstore.DB, obj lobstore.Object, filler *workload.Filler, out io.Writer, cmd string, args []string) error {
 	size := func(i int) (int64, error) {
 		if i >= len(args) {
 			return 0, fmt.Errorf("missing argument %d", i+1)
@@ -171,6 +197,10 @@ func apply(obj lobstore.Object, filler *workload.Filler, out io.Writer, cmd stri
 	case "stat":
 		u := obj.Utilization()
 		fmt.Fprintf(out, "  size=%d bytes, utilization=%v\n", obj.Size(), u)
+		st := db.Stats()
+		frag := db.LeafFragmentation()
+		fmt.Fprintf(out, "  ios=%d pages=%d seek=%d pages, %v\n",
+			st.Calls(), st.Pages(), st.SeekDistance, frag)
 		return nil
 	case "dump":
 		l, err := lobstore.Inspect(obj)

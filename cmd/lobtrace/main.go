@@ -1,0 +1,160 @@
+// Command lobtrace summarizes and compares the JSONL event traces written
+// by lobbench -trace, lobctl -trace, or lobstore's EnableTrace.
+//
+// Usage:
+//
+//	lobtrace summary trace.jsonl           # aggregated metrics report
+//	lobtrace summary -csv trace.jsonl      # same, as CSV rows
+//	lobtrace diff a.jsonl b.jsonl          # counter deltas between traces
+//
+// A trace holds one JSON object per line with short keys (t: simulated
+// microseconds, k: event kind, op: operation, sp: span, a/p/n: area, start
+// page and page count, x1/x2: kind-specific values, err: error text).
+// Summary replays the events through the same aggregating registry the
+// library uses, so its report matches what -metrics would have printed
+// live. Diff aggregates both traces and prints the counters that changed —
+// a quick way to see what a tuning knob did to the I/O mix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lobstore/internal/obs"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "summary":
+		if err := summary(args[1:]); err != nil {
+			fatalf("summary: %v", err)
+		}
+	case "diff":
+		if err := diff(args[1:]); err != nil {
+			fatalf("diff: %v", err)
+		}
+	default:
+		fatalf("unknown command %q (summary, diff)", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  lobtrace summary [-csv] trace.jsonl
+  lobtrace diff a.jsonl b.jsonl
+`)
+}
+
+// load replays one trace file into a fresh metrics registry.
+func load(path string) (*obs.Metrics, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	m := obs.NewMetrics()
+	var events int64
+	err = obs.ReadJSONL(f, func(e obs.Event) error {
+		m.Record(e)
+		events++
+		return nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, events, nil
+}
+
+func summary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	asCSV := fs.Bool("csv", false, "emit CSV rows instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one trace file")
+	}
+	m, events, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *asCSV {
+		return m.WriteCSV(os.Stdout)
+	}
+	fmt.Printf("%s: %d events\n", fs.Arg(0), events)
+	return m.WriteText(os.Stdout)
+}
+
+func diff(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("want exactly two trace files")
+	}
+	ma, _, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	mb, _, err := load(args[1])
+	if err != nil {
+		return err
+	}
+	names := union(ma.CounterNames(), mb.CounterNames())
+	fmt.Printf("%-24s %12s %12s %12s\n", "counter", "a", "b", "delta")
+	var changed int
+	for _, n := range names {
+		a, b := ma.Counter(n), mb.Counter(n)
+		if a == b {
+			continue
+		}
+		changed++
+		fmt.Printf("%-24s %12d %12d %+12d\n", n, a, b, b-a)
+	}
+	if changed == 0 {
+		fmt.Println("no counter differences")
+	}
+	for _, pair := range [][2]*obs.Histogram{
+		{ma.IOSize, mb.IOSize},
+		{ma.Seek, mb.Seek},
+		{ma.Depth, mb.Depth},
+	} {
+		a, b := pair[0], pair[1]
+		if a.N == 0 && b.N == 0 {
+			continue
+		}
+		fmt.Printf("%-24s mean %.1f -> %.1f %s, max %d -> %d\n",
+			a.Name, a.Mean(), b.Mean(), a.Unit, a.Max, b.Max)
+	}
+	return nil
+}
+
+// union merges two sorted string slices, dropping duplicates.
+func union(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lobtrace: "+format+"\n", args...)
+	os.Exit(1)
+}

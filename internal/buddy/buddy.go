@@ -25,11 +25,13 @@ import (
 	"math/bits"
 
 	"lobstore/internal/disk"
+	"lobstore/internal/obs"
 )
 
 // Allocator manages segment allocation within one database area.
 type Allocator struct {
 	d        *disk.Disk
+	obs      *obs.Tracer
 	areaID   disk.AreaID
 	maxOrder uint // each space holds 1<<maxOrder data blocks
 	spaces   []*space
@@ -78,7 +80,7 @@ func New(d *disk.Disk, area disk.AreaID, opts ...Option) (*Allocator, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &Allocator{d: d, areaID: area, maxOrder: 13, areaPages: pages}
+	a := &Allocator{d: d, obs: d.Tracer(), areaID: area, maxOrder: 13, areaPages: pages}
 	for _, o := range opts {
 		o(a)
 	}
@@ -217,7 +219,17 @@ func (a *Allocator) allocIn(s *space, order uint, npages int) (disk.Addr, error)
 	s.dirty = true
 	a.recomputeMaxFree(s)
 	a.stats.Allocs++
-	return disk.Addr{Area: a.areaID, Page: s.base + 1 + disk.PageID(off)}, nil
+	addr := disk.Addr{Area: a.areaID, Page: s.base + 1 + disk.PageID(off)}
+	if a.obs.Enabled() {
+		a.obs.Emit(obs.Event{
+			Kind:  obs.KindAlloc,
+			Area:  uint8(addr.Area),
+			Page:  uint32(addr.Page),
+			Pages: int32(npages),
+			Aux1:  int64(order),
+		})
+	}
+	return addr, nil
 }
 
 // takeChunk removes a free chunk of exactly 1<<order blocks, splitting a
@@ -234,6 +246,15 @@ func (a *Allocator) takeChunk(s *space, order uint) (uint32, error) {
 		for cur := o; cur > order; cur-- {
 			half := uint32(1) << (cur - 1)
 			s.free[cur-1][off+half] = struct{}{}
+			if a.obs.Enabled() {
+				a.obs.Emit(obs.Event{
+					Kind: obs.KindSplit,
+					Area: uint8(a.areaID),
+					Page: uint32(s.base + 1 + disk.PageID(off)),
+					Aux1: int64(cur),
+					Aux2: int64(cur - 1),
+				})
+			}
 		}
 		return off, nil
 	}
@@ -279,6 +300,14 @@ func (a *Allocator) Free(addr disk.Addr, npages int) error {
 	a.recomputeMaxFree(s)
 	a.super[a.spaceIndex(s)] = s.maxFree
 	a.stats.Frees++
+	if a.obs.Enabled() {
+		a.obs.Emit(obs.Event{
+			Kind:  obs.KindFree,
+			Area:  uint8(addr.Area),
+			Page:  uint32(addr.Page),
+			Pages: int32(npages),
+		})
+	}
 	return nil
 }
 
@@ -341,6 +370,14 @@ func (a *Allocator) insertChunk(s *space, off uint32, order uint) {
 			off = buddy
 		}
 		order++
+		if a.obs.Enabled() {
+			a.obs.Emit(obs.Event{
+				Kind: obs.KindCoalesce,
+				Area: uint8(a.areaID),
+				Page: uint32(s.base + 1 + disk.PageID(off)),
+				Aux1: int64(order),
+			})
+		}
 	}
 	s.free[order][off] = struct{}{}
 }
@@ -372,6 +409,58 @@ func (a *Allocator) unmarkAllocated(s *space, off uint32, n int) error {
 		s.allocated[i/64] &^= 1 << (i % 64)
 	}
 	return nil
+}
+
+// Fragmentation is an on-demand snapshot of free-space shape across all
+// buddy spaces of the allocator. It costs no I/O.
+type Fragmentation struct {
+	// Spaces is the number of buddy spaces carved so far.
+	Spaces int
+	// FreeBlocks is the total number of free data blocks.
+	FreeBlocks int64
+	// FreeChunks is the number of distinct free chunks holding them.
+	FreeChunks int64
+	// LargestFree is the size, in blocks, of the largest free chunk.
+	LargestFree int
+	// ByOrder counts free chunks per order (index = order).
+	ByOrder []int64
+}
+
+// Index returns a fragmentation measure in [0,1]: 0 when all free space is
+// one chunk, approaching 1 as free space shatters (1 − largest/free).
+func (f Fragmentation) Index() float64 {
+	if f.FreeBlocks == 0 {
+		return 0
+	}
+	return 1 - float64(f.LargestFree)/float64(f.FreeBlocks)
+}
+
+func (f Fragmentation) String() string {
+	return fmt.Sprintf("frag=%.3f (%d free blocks in %d chunks, largest %d)",
+		f.Index(), f.FreeBlocks, f.FreeChunks, f.LargestFree)
+}
+
+// Fragmentation computes the current free-space snapshot.
+func (a *Allocator) Fragmentation() Fragmentation {
+	f := Fragmentation{
+		Spaces:  len(a.spaces),
+		ByOrder: make([]int64, a.maxOrder+1),
+	}
+	for _, s := range a.spaces {
+		for o, set := range s.free {
+			n := int64(len(set))
+			if n == 0 {
+				continue
+			}
+			f.ByOrder[o] += n
+			f.FreeChunks += n
+			f.FreeBlocks += n << uint(o)
+			if sz := 1 << uint(o); sz > f.LargestFree {
+				f.LargestFree = sz
+			}
+		}
+	}
+	return f
 }
 
 // CheckInvariants validates internal consistency: free chunks are aligned,

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"lobstore/internal/disk"
+	"lobstore/internal/obs"
 )
 
 // ErrNoRun is returned by FixRun when no window of adjacent unpinned frames
@@ -28,6 +29,7 @@ var ErrNoRun = errors.New("buffer: no contiguous unpinned frame run available")
 // use (the simulation is single-threaded).
 type Pool struct {
 	d        *disk.Disk
+	obs      *obs.Tracer
 	arena    []byte
 	frames   []frame
 	index    map[disk.Addr]int // resident page → frame number
@@ -71,6 +73,7 @@ func New(d *disk.Disk, cfg Config) (*Pool, error) {
 	ps := d.PageSize()
 	return &Pool{
 		d:        d,
+		obs:      d.Tracer(),
 		arena:    make([]byte, cfg.Frames*ps),
 		frames:   make([]frame, cfg.Frames),
 		index:    make(map[disk.Addr]int),
@@ -87,6 +90,17 @@ func (p *Pool) Frames() int { return len(p.frames) }
 
 // HitRate returns pool hits and misses so far.
 func (p *Pool) HitRate() (hits, misses int64) { return p.hits, p.misses }
+
+// emit sends a buffer event for page a; count is the run length for
+// multi-block fetches (1 otherwise).
+func (p *Pool) emit(kind obs.Kind, a disk.Addr, count int) {
+	p.obs.Emit(obs.Event{
+		Kind:  kind,
+		Area:  uint8(a.Area),
+		Page:  uint32(a.Page),
+		Pages: int32(count),
+	})
+}
 
 func (p *Pool) data(i int) []byte {
 	return p.arena[i*p.pageSize : (i+1)*p.pageSize]
@@ -113,11 +127,17 @@ func (p *Pool) FixPage(addr disk.Addr) (*Handle, error) {
 	p.tick++
 	if i, ok := p.index[addr]; ok {
 		p.hits++
+		if p.obs.Enabled() {
+			p.emit(obs.KindBufHit, addr, 1)
+		}
 		p.frames[i].pins++
 		p.frames[i].lastUse = p.tick
 		return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
 	}
 	p.misses++
+	if p.obs.Enabled() {
+		p.emit(obs.KindBufMiss, addr, 1)
+	}
 	i, err := p.freeWindow(1)
 	if err != nil {
 		return nil, err
@@ -187,6 +207,9 @@ func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 	// Full cache hit?
 	if idx, ok := p.residentRun(addr, npages); ok {
 		p.hits += int64(npages)
+		if p.obs.Enabled() {
+			p.emit(obs.KindBufHit, addr, npages)
+		}
 		hs := make([]*Handle, npages)
 		for k, i := range idx {
 			p.frames[i].pins++
@@ -196,6 +219,10 @@ func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 		return hs, nil
 	}
 	p.misses += int64(npages)
+	if p.obs.Enabled() {
+		p.emit(obs.KindBufMiss, addr, npages)
+		p.emit(obs.KindBufFetchRun, addr, npages)
+	}
 	// Flush-and-drop any stale resident copies (a dirty resident page would
 	// otherwise be lost when we re-read the run from disk).
 	for k := 0; k < npages; k++ {
@@ -254,6 +281,9 @@ func (p *Pool) evictAddr(addr disk.Addr) error {
 		if err := p.d.Write(addr, 1, p.data(i)); err != nil {
 			return err
 		}
+	}
+	if p.obs.Enabled() {
+		p.emit(obs.KindBufEvict, addr, 1)
 	}
 	delete(p.index, addr)
 	f.valid = false
@@ -348,6 +378,9 @@ func (p *Pool) FlushPage(addr disk.Addr) error {
 	}
 	if err := p.d.Write(addr, 1, p.data(i)); err != nil {
 		return err
+	}
+	if p.obs.Enabled() {
+		p.emit(obs.KindBufFlush, addr, 1)
 	}
 	f.dirty = false
 	return nil

@@ -17,6 +17,7 @@ package disk
 import (
 	"fmt"
 
+	"lobstore/internal/obs"
 	"lobstore/internal/sim"
 )
 
@@ -48,6 +49,12 @@ type Disk struct {
 	stats       sim.Stats
 	areas       []*area
 	materialize bool
+	obs         *obs.Tracer
+
+	// head is the linear page position of the disk arm after the last
+	// transfer, with all areas laid out consecutively. Seek distance of a
+	// call is |start − head|.
+	head int64
 
 	// failAfter < 0 disables injection; otherwise that many further I/O
 	// calls succeed and every one after them returns failErr.
@@ -57,6 +64,7 @@ type Disk struct {
 
 type area struct {
 	npages      int
+	base        int64 // linear page offset of the area's first page
 	materialize bool
 	data        []byte // grows lazily up to npages*PageSize when materialized
 }
@@ -100,12 +108,36 @@ func (d *Disk) FailAfter(calls int64, err error) {
 	d.failErr = err
 }
 
-// checkInjected consumes one fault-injection credit.
-func (d *Disk) checkInjected() error {
+// SetTracer installs the event tracer. A nil tracer disables emission.
+func (d *Disk) SetTracer(t *obs.Tracer) { d.obs = t }
+
+// Tracer returns the installed event tracer (possibly nil). The buffer
+// pool and the space manager share the disk's tracer so one database
+// yields one event stream.
+func (d *Disk) Tracer() *obs.Tracer { return d.obs }
+
+// checkInjected consumes one fault-injection credit. On the failing call
+// it emits a terminal io.error event describing the attempted I/O, so
+// traces of partial runs end with the cause of death.
+func (d *Disk) checkInjected(addr Addr, npages int, write bool) error {
 	if d.failAfter < 0 {
 		return nil
 	}
 	if d.failAfter == 0 {
+		if d.obs.Enabled() {
+			aux := int64(0)
+			if write {
+				aux = 1
+			}
+			d.obs.Emit(obs.Event{
+				Kind:  obs.KindIOError,
+				Area:  uint8(addr.Area),
+				Page:  uint32(addr.Page),
+				Pages: int32(npages),
+				Aux2:  aux,
+				Err:   d.failErr.Error(),
+			})
+		}
 		return d.failErr
 	}
 	d.failAfter--
@@ -129,7 +161,11 @@ func (d *Disk) AddArea(npages int) (AreaID, error) {
 	if len(d.areas) >= 255 {
 		return 0, fmt.Errorf("disk: too many areas")
 	}
-	a := &area{npages: npages, materialize: d.materialize}
+	var base int64
+	for _, prev := range d.areas {
+		base += int64(prev.npages)
+	}
+	a := &area{npages: npages, base: base, materialize: d.materialize}
 	d.areas = append(d.areas, a)
 	return AreaID(len(d.areas) - 1), nil
 }
@@ -176,7 +212,7 @@ func (d *Disk) Read(addr Addr, npages int, dst []byte) error {
 	if len(dst) < n {
 		return fmt.Errorf("disk: read buffer %d bytes, need %d", len(dst), n)
 	}
-	if err := d.checkInjected(); err != nil {
+	if err := d.checkInjected(addr, npages, false); err != nil {
 		return fmt.Errorf("disk: read %v: %w", addr, err)
 	}
 	clear(dst[:n])
@@ -186,7 +222,7 @@ func (d *Disk) Read(addr Addr, npages int, dst []byte) error {
 			copy(dst[:n], a.data[off:min(off+n, len(a.data))])
 		}
 	}
-	d.charge(npages, false)
+	d.charge(a, addr, npages, false)
 	return nil
 }
 
@@ -204,7 +240,7 @@ func (d *Disk) Write(addr Addr, npages int, src []byte) error {
 	if len(src) < n {
 		return fmt.Errorf("disk: write buffer %d bytes, need %d", len(src), n)
 	}
-	if err := d.checkInjected(); err != nil {
+	if err := d.checkInjected(addr, npages, true); err != nil {
 		return fmt.Errorf("disk: write %v: %w", addr, err)
 	}
 	if a.materialize {
@@ -212,20 +248,40 @@ func (d *Disk) Write(addr Addr, npages int, src []byte) error {
 		a.ensure(off + n)
 		copy(a.data[off:off+n], src[:n])
 	}
-	d.charge(npages, true)
+	d.charge(a, addr, npages, true)
 	return nil
 }
 
-func (d *Disk) charge(npages int, write bool) {
+func (d *Disk) charge(a *area, addr Addr, npages int, write bool) {
 	cost := d.model.IOCost(npages)
 	d.clock.Advance(cost)
 	d.stats.Time += cost
+	start := a.base + int64(addr.Page)
+	seek := start - d.head
+	if seek < 0 {
+		seek = -seek
+	}
+	d.head = start + int64(npages)
+	d.stats.SeekDistance += seek
 	if write {
 		d.stats.WriteCalls++
 		d.stats.PagesWritten += int64(npages)
 	} else {
 		d.stats.ReadCalls++
 		d.stats.PagesRead += int64(npages)
+	}
+	if d.obs.Enabled() {
+		kind := obs.KindIORead
+		if write {
+			kind = obs.KindIOWrite
+		}
+		d.obs.Emit(obs.Event{
+			Kind:  kind,
+			Area:  uint8(addr.Area),
+			Page:  uint32(addr.Page),
+			Pages: int32(npages),
+			Aux1:  seek,
+		})
 	}
 }
 

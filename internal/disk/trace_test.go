@@ -1,0 +1,130 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+
+	"lobstore/internal/obs"
+)
+
+// tracedDisk builds a disk with a ring sink attached, so tests can compare
+// the emitted event stream against the stats counters.
+func tracedDisk(t *testing.T) (*Disk, *obs.Ring) {
+	t.Helper()
+	d := newDisk(t)
+	tr := obs.NewTracer()
+	ring := obs.NewRing(256)
+	tr.Attach(ring)
+	tr.SetTimeFunc(func() int64 { return int64(d.Clock().Now()) })
+	d.SetTracer(tr)
+	return d, ring
+}
+
+func TestIOEventsMatchStats(t *testing.T) {
+	d, ring := tracedDisk(t)
+	a, err := d.AddArea(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := d.PageSize()
+	buf := make([]byte, 8*ps)
+	if err := d.Write(Addr{Area: a, Page: 0}, 4, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(Addr{Area: a, Page: 100}, 8, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(Addr{Area: a, Page: 2}, 2, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var readCalls, writeCalls, pagesRead, pagesWritten, seek int64
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case obs.KindIORead:
+			readCalls++
+			pagesRead += int64(e.Pages)
+			seek += e.Aux1
+		case obs.KindIOWrite:
+			writeCalls++
+			pagesWritten += int64(e.Pages)
+			seek += e.Aux1
+		}
+	}
+	st := d.Stats()
+	if readCalls != st.ReadCalls || writeCalls != st.WriteCalls ||
+		pagesRead != st.PagesRead || pagesWritten != st.PagesWritten {
+		t.Fatalf("events read=%d/%d write=%d/%d, stats %+v",
+			readCalls, pagesRead, writeCalls, pagesWritten, st)
+	}
+	if seek != st.SeekDistance {
+		t.Fatalf("event seek total %d, stats %d", seek, st.SeekDistance)
+	}
+	// Head travel is deterministic: 0 (first write at page 0), then
+	// |100−4| after the 4-page write, then |2−108| after the 8-page one.
+	if want := int64(0 + 96 + 106); st.SeekDistance != want {
+		t.Fatalf("seek distance %d, want %d", st.SeekDistance, want)
+	}
+}
+
+func TestInjectedFailureEmitsTerminalEvent(t *testing.T) {
+	d, ring := tracedDisk(t)
+	a, err := d.AddArea(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := d.PageSize()
+	buf := make([]byte, 4*ps)
+	boom := errors.New("medium error")
+	d.FailAfter(2, boom)
+
+	if err := d.Write(Addr{Area: a, Page: 0}, 2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(Addr{Area: a, Page: 0}, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	err = d.Write(Addr{Area: a, Page: 10}, 4, buf)
+	if !errors.Is(err, boom) {
+		t.Fatalf("third call returned %v, want injected error", err)
+	}
+
+	evs := ring.Events()
+	last := evs[len(evs)-1]
+	if last.Kind != obs.KindIOError {
+		t.Fatalf("trace ends with %v, want io.error", last.Kind)
+	}
+	if last.Area != uint8(a) || last.Page != 10 || last.Pages != 4 || last.Aux2 != 1 {
+		t.Fatalf("io.error describes %+v, want area=%d page=10 pages=4 write", last, a)
+	}
+	if last.Err != boom.Error() {
+		t.Fatalf("io.error carries %q, want %q", last.Err, boom.Error())
+	}
+
+	// The failed call charged nothing: the trace's successful I/O events
+	// still agree with the stats of the partial run.
+	var calls, pages int64
+	for _, e := range evs {
+		if e.Kind == obs.KindIORead || e.Kind == obs.KindIOWrite {
+			calls++
+			pages += int64(e.Pages)
+		}
+	}
+	st := d.Stats()
+	if calls != st.ReadCalls+st.WriteCalls || pages != st.PagesRead+st.PagesWritten {
+		t.Fatalf("partial run: events %d calls/%d pages, stats %+v", calls, pages, st)
+	}
+	if st.WriteCalls != 1 || st.ReadCalls != 1 {
+		t.Fatalf("stats counted the failed call: %+v", st)
+	}
+
+	// Re-arming lets I/O proceed and the trace continue.
+	d.FailAfter(-1, nil)
+	if err := d.Write(Addr{Area: a, Page: 10}, 4, buf); err != nil {
+		t.Fatal(err)
+	}
+	evs = ring.Events()
+	if evs[len(evs)-1].Kind != obs.KindIOWrite {
+		t.Fatalf("trace did not resume after re-arm: last = %+v", evs[len(evs)-1])
+	}
+}

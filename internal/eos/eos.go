@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"lobstore/internal/core"
+	"lobstore/internal/obs"
 	"lobstore/internal/postree"
 	"lobstore/internal/store"
 )
@@ -62,6 +63,13 @@ func New(st *store.Store, cfg Config) (*Object, error) {
 		return nil, fmt.Errorf("eos: threshold %d pages outside [1,%d]",
 			cfg.Threshold, cfg.MaxSegmentPages)
 	}
+	sp := st.Obs.Begin(obs.OpCreate)
+	o, err := create(st, cfg)
+	st.Obs.End(sp, err)
+	return o, err
+}
+
+func create(st *store.Store, cfg Config) (*Object, error) {
 	t, err := postree.New(st)
 	if err != nil {
 		return nil, err
@@ -145,6 +153,13 @@ func (o *Object) readEntry(e postree.Entry, off, n int64) ([]byte, error) {
 
 // Read fills dst with the bytes at [off, off+len(dst)).
 func (o *Object) Read(off int64, dst []byte) error {
+	sp := o.st.Obs.Begin(obs.OpRead)
+	err := o.readOp(off, dst)
+	o.st.Obs.End(sp, err)
+	return err
+}
+
+func (o *Object) readOp(off int64, dst []byte) error {
 	if err := core.CheckRange(o.Size(), off, int64(len(dst))); err != nil {
 		return err
 	}
@@ -213,6 +228,9 @@ func (o *Object) appendOp(data []byte) error {
 	}
 	for len(rest) > 0 {
 		pages := o.growthPages()
+		if o.st.Obs.Enabled() {
+			o.st.Obs.Emit(obs.Event{Kind: obs.KindExtentDouble, Aux1: int64(pages)})
+		}
 		seg, err := o.allocSeg(pages)
 		if err != nil {
 			return err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lobstore/internal/core"
+	"lobstore/internal/obs"
 	"lobstore/internal/postree"
 )
 
@@ -74,6 +75,9 @@ func (o *Object) insertOp(off int64, data []byte) error {
 				Ptr:   e.Ptr + uint32(b2Page),
 			})
 		}
+	}
+	if o.st.Obs.Enabled() && len(entries) > 1 {
+		o.st.Obs.Emit(obs.Event{Kind: obs.KindLeafSplit, Aux1: int64(len(entries))})
 	}
 	if err := o.tree.ReplaceLeaf(path, entries); err != nil {
 		return err
@@ -334,6 +338,9 @@ func (o *Object) mergeable(a, b postree.Entry) bool {
 
 // mergePair shuffles two adjacent segments into one fresh segment.
 func (o *Object) mergePair(a postree.Entry, aPath postree.Path, b postree.Entry) error {
+	if o.st.Obs.Enabled() {
+		o.st.Obs.Emit(obs.Event{Kind: obs.KindLeafMerge})
+	}
 	ab, err := o.readEntry(a, 0, a.Bytes)
 	if err != nil {
 		return err

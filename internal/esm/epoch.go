@@ -1,32 +1,53 @@
 package esm
 
+import "lobstore/internal/obs"
+
 // Public mutating operations run inside a shadow epoch (§3.3): pages freed
 // during the operation — old leaf versions, old index page versions — are
 // reclaimed only after the commit point (the in-place root write at the end
 // of the tree flush), so a crash mid-operation leaves the previous object
 // version fully intact and recoverable.
+//
+// Each public method is also an observability span boundary: every event
+// emitted below — disk I/O, buffer traffic, allocations, tree descents —
+// is tagged with the operation that caused it.
 
 // Append adds data at the end of the object.
 func (o *Object) Append(data []byte) error {
-	return o.st.RunOp(func() error { return o.appendOp(data) })
+	sp := o.st.Obs.Begin(obs.OpAppend)
+	err := o.st.RunOp(func() error { return o.appendOp(data) })
+	o.st.Obs.End(sp, err)
+	return err
 }
 
 // Insert adds data before the byte at off.
 func (o *Object) Insert(off int64, data []byte) error {
-	return o.st.RunOp(func() error { return o.insertOp(off, data) })
+	sp := o.st.Obs.Begin(obs.OpInsert)
+	err := o.st.RunOp(func() error { return o.insertOp(off, data) })
+	o.st.Obs.End(sp, err)
+	return err
 }
 
 // Delete removes the n bytes at [off, off+n).
 func (o *Object) Delete(off, n int64) error {
-	return o.st.RunOp(func() error { return o.deleteOp(off, n) })
+	sp := o.st.Obs.Begin(obs.OpDelete)
+	err := o.st.RunOp(func() error { return o.deleteOp(off, n) })
+	o.st.Obs.End(sp, err)
+	return err
 }
 
 // Replace overwrites the bytes at [off, off+len(data)).
 func (o *Object) Replace(off int64, data []byte) error {
-	return o.st.RunOp(func() error { return o.replaceOp(off, data) })
+	sp := o.st.Obs.Begin(obs.OpReplace)
+	err := o.st.RunOp(func() error { return o.replaceOp(off, data) })
+	o.st.Obs.End(sp, err)
+	return err
 }
 
 // Destroy releases all leaf segments and index pages.
 func (o *Object) Destroy() error {
-	return o.st.RunOp(o.destroyOp)
+	sp := o.st.Obs.Begin(obs.OpDestroy)
+	err := o.st.RunOp(o.destroyOp)
+	o.st.Obs.End(sp, err)
+	return err
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"lobstore/internal/core"
+	"lobstore/internal/obs"
 	"lobstore/internal/postree"
 	"lobstore/internal/store"
 )
@@ -71,6 +72,13 @@ func New(st *store.Store, cfg Config) (*Object, error) {
 		return nil, fmt.Errorf("esm: leaf size %d exceeds maximum segment of %d pages",
 			cfg.LeafPages, st.MaxSegmentPages())
 	}
+	sp := st.Obs.Begin(obs.OpCreate)
+	o, err := create(st, cfg)
+	st.Obs.End(sp, err)
+	return o, err
+}
+
+func create(st *store.Store, cfg Config) (*Object, error) {
 	t, err := postree.New(st)
 	if err != nil {
 		return nil, err
@@ -153,6 +161,13 @@ func (o *Object) freeLeaf(e postree.Entry) error {
 
 // Read fills dst with the bytes at [off, off+len(dst)).
 func (o *Object) Read(off int64, dst []byte) error {
+	sp := o.st.Obs.Begin(obs.OpRead)
+	err := o.readOp(off, dst)
+	o.st.Obs.End(sp, err)
+	return err
+}
+
+func (o *Object) readOp(off int64, dst []byte) error {
 	if err := core.CheckRange(o.Size(), off, int64(len(dst))); err != nil {
 		return err
 	}
@@ -205,7 +220,12 @@ func (o *Object) Utilization() core.Utilization {
 
 // Close finalizes the object. ESM has nothing to trim; any pending index
 // updates are flushed.
-func (o *Object) Close() error { return o.tree.FlushOp() }
+func (o *Object) Close() error {
+	sp := o.st.Obs.Begin(obs.OpClose)
+	err := o.tree.FlushOp()
+	o.st.Obs.End(sp, err)
+	return err
+}
 
 // Destroy releases all leaf segments and index pages.
 func (o *Object) destroyOp() error {

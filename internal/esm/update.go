@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lobstore/internal/core"
+	"lobstore/internal/obs"
 	"lobstore/internal/postree"
 )
 
@@ -84,6 +85,9 @@ func (o *Object) insertOp(off int64, data []byte) error {
 	entries, err := o.writePieces(spliced, evenLayout(int64(len(spliced)), o.leafCap))
 	if err != nil {
 		return err
+	}
+	if o.st.Obs.Enabled() && len(entries) > 1 {
+		o.st.Obs.Emit(obs.Event{Kind: obs.KindLeafSplit, Aux1: int64(len(entries))})
 	}
 	if err := o.freeLeaf(e); err != nil {
 		return err
@@ -316,6 +320,9 @@ func (o *Object) mergeOrShare(e postree.Entry, path postree.Path) error {
 	combined := append(lb, rb...)
 
 	if int64(len(combined)) <= o.leafCap {
+		if o.st.Obs.Enabled() {
+			o.st.Obs.Emit(obs.Event{Kind: obs.KindLeafMerge})
+		}
 		merged, err := o.allocLeaf(combined)
 		if err != nil {
 			return err

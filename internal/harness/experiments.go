@@ -209,7 +209,7 @@ func (r *Runner) mixFigure(id, titleFmt, note string, engines []engineSpec,
 
 // Table2 regenerates the Starburst read costs.
 func (r *Runner) Table2() ([]*Table, error) {
-	db, err := lobstore.Open(r.Cfg.DB)
+	db, err := r.open(r.Cfg.DB)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +268,7 @@ func (r *Runner) Table3() ([]*Table, error) {
 	insRow := []string{"Insert I/O cost (s)"}
 	delRow := []string{"Delete I/O cost (s)"}
 	for _, mean := range meanOpSizes {
-		db, err := lobstore.Open(r.Cfg.DB)
+		db, err := r.open(r.Cfg.DB)
 		if err != nil {
 			return nil, err
 		}
@@ -336,7 +336,7 @@ func (r *Runner) Scaling() ([]*Table, error) {
 		buildRow := []string{sizeLabel(size)}
 		updateRow := []string{sizeLabel(size)}
 		for _, e := range specs {
-			db, err := lobstore.Open(cfg)
+			db, err := r.open(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -434,7 +434,7 @@ func (r *Runner) AblationWholeLeaf() ([]*Table, error) {
 
 // esmReadCost builds an object, applies a short mix, and measures reads.
 func (r *Runner) esmReadCost(leaf int, wholeLeaf bool, mean int) (float64, error) {
-	db, err := lobstore.Open(r.Cfg.DB)
+	db, err := r.open(r.Cfg.DB)
 	if err != nil {
 		return 0, err
 	}
@@ -491,7 +491,7 @@ func (r *Runner) AblationNoShadow() ([]*Table, error) {
 }
 
 func (r *Runner) esmInsertCost(leaf int, noShadow bool) (float64, error) {
-	db, err := lobstore.Open(r.Cfg.DB)
+	db, err := r.open(r.Cfg.DB)
 	if err != nil {
 		return 0, err
 	}
@@ -543,7 +543,7 @@ func (r *Runner) AblationPoolRun() ([]*Table, error) {
 	for _, maxRun := range []int{4, 1} {
 		cfg := r.Cfg.DB
 		cfg.MaxBufferedRun = maxRun
-		db, err := lobstore.Open(cfg)
+		db, err := r.open(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -587,7 +587,7 @@ func (r *Runner) AblationBasicInsert() ([]*Table, error) {
 }
 
 func (r *Runner) esmMixUtil(leaf int, basic bool) (float64, error) {
-	db, err := lobstore.Open(r.Cfg.DB)
+	db, err := r.open(r.Cfg.DB)
 	if err != nil {
 		return 0, err
 	}

@@ -64,6 +64,10 @@ type Runner struct {
 	Cfg Config
 	// Log, when non-nil, receives one progress line per run.
 	Log io.Writer
+	// Observe, when non-nil, is called on every database the runner opens,
+	// before any workload touches it. lobbench uses it to attach trace and
+	// metrics sinks to all the databases behind an experiment.
+	Observe func(*lobstore.DB)
 
 	mixCache   map[string]*mixSeries
 	buildCache map[string]buildResult
@@ -82,6 +86,28 @@ func (r *Runner) logf(format string, args ...any) {
 	if r.Log != nil {
 		fmt.Fprintf(r.Log, format+"\n", args...)
 	}
+}
+
+// open creates a database and runs the Observe hook, so attached sinks see
+// every database an experiment touches.
+func (r *Runner) open(cfg lobstore.Config) (*lobstore.DB, error) {
+	db, err := lobstore.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.Observe != nil {
+		r.Observe(db)
+	}
+	return db, nil
+}
+
+// hitRate formats a database's buffer pool hit rate for a log line.
+func hitRate(db *lobstore.DB) string {
+	hits, misses := db.PoolHitRate()
+	if hits+misses == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
 }
 
 // engineSpec names one storage configuration under test.
@@ -127,7 +153,7 @@ func (r *Runner) buildAndScan(e engineSpec, chunk int) (buildResult, error) {
 	if res, ok := r.buildCache[key]; ok {
 		return res, nil
 	}
-	db, err := lobstore.Open(r.Cfg.DB)
+	db, err := r.open(r.Cfg.DB)
 	if err != nil {
 		return buildResult{}, err
 	}
@@ -147,8 +173,8 @@ func (r *Runner) buildAndScan(e engineSpec, chunk int) (buildResult, error) {
 	scan := (db.Now() - start).Seconds()
 	res := buildResult{buildSeconds: build, scanSeconds: scan}
 	r.buildCache[key] = res
-	r.logf("build+scan %-10s chunk=%-8s build=%7.1fs scan=%7.1fs",
-		e.name, sizeLabel(int64(chunk)), build, scan)
+	r.logf("build+scan %-10s chunk=%-8s build=%7.1fs scan=%7.1fs hit=%s",
+		e.name, sizeLabel(int64(chunk)), build, scan, hitRate(db))
 	return res, nil
 }
 
@@ -168,7 +194,7 @@ func (r *Runner) runMix(e engineSpec, meanOp int) (*mixSeries, error) {
 	if s, ok := r.mixCache[key]; ok {
 		return s, nil
 	}
-	db, err := lobstore.Open(r.Cfg.DB)
+	db, err := r.open(r.Cfg.DB)
 	if err != nil {
 		return nil, err
 	}
@@ -208,8 +234,8 @@ func (r *Runner) runMix(e engineSpec, meanOp int) (*mixSeries, error) {
 	}
 	r.mixCache[key] = s
 	last := len(s.ops) - 1
-	r.logf("mix %-6s mean=%-7s util=%5.1f%% read=%6.1fms ins=%8.1fms del=%8.1fms",
-		e.name, sizeLabel(int64(meanOp)), 100*s.util[last], s.readMs[last], s.insertMs[last], s.deleteMs[last])
+	r.logf("mix %-6s mean=%-7s util=%5.1f%% read=%6.1fms ins=%8.1fms del=%8.1fms hit=%s",
+		e.name, sizeLabel(int64(meanOp)), 100*s.util[last], s.readMs[last], s.insertMs[last], s.deleteMs[last], hitRate(db))
 	return s, nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"lobstore"
 	"lobstore/internal/workload"
 )
 
@@ -32,7 +31,7 @@ func (r *Runner) MixSensitivity() ([]*Table, error) {
 	for _, mix := range mixes {
 		row := []string{mix.name}
 		for _, spec := range []engineSpec{{"ESM-4", "esm", 4}, {"EOS-4", "eos", 4}} {
-			db, err := lobstore.Open(r.Cfg.DB)
+			db, err := r.open(r.Cfg.DB)
 			if err != nil {
 				return nil, err
 			}
@@ -95,7 +94,7 @@ func (r *Runner) Hotspot() ([]*Table, error) {
 	} {
 		row := []string{w.name}
 		for _, spec := range []engineSpec{{"ESM-4", "esm", 4}, {"EOS-16", "eos", 16}} {
-			db, err := lobstore.Open(r.Cfg.DB)
+			db, err := r.open(r.Cfg.DB)
 			if err != nil {
 				return nil, err
 			}

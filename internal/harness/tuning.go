@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"lobstore"
 	"lobstore/internal/workload"
 )
 
@@ -29,7 +28,7 @@ func (r *Runner) Tuning() ([]*Table, error) {
 		Headers: []string{"T (pages)", "utilization (%)", "read (ms)", "insert (ms)", "delete (ms)"},
 	}
 	for _, threshold := range []int{1, 2, 4, 8, 16, 32, 64} {
-		db, err := lobstore.Open(r.Cfg.DB)
+		db, err := r.open(r.Cfg.DB)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Histogram is a fixed-bucket histogram over int64 samples. Bounds are
+// inclusive upper edges; samples above the last bound land in a final
+// overflow bucket.
+type Histogram struct {
+	Name   string
+	Unit   string
+	Bounds []int64
+	Counts []int64 // len(Bounds)+1
+	Sum    int64
+	N      int64
+	Max    int64
+}
+
+// NewHistogram creates a histogram with the given inclusive upper bounds,
+// which must be strictly increasing.
+func NewHistogram(name, unit string, bounds []int64) *Histogram {
+	return &Histogram{
+		Name:   name,
+		Unit:   unit,
+		Bounds: bounds,
+		Counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
+	h.Counts[i]++
+	h.Sum += v
+	h.N++
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// bucketLabel names bucket i, e.g. "<=4" or ">512".
+func (h *Histogram) bucketLabel(i int) string {
+	if i < len(h.Bounds) {
+		return "<=" + strconv.FormatInt(h.Bounds[i], 10)
+	}
+	return ">" + strconv.FormatInt(h.Bounds[len(h.Bounds)-1], 10)
+}
+
+// Default bucket edges.
+var (
+	ioSizeBounds  = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	seekBounds    = []int64{0, 1, 8, 64, 512, 4096, 32768}
+	latencyBounds = []int64{1, 5, 10, 50, 100, 500, 1000, 5000, 20000} // ms
+	depthBounds   = []int64{1, 2, 3, 4, 6, 8}
+)
+
+// Metrics is an aggregating sink: counters plus fixed-bucket histograms of
+// I/O call size, seek distance, tree descent depth and per-operation
+// simulated latency. One registry may be shared by several databases (the
+// harness shares one across an experiment's runs).
+type Metrics struct {
+	counters map[string]int64
+
+	IOSize  *Histogram // pages moved per I/O call
+	Seek    *Histogram // pages of head movement per I/O call
+	Depth   *Histogram // index pages touched per tree descent
+	OpLat   [numOps]*Histogram
+	created [numOps]bool
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		IOSize:   NewHistogram("io.size", "pages", ioSizeBounds),
+		Seek:     NewHistogram("io.seek", "pages", seekBounds),
+		Depth:    NewHistogram("tree.descend.depth", "pages", depthBounds),
+	}
+}
+
+// Add bumps a named counter.
+func (m *Metrics) Add(name string, delta int64) { m.counters[name] += delta }
+
+// Counter returns a named counter (0 when never bumped).
+func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
+
+// CounterNames returns every counter name in sorted order.
+func (m *Metrics) CounterNames() []string { return m.sortedCounters() }
+
+// opLatency lazily creates the per-operation latency histogram.
+func (m *Metrics) opLatency(op Op) *Histogram {
+	if !m.created[op] {
+		m.OpLat[op] = NewHistogram("op."+op.String()+".latency", "ms", latencyBounds)
+		m.created[op] = true
+	}
+	return m.OpLat[op]
+}
+
+// Record implements Sink.
+func (m *Metrics) Record(e Event) {
+	switch e.Kind {
+	case KindSpanBegin:
+		m.Add("op."+e.Op.String()+".count", 1)
+	case KindSpanEnd:
+		m.opLatency(e.Op).Observe(e.Aux1 / 1000) // µs → ms
+		if e.Err != "" {
+			m.Add("op."+e.Op.String()+".errors", 1)
+		}
+	case KindIORead:
+		m.Add("io.read.calls", 1)
+		m.Add("io.read.pages", int64(e.Pages))
+		m.Add("io.seek.pages", e.Aux1)
+		m.IOSize.Observe(int64(e.Pages))
+		m.Seek.Observe(e.Aux1)
+	case KindIOWrite:
+		m.Add("io.write.calls", 1)
+		m.Add("io.write.pages", int64(e.Pages))
+		m.Add("io.seek.pages", e.Aux1)
+		m.IOSize.Observe(int64(e.Pages))
+		m.Seek.Observe(e.Aux1)
+	case KindIOError:
+		m.Add("io.errors", 1)
+	case KindBufHit:
+		// Run fetches carry the run length; the pool counts per page.
+		m.Add("buf.hits", pagesOr1(e))
+	case KindBufMiss:
+		m.Add("buf.misses", pagesOr1(e))
+	case KindBufEvict:
+		m.Add("buf.evictions", 1)
+	case KindBufFlush:
+		m.Add("buf.flushes", 1)
+	case KindBufFetchRun:
+		m.Add("buf.runfetches", 1)
+	case KindAlloc:
+		m.Add("buddy.allocs", 1)
+		m.Add("buddy.alloc.pages", int64(e.Pages))
+	case KindFree:
+		m.Add("buddy.frees", 1)
+		m.Add("buddy.free.pages", int64(e.Pages))
+	case KindSplit:
+		m.Add("buddy.splits", 1)
+	case KindCoalesce:
+		m.Add("buddy.coalesces", 1)
+	case KindDescend:
+		m.Add("tree.descents", 1)
+		m.Depth.Observe(e.Aux1)
+	case KindLeafSplit:
+		m.Add("leaf.splits", 1)
+	case KindLeafMerge:
+		m.Add("leaf.merges", 1)
+	case KindExtentDouble:
+		m.Add("extent.doublings", 1)
+	}
+}
+
+// pagesOr1 returns the event's page count, defaulting to one page.
+func pagesOr1(e Event) int64 {
+	if e.Pages > 0 {
+		return int64(e.Pages)
+	}
+	return 1
+}
+
+// Close implements Sink.
+func (m *Metrics) Close() error { return nil }
+
+// HitRate returns the buffer pool hit fraction seen so far (0 when no
+// buffer traffic was recorded).
+func (m *Metrics) HitRate() float64 {
+	h, mi := m.counters["buf.hits"], m.counters["buf.misses"]
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+func (m *Metrics) sortedCounters() []string {
+	names := make([]string, 0, len(m.counters))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (m *Metrics) histograms() []*Histogram {
+	hs := []*Histogram{m.IOSize, m.Seek, m.Depth}
+	for op := Op(0); op < numOps; op++ {
+		if m.created[op] {
+			hs = append(hs, m.OpLat[op])
+		}
+	}
+	return hs
+}
+
+// WriteText renders the registry as aligned human-readable text.
+func (m *Metrics) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "counters:\n"); err != nil {
+		return err
+	}
+	for _, n := range m.sortedCounters() {
+		if _, err := fmt.Fprintf(w, "  %-24s %12d\n", n, m.counters[n]); err != nil {
+			return err
+		}
+	}
+	if h, mi := m.counters["buf.hits"], m.counters["buf.misses"]; h+mi > 0 {
+		if _, err := fmt.Fprintf(w, "  %-24s %11.1f%%\n", "buf.hitrate", 100*m.HitRate()); err != nil {
+			return err
+		}
+	}
+	for _, h := range m.histograms() {
+		if h.N == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "histogram %s (%s): n=%d mean=%.1f max=%d\n",
+			h.Name, h.Unit, h.N, h.Mean(), h.Max); err != nil {
+			return err
+		}
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  %-10s %12d\n", h.bucketLabel(i), c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the registry as CSV rows: type,name,bucket,value.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"type", "name", "bucket", "value"}); err != nil {
+		return err
+	}
+	for _, n := range m.sortedCounters() {
+		if err := cw.Write([]string{"counter", n, "", strconv.FormatInt(m.counters[n], 10)}); err != nil {
+			return err
+		}
+	}
+	for _, h := range m.histograms() {
+		if h.N == 0 {
+			continue
+		}
+		for i, c := range h.Counts {
+			if err := cw.Write([]string{"hist", h.Name, h.bucketLabel(i), strconv.FormatInt(c, 10)}); err != nil {
+				return err
+			}
+		}
+		if err := cw.Write([]string{"hist", h.Name, "sum", strconv.FormatInt(h.Sum, 10)}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"hist", h.Name, "count", strconv.FormatInt(h.N, 10)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestKindOpNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" || name == "kind?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		got, ok := ParseKind(name)
+		if !ok || got != k {
+			t.Fatalf("ParseKind(%q) = %v,%v, want %v", name, got, ok, k)
+		}
+	}
+	for op := OpCreate; op < numOps; op++ {
+		name := op.String()
+		if name == "" {
+			t.Fatalf("op %d has no name", op)
+		}
+		got, ok := ParseOp(name)
+		if !ok || got != op {
+			t.Fatalf("ParseOp(%q) = %v,%v, want %v", name, got, ok, op)
+		}
+	}
+	if _, ok := ParseKind("no.such.kind"); ok {
+		t.Fatal("ParseKind accepted garbage")
+	}
+	if op, ok := ParseOp(""); ok || op != OpNone {
+		t.Fatalf("ParseOp(\"\") = %v,%v, want OpNone,false", op, ok)
+	}
+}
+
+func TestDisabledTracer(t *testing.T) {
+	var nilTracer *Tracer
+	for _, tr := range []*Tracer{nil, NewTracer(), nilTracer} {
+		if tr.Enabled() {
+			t.Fatal("tracer with no sinks reports enabled")
+		}
+		if id := tr.Begin(OpRead); id != 0 {
+			t.Fatalf("disabled Begin returned span %d", id)
+		}
+		tr.Emit(Event{Kind: KindIORead}) // must not panic
+		tr.End(0, errors.New("x"))       // must not panic
+		if err := tr.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+}
+
+func TestTracerSpansAndTagging(t *testing.T) {
+	tr := NewTracer()
+	ring := NewRing(64)
+	tr.Attach(ring)
+	clock := int64(0)
+	tr.SetTimeFunc(func() int64 { return clock })
+
+	outer := tr.Begin(OpInsert)
+	clock = 100
+	tr.Emit(Event{Kind: KindIOWrite, Pages: 2})
+	inner := tr.Begin(OpRead)
+	clock = 250
+	tr.Emit(Event{Kind: KindIORead, Pages: 1})
+	tr.End(inner, nil)
+	clock = 400
+	tr.End(outer, errors.New("boom"))
+
+	evs := ring.Events()
+	// span.begin, io.write, span.begin, io.read, span.end, span.end
+	if len(evs) != 6 {
+		t.Fatalf("got %d events, want 6", len(evs))
+	}
+	if evs[1].Op != OpInsert || evs[1].Span != uint64(outer) {
+		t.Fatalf("io.write tagged %v/%d, want insert/%d", evs[1].Op, evs[1].Span, outer)
+	}
+	if evs[3].Op != OpRead || evs[3].Span != uint64(inner) {
+		t.Fatalf("io.read tagged %v/%d, want read/%d (innermost wins)", evs[3].Op, evs[3].Span, inner)
+	}
+	if evs[4].Kind != KindSpanEnd || evs[4].Op != OpRead || evs[4].Aux1 != 250-100 {
+		t.Fatalf("inner span.end = %+v", evs[4])
+	}
+	last := evs[5]
+	if last.Kind != KindSpanEnd || last.Op != OpInsert || last.Err != "boom" || last.Aux1 != 400 {
+		t.Fatalf("outer span.end = %+v", last)
+	}
+	// After both spans closed, events are untagged again.
+	tr.Emit(Event{Kind: KindBufHit})
+	evs = ring.Events()
+	if got := evs[len(evs)-1]; got.Span != 0 || got.Op != OpNone {
+		t.Fatalf("post-span event still tagged: %+v", got)
+	}
+}
+
+func TestTracerEndPopsAbandonedSpans(t *testing.T) {
+	tr := NewTracer()
+	ring := NewRing(16)
+	tr.Attach(ring)
+	outer := tr.Begin(OpDelete)
+	tr.Begin(OpRead) // never ended explicitly
+	tr.End(outer, nil)
+	var open int
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case KindSpanBegin:
+			open++
+		case KindSpanEnd:
+			open--
+		}
+	}
+	if open != 0 {
+		t.Fatalf("unbalanced spans after End(outer): %d still open", open)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindBufHit, Aux1: int64(i)})
+	}
+	if r.Total() != 10 || r.Len() != 4 {
+		t.Fatalf("total=%d len=%d, want 10/4", r.Total(), r.Len())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if want := int64(6 + i); e.Aux1 != want {
+			t.Fatalf("event %d has Aux1=%d, want %d (oldest-first)", i, e.Aux1, want)
+		}
+	}
+	if got := r.Filter(KindBufHit); len(got) != 4 {
+		t.Fatalf("Filter kept %d events, want 4", len(got))
+	}
+	if got := r.Filter(KindIORead); len(got) != 0 {
+		t.Fatalf("Filter invented %d events", len(got))
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{Time: 1, Kind: KindSpanBegin, Op: OpAppend, Span: 7},
+		{Time: 2, Kind: KindIOWrite, Op: OpAppend, Span: 7, Area: 1, Page: 42, Pages: 4, Aux1: 99},
+		{Time: 3, Kind: KindIOError, Op: OpAppend, Span: 7, Err: "injected"},
+		{Time: 4, Kind: KindSpanEnd, Op: OpAppend, Span: 7, Aux1: 3},
+	}
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	for _, e := range in {
+		j.Record(e)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(in) {
+		t.Fatalf("wrote %d lines, want %d", n, len(in))
+	}
+	var out []Event
+	if err := ReadJSONL(&buf, func(e Event) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadJSONLSkipsUnknownKinds(t *testing.T) {
+	trace := `{"t":1,"k":"io.read","n":2}
+{"t":2,"k":"future.kind","n":9}
+{"t":3,"k":"io.write","n":1}
+`
+	var kinds []Kind
+	if err := ReadJSONL(strings.NewReader(trace), func(e Event) error {
+		kinds = append(kinds, e.Kind)
+		return nil
+	}); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(kinds) != 2 || kinds[0] != KindIORead || kinds[1] != KindIOWrite {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if err := ReadJSONL(strings.NewReader("not json\n"), func(Event) error { return nil }); err == nil {
+		t.Fatal("malformed line did not error")
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics()
+	feed := []Event{
+		{Kind: KindSpanBegin, Op: OpRead},
+		{Kind: KindIORead, Pages: 4, Aux1: 10},
+		{Kind: KindIORead, Pages: 2, Aux1: 0},
+		{Kind: KindBufHit},
+		{Kind: KindBufHit},
+		{Kind: KindBufMiss},
+		{Kind: KindSpanEnd, Op: OpRead, Aux1: 66_000}, // 66 ms
+		{Kind: KindSpanBegin, Op: OpInsert},
+		{Kind: KindIOWrite, Pages: 8, Aux1: 100},
+		{Kind: KindAlloc, Pages: 8},
+		{Kind: KindSplit, Aux1: 5, Aux2: 4},
+		{Kind: KindDescend, Aux1: 2},
+		{Kind: KindLeafSplit, Aux1: 3},
+		{Kind: KindSpanEnd, Op: OpInsert, Aux1: 166_000, Err: "failed"},
+	}
+	for _, e := range feed {
+		m.Record(e)
+	}
+	checks := map[string]int64{
+		"op.read.count":    1,
+		"op.insert.count":  1,
+		"op.insert.errors": 1,
+		"io.read.calls":    2,
+		"io.read.pages":    6,
+		"io.write.calls":   1,
+		"io.write.pages":   8,
+		"io.seek.pages":    110,
+		"buf.hits":         2,
+		"buf.misses":       1,
+		"buddy.allocs":     1,
+		"buddy.splits":     1,
+		"tree.descents":    1,
+		"leaf.splits":      1,
+	}
+	for name, want := range checks {
+		if got := m.Counter(name); got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if hr := m.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Errorf("hit rate %f, want 2/3", hr)
+	}
+	if m.IOSize.N != 3 || m.IOSize.Sum != 14 || m.IOSize.Max != 8 {
+		t.Errorf("IOSize = n=%d sum=%d max=%d", m.IOSize.N, m.IOSize.Sum, m.IOSize.Max)
+	}
+	if m.OpLat[OpRead] == nil || m.OpLat[OpRead].Sum != 66 {
+		t.Errorf("read latency histogram = %+v", m.OpLat[OpRead])
+	}
+
+	var text bytes.Buffer
+	if err := m.WriteText(&text); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	for _, want := range []string{"io.read.calls", "buf.hitrate", "histogram io.size"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+	var csvOut bytes.Buffer
+	if err := m.WriteCSV(&csvOut); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.HasPrefix(csvOut.String(), "type,name,bucket,value\n") {
+		t.Errorf("csv header missing:\n%s", csvOut.String())
+	}
+	names := m.CounterNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("CounterNames not sorted: %v", names)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("x", "u", []int64{1, 4, 16})
+	for _, v := range []int64{0, 1, 2, 4, 5, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1, 1} // <=1, <=4, <=16, >16
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d (%s) = %d, want %d", i, h.bucketLabel(i), c, want[i])
+		}
+	}
+	if h.Mean() != 112.0/6 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+	if h.bucketLabel(0) != "<=1" || h.bucketLabel(3) != ">16" {
+		t.Fatalf("labels = %q %q", h.bucketLabel(0), h.bucketLabel(3))
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+// Ring is an in-memory sink keeping the last N events. It never allocates
+// after construction, so it can observe allocation-sensitive paths.
+type Ring struct {
+	buf   []Event
+	next  int
+	full  bool
+	total int64
+}
+
+// NewRing returns a ring buffer holding the most recent n events.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Record implements Sink.
+func (r *Ring) Record(e Event) {
+	r.buf[r.next] = e
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Close implements Sink.
+func (r *Ring) Close() error { return nil }
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns the number of events ever recorded.
+func (r *Ring) Total() int64 { return r.total }
+
+// Events returns the held events, oldest first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns the held events of one kind, oldest first.
+func (r *Ring) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}

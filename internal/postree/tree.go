@@ -6,6 +6,7 @@ import (
 
 	"lobstore/internal/buffer"
 	"lobstore/internal/disk"
+	"lobstore/internal/obs"
 	"lobstore/internal/store"
 )
 
@@ -220,6 +221,14 @@ func (t *Tree) Find(off int64) (Entry, int64, Path, error) {
 		e := Entry{Bytes: n.bytes(i), Ptr: n.ptr(i)}
 		h.Unfix(false)
 		if level == 0 {
+			if t.st.Obs.Enabled() {
+				t.st.Obs.Emit(obs.Event{
+					Kind: obs.KindDescend,
+					Area: uint8(t.root.Area),
+					Page: uint32(t.root.Page),
+					Aux1: int64(len(path)),
+				})
+			}
 			return e, skipped, path, nil
 		}
 		addr = disk.Addr{Area: t.root.Area, Page: disk.PageID(e.Ptr)}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -102,16 +103,34 @@ func TestDurationString(t *testing.T) {
 }
 
 func TestStatsAddSub(t *testing.T) {
-	a := Stats{ReadCalls: 3, WriteCalls: 2, PagesRead: 10, PagesWritten: 7, Time: 100}
-	b := Stats{ReadCalls: 1, WriteCalls: 1, PagesRead: 4, PagesWritten: 2, Time: 40}
+	a := Stats{ReadCalls: 3, WriteCalls: 2, PagesRead: 10, PagesWritten: 7, SeekDistance: 50, Time: 100}
+	b := Stats{ReadCalls: 1, WriteCalls: 1, PagesRead: 4, PagesWritten: 2, SeekDistance: 20, Time: 40}
 	var s Stats
 	s.Add(a)
 	s.Add(b)
-	if s.Calls() != 7 || s.Pages() != 23 || s.Time != 140 {
+	if s.Calls() != 7 || s.Pages() != 23 || s.SeekDistance != 70 || s.Time != 140 {
 		t.Errorf("add: %+v", s)
 	}
 	d := s.Sub(b)
 	if d != a {
 		t.Errorf("sub: %+v, want %+v", d, a)
+	}
+}
+
+func TestStatsCSV(t *testing.T) {
+	s := Stats{ReadCalls: 3, WriteCalls: 2, PagesRead: 10, PagesWritten: 7, SeekDistance: 50, Time: 100}
+	if got, want := s.CSV(), "3,2,10,7,50,100"; got != want {
+		t.Errorf("CSV() = %q, want %q", got, want)
+	}
+	header := CSVHeader()
+	if strings.Count(header, ",") != strings.Count(s.CSV(), ",") {
+		t.Errorf("header %q has different arity than row %q", header, s.CSV())
+	}
+	// String stays in its historical shape: consumers parse it.
+	if got := s.String(); !strings.HasPrefix(got, "ios=5 (r=3 w=2) pages=17 (r=10 w=7)") {
+		t.Errorf("String() = %q changed shape", got)
+	}
+	if (Stats{}).CSV() != "0,0,0,0,0,0" {
+		t.Errorf("zero CSV = %q", (Stats{}).CSV())
 	}
 }

@@ -10,6 +10,12 @@ type Stats struct {
 	WriteCalls   int64 // I/O calls that wrote pages
 	PagesRead    int64 // total pages transferred by reads
 	PagesWritten int64 // total pages transferred by writes
+	// SeekDistance tallies disk head movement: the pages between the end of
+	// one I/O call and the start of the next, across all areas laid out
+	// consecutively. The paper's cost model charges every call the same
+	// seek time; the distance tally preserves the locality the flat charge
+	// hides.
+	SeekDistance int64
 	Time         Duration
 }
 
@@ -25,6 +31,7 @@ func (s *Stats) Add(o Stats) {
 	s.WriteCalls += o.WriteCalls
 	s.PagesRead += o.PagesRead
 	s.PagesWritten += o.PagesWritten
+	s.SeekDistance += o.SeekDistance
 	s.Time += o.Time
 }
 
@@ -35,6 +42,7 @@ func (s Stats) Sub(o Stats) Stats {
 		WriteCalls:   s.WriteCalls - o.WriteCalls,
 		PagesRead:    s.PagesRead - o.PagesRead,
 		PagesWritten: s.PagesWritten - o.PagesWritten,
+		SeekDistance: s.SeekDistance - o.SeekDistance,
 		Time:         s.Time - o.Time,
 	}
 }
@@ -43,4 +51,17 @@ func (s Stats) String() string {
 	return fmt.Sprintf("ios=%d (r=%d w=%d) pages=%d (r=%d w=%d) time=%v",
 		s.Calls(), s.ReadCalls, s.WriteCalls,
 		s.Pages(), s.PagesRead, s.PagesWritten, s.Time)
+}
+
+// CSVHeader returns the column names matching CSV.
+func CSVHeader() string {
+	return "read_calls,write_calls,pages_read,pages_written,seek_distance_pages,time_us"
+}
+
+// CSV returns the stats as one comma-separated row (see CSVHeader), so
+// result files can carry the locality tally alongside the paper's totals.
+func (s Stats) CSV() string {
+	return fmt.Sprintf("%d,%d,%d,%d,%d,%d",
+		s.ReadCalls, s.WriteCalls, s.PagesRead, s.PagesWritten,
+		s.SeekDistance, int64(s.Time))
 }

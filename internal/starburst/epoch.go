@@ -1,37 +1,61 @@
 package starburst
 
+import "lobstore/internal/obs"
+
 // Public mutating operations run inside a shadow epoch (§3.3/§3.5): the old
 // segments read by a reorganisation are freed only after the new segment
 // set exists and the descriptor — the commit point — has been rewritten, so
 // a crash mid-operation leaves the previous field version fully intact and
 // recoverable.
+//
+// Each public method is also an observability span boundary: every event
+// emitted below — disk I/O, buffer traffic, allocations — is tagged with
+// the operation that caused it.
 
 // Append adds data at the end of the field.
 func (o *Object) Append(data []byte) error {
-	return o.st.RunOp(func() error { return o.appendOp(data) })
+	sp := o.st.Obs.Begin(obs.OpAppend)
+	err := o.st.RunOp(func() error { return o.appendOp(data) })
+	o.st.Obs.End(sp, err)
+	return err
 }
 
 // Insert adds data before the byte at off.
 func (o *Object) Insert(off int64, data []byte) error {
-	return o.st.RunOp(func() error { return o.insertOp(off, data) })
+	sp := o.st.Obs.Begin(obs.OpInsert)
+	err := o.st.RunOp(func() error { return o.insertOp(off, data) })
+	o.st.Obs.End(sp, err)
+	return err
 }
 
 // Delete removes the n bytes at [off, off+n).
 func (o *Object) Delete(off, n int64) error {
-	return o.st.RunOp(func() error { return o.deleteOp(off, n) })
+	sp := o.st.Obs.Begin(obs.OpDelete)
+	err := o.st.RunOp(func() error { return o.deleteOp(off, n) })
+	o.st.Obs.End(sp, err)
+	return err
 }
 
 // Replace overwrites the bytes at [off, off+len(data)).
 func (o *Object) Replace(off int64, data []byte) error {
-	return o.st.RunOp(func() error { return o.replaceOp(off, data) })
+	sp := o.st.Obs.Begin(obs.OpReplace)
+	err := o.st.RunOp(func() error { return o.replaceOp(off, data) })
+	o.st.Obs.End(sp, err)
+	return err
 }
 
 // Close trims the unused blocks at the right end of the last segment.
 func (o *Object) Close() error {
-	return o.st.RunOp(o.closeOp)
+	sp := o.st.Obs.Begin(obs.OpClose)
+	err := o.st.RunOp(o.closeOp)
+	o.st.Obs.End(sp, err)
+	return err
 }
 
 // Destroy releases every segment and the descriptor page.
 func (o *Object) Destroy() error {
-	return o.st.RunOp(o.destroyOp)
+	sp := o.st.Obs.Begin(obs.OpDestroy)
+	err := o.st.RunOp(o.destroyOp)
+	o.st.Obs.End(sp, err)
+	return err
 }

@@ -18,6 +18,7 @@ import (
 
 	"lobstore/internal/core"
 	"lobstore/internal/disk"
+	"lobstore/internal/obs"
 	"lobstore/internal/store"
 )
 
@@ -75,6 +76,13 @@ func New(st *store.Store, cfg Config) (*Object, error) {
 	if cfg.KnownSize < 0 {
 		return nil, fmt.Errorf("starburst: negative known size")
 	}
+	sp := st.Obs.Begin(obs.OpCreate)
+	o, err := create(st, cfg)
+	st.Obs.End(sp, err)
+	return o, err
+}
+
+func create(st *store.Store, cfg Config) (*Object, error) {
 	desc, err := st.AllocMetaPage()
 	if err != nil {
 		return nil, err
@@ -113,6 +121,13 @@ func (o *Object) locate(off int64) (int, int64) {
 
 // Read fills dst with the bytes at [off, off+len(dst)).
 func (o *Object) Read(off int64, dst []byte) error {
+	sp := o.st.Obs.Begin(obs.OpRead)
+	err := o.readOp(off, dst)
+	o.st.Obs.End(sp, err)
+	return err
+}
+
+func (o *Object) readOp(off int64, dst []byte) error {
 	if err := core.CheckRange(o.size, off, int64(len(dst))); err != nil {
 		return err
 	}
@@ -166,6 +181,9 @@ func (o *Object) appendOp(data []byte) error {
 	// Allocate new segments along the growth pattern.
 	for len(rest) > 0 {
 		pages := o.growthPages()
+		if o.st.Obs.Enabled() {
+			o.st.Obs.Emit(obs.Event{Kind: obs.KindExtentDouble, Aux1: int64(pages)})
+		}
 		seg, err := o.st.AllocSegment(pages)
 		if err != nil {
 			return err

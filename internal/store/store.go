@@ -23,6 +23,7 @@ import (
 	"lobstore/internal/buddy"
 	"lobstore/internal/buffer"
 	"lobstore/internal/disk"
+	"lobstore/internal/obs"
 	"lobstore/internal/sim"
 )
 
@@ -71,6 +72,10 @@ type Store struct {
 	Clock *sim.Clock
 	Leaf  *buddy.Allocator
 	Meta  *buddy.Allocator
+	// Obs is the database's event tracer, shared by the disk, the pool,
+	// both allocators and the managers above. Always non-nil; disabled
+	// (and free) until a sink is attached.
+	Obs *obs.Tracer
 
 	leafArea disk.AreaID
 	maxOrder uint
@@ -97,6 +102,12 @@ func Open(p Params) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The tracer is installed on the disk before the pool and the
+	// allocators are created: they capture it at construction so one
+	// database yields one coherent event stream.
+	tracer := obs.NewTracer()
+	tracer.SetTimeFunc(func() int64 { return int64(clock.Now()) })
+	d.SetTracer(tracer)
 	metaArea, err := d.AddArea(p.MetaAreaPages)
 	if err != nil {
 		return nil, fmt.Errorf("store: meta area: %w", err)
@@ -129,6 +140,7 @@ func Open(p Params) (*Store, error) {
 		Clock:    clock,
 		Leaf:     leaf,
 		Meta:     meta,
+		Obs:      tracer,
 		leafArea: leafArea,
 		maxOrder: p.MaxOrder,
 		pageSize: p.Model.PageSize,

@@ -27,14 +27,17 @@ package lobstore
 
 import (
 	"fmt"
+	"io"
 	"math/bits"
 	"time"
 
+	"lobstore/internal/buddy"
 	"lobstore/internal/buffer"
 	"lobstore/internal/catalog"
 	"lobstore/internal/core"
 	"lobstore/internal/eos"
 	"lobstore/internal/esm"
+	"lobstore/internal/obs"
 	"lobstore/internal/sim"
 	"lobstore/internal/starburst"
 	"lobstore/internal/store"
@@ -113,6 +116,10 @@ type Stats struct {
 	WriteCalls   int64
 	PagesRead    int64
 	PagesWritten int64
+	// SeekDistance is the total head travel in pages across all I/O calls —
+	// a locality measure the fixed per-call seek cost of the paper's model
+	// does not capture.
+	SeekDistance int64
 	// Time is the simulated time the I/O took.
 	Time time.Duration
 }
@@ -130,6 +137,7 @@ func (s Stats) Sub(o Stats) Stats {
 		WriteCalls:   s.WriteCalls - o.WriteCalls,
 		PagesRead:    s.PagesRead - o.PagesRead,
 		PagesWritten: s.PagesWritten - o.PagesWritten,
+		SeekDistance: s.SeekDistance - o.SeekDistance,
 		Time:         s.Time - o.Time,
 	}
 }
@@ -140,6 +148,7 @@ func fromSim(st sim.Stats) Stats {
 		WriteCalls:   st.WriteCalls,
 		PagesRead:    st.PagesRead,
 		PagesWritten: st.PagesWritten,
+		SeekDistance: st.SeekDistance,
 		Time:         st.Time.Std(),
 	}
 }
@@ -148,9 +157,11 @@ func fromSim(st sim.Stats) Stats {
 // buddy-system space manager, an object catalog, and a clock that advances
 // only on I/O.
 type DB struct {
-	st  *store.Store
-	cfg Config
-	cat *catalog.Catalog
+	st      *store.Store
+	cfg     Config
+	cat     *catalog.Catalog
+	trace   *obs.JSONL
+	metrics *obs.Metrics
 }
 
 // Open creates a fresh simulated database.
@@ -270,6 +281,75 @@ func (db *DB) PoolHitRate() (hits, misses int64) { return db.st.Pool.HitRate() }
 func (db *DB) SpaceInUse() (dataPages, metaPages int64) {
 	return db.st.Leaf.UsedBlocks(), db.st.Meta.UsedBlocks()
 }
+
+// Metrics is an aggregating event sink: per-operation counters plus
+// fixed-bucket histograms for I/O call sizes, seek distances, tree descent
+// depths and per-operation simulated latency. Obtain one with EnableMetrics.
+type Metrics = obs.Metrics
+
+// NewMetrics returns an empty metrics registry, for sharing across several
+// databases via EnableMetrics.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// Fragmentation is a point-in-time snapshot of a buddy allocator's free
+// lists. Obtain one with LeafFragmentation.
+type Fragmentation = buddy.Fragmentation
+
+// TraceWriter encodes observability events as JSONL, one JSON object per
+// line. Create one with NewTraceWriter to share a single trace stream
+// across several databases; a lone database can use EnableTrace directly.
+type TraceWriter = obs.JSONL
+
+// NewTraceWriter returns a trace writer appending to w. The writer buffers;
+// call its Flush (or the owning database's FlushTrace) before reading the
+// output.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewJSONL(w) }
+
+// EnableTrace attaches a JSONL trace sink: from now on every observability
+// event — operation spans, disk I/O, buffer traffic, allocator and tree
+// activity — is appended to w, one JSON object per line. Call FlushTrace
+// before reading the output. Tracing costs one encoded line per event; when
+// neither tracing nor metrics are enabled the event layer is free.
+func (db *DB) EnableTrace(w io.Writer) {
+	db.AttachTrace(obs.NewJSONL(w))
+}
+
+// AttachTrace attaches an existing trace writer, so several databases can
+// append to the same stream. The simulation is single-threaded; sharing
+// needs no locking.
+func (db *DB) AttachTrace(t *TraceWriter) {
+	db.trace = t
+	db.st.Obs.Attach(t)
+}
+
+// FlushTrace flushes buffered trace events to the underlying writer. It is
+// a no-op when tracing is not enabled.
+func (db *DB) FlushTrace() error {
+	if db.trace == nil {
+		return nil
+	}
+	return db.trace.Flush()
+}
+
+// EnableMetrics attaches an aggregating metrics registry and returns it.
+// Passing nil creates a fresh registry; passing an existing one accumulates
+// into it, so several databases can share a registry.
+func (db *DB) EnableMetrics(m *Metrics) *Metrics {
+	if m == nil {
+		m = obs.NewMetrics()
+	}
+	db.metrics = m
+	db.st.Obs.Attach(m)
+	return m
+}
+
+// Metrics returns the registry attached with EnableMetrics, or nil when
+// metrics are disabled.
+func (db *DB) Metrics() *Metrics { return db.metrics }
+
+// LeafFragmentation snapshots the free-list state of the data area's buddy
+// allocator. It inspects only the cached directory — no I/O is charged.
+func (db *DB) LeafFragmentation() Fragmentation { return db.st.Leaf.Fragmentation() }
 
 // InjectIOFailure arms disk fault injection: the next calls I/O operations
 // succeed, after which every operation fails with err until re-armed
