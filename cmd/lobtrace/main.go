@@ -59,7 +59,6 @@ func load(path string) (*obs.Metrics, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	defer f.Close()
 	m := obs.NewMetrics()
 	var events int64
 	err = obs.ReadJSONL(f, func(e obs.Event) error {
@@ -67,6 +66,9 @@ func load(path string) (*obs.Metrics, int64, error) {
 		events++
 		return nil
 	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, 0, fmt.Errorf("%s: %w", path, err)
 	}

@@ -92,7 +92,7 @@ func main() {
 		fmt.Printf("reopened %-14s picture=%d bytes voice=%d bytes ✓\n",
 			fields[0].Inline, pic.Size(), mustSize(people2, *fields[2].Long))
 	}
-	os.Remove(path)
+	must(os.Remove(path))
 }
 
 func mustSize(rf *lobstore.RecordFile, ref lobstore.LongRef) int64 {

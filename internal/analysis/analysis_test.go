@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The loader is shared across tests: the source importer re-checks the
+// standard library from GOROOT, which is the expensive part.
+var (
+	loaderOnce sync.Once
+	testLdr    *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := filepath.Abs(filepath.Join("..", ".."))
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		testLdr, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return testLdr
+}
+
+// checkTestdata type-checks one testdata file under pkgPath, runs one
+// analyzer, and matches the diagnostics against the file's `// want`
+// comments (backquoted regexes, one or more per line).
+func checkTestdata(t *testing.T, a *Analyzer, pkgPath, name string) []Diagnostic {
+	t.Helper()
+	file := filepath.Join("testdata", name, name+".go")
+	pkg, err := testLoader(t).CheckFiles(pkgPath, filepath.Dir(file), []string{file})
+	if err != nil {
+		t.Fatalf("checking %s: %v", file, err)
+	}
+	diags := Run(pkg, []*Analyzer{a})
+	matchWants(t, file, diags)
+	return diags
+}
+
+var (
+	wantMarker  = regexp.MustCompile(`// want (.*)$`)
+	wantPattern = regexp.MustCompile("`([^`]+)`")
+)
+
+type wantDiag struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func matchWants(t *testing.T, file string, diags []Diagnostic) {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[int][]*wantDiag)
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantMarker.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		pats := wantPattern.FindAllStringSubmatch(m[1], -1)
+		if len(pats) == 0 {
+			t.Fatalf("%s:%d: want comment without a backquoted pattern", file, i+1)
+		}
+		for _, p := range pats {
+			re, err := regexp.Compile(p[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, p[1], err)
+			}
+			wants[i+1] = append(wants[i+1], &wantDiag{re: re})
+		}
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants[d.Pos.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched %q", file, line, w.re)
+			}
+		}
+	}
+}
+
+func TestFixUnfix(t *testing.T) {
+	checkTestdata(t, FixUnfix, "lobvettest/fixtest", "fixunfix")
+}
+
+func TestSpanEnd(t *testing.T) {
+	checkTestdata(t, SpanEnd, "lobvettest/spantest", "spanend")
+}
+
+func TestErrDiscard(t *testing.T) {
+	checkTestdata(t, ErrDiscard, "lobvettest/errtest", "errdiscard")
+}
+
+// TestDeterminism checks the testdata under a restricted import path,
+// where every want comment must fire.
+func TestDeterminism(t *testing.T) {
+	checkTestdata(t, Determinism, "lobstore/internal/sim", "determinism")
+}
+
+// TestDeterminismUnrestricted re-checks the same file under an unrelated
+// path: the analyzer only polices the simulation packages.
+func TestDeterminismUnrestricted(t *testing.T) {
+	file := filepath.Join("testdata", "determinism", "determinism.go")
+	pkg, err := testLoader(t).CheckFiles("lobvettest/anywhere", filepath.Dir(file), []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkg, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Fatalf("determinism fired outside the restricted packages: %v", diags)
+	}
+}
+
+func TestSuppressions(t *testing.T) {
+	file := filepath.Join("testdata", "suppress", "suppress.go")
+	pkg, err := testLoader(t).CheckFiles("lobvettest/suppresstest", filepath.Dir(file), []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkg, []*Analyzer{ErrDiscard})
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4: %v", len(diags), diags)
+	}
+	if !diags[0].Suppressed || !strings.Contains(diags[0].SuppressReason, "best-effort probe") {
+		t.Errorf("same-line suppression not honored: %+v", diags[0])
+	}
+	if !diags[1].Suppressed || !strings.Contains(diags[1].SuppressReason, "tolerates loss") {
+		t.Errorf("line-above suppression not honored: %+v", diags[1])
+	}
+	if diags[2].Suppressed || !strings.Contains(diags[2].Message, "suppression ignored") {
+		t.Errorf("reasonless suppression should not suppress: %+v", diags[2])
+	}
+	if diags[3].Suppressed {
+		t.Errorf("suppression naming another analyzer should not suppress: %+v", diags[3])
+	}
+}
+
+func TestParseSuppression(t *testing.T) {
+	s, ok := parseSuppression("//lobvet:ignore errdiscard,fixunfix shared fixture drops errors on purpose")
+	if !ok || !s.covers("errdiscard") || !s.covers("fixunfix") || s.covers("spanend") {
+		t.Errorf("multi-analyzer suppression misparsed: %+v ok=%v", s, ok)
+	}
+	if s.reason != "shared fixture drops errors on purpose" {
+		t.Errorf("reason = %q", s.reason)
+	}
+	if _, ok := parseSuppression("// ordinary comment"); ok {
+		t.Error("ordinary comment parsed as suppression")
+	}
+	if s, ok := parseSuppression("//lobvet:ignore"); !ok || len(s.analyzers) != 0 {
+		t.Errorf("bare marker should parse as malformed: %+v ok=%v", s, ok)
+	}
+}
+
+// TestExpand checks pattern expansion skips testdata and finds real
+// packages.
+func TestExpand(t *testing.T) {
+	l := testLoader(t)
+	dirs, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("Expand included a testdata directory: %s", d)
+		}
+		seen[d] = true
+	}
+	for _, want := range []string{".", "internal/buffer", "internal/analysis", "cmd/lobvet"} {
+		if !seen[want] {
+			t.Errorf("Expand(./...) missed %s (got %d dirs)", want, len(dirs))
+		}
+	}
+	single, err := l.Expand([]string{"./internal/obs"})
+	if err != nil || len(single) != 1 || single[0] != "internal/obs" {
+		t.Errorf("Expand(./internal/obs) = %v, %v", single, err)
+	}
+}
+
+// TestRunOnCleanPackage runs every analyzer over a real module package
+// end to end through LoadDir.
+func TestRunOnCleanPackage(t *testing.T) {
+	pkg, err := testLoader(t).LoadDir("internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkg, All()) {
+		if !d.Suppressed {
+			t.Errorf("unexpected finding in internal/sim: %s", d)
+		}
+	}
+}

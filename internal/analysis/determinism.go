@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs lists the packages whose output must be a pure
+// function of the experiment seed: the simulation substrate, the three
+// managers, and the workload/harness layers above them. obs is exempt —
+// its injected SetTimeFunc is the sanctioned time source.
+var deterministicPkgs = []string{
+	"lobstore/internal/sim",
+	"lobstore/internal/disk",
+	"lobstore/internal/buffer",
+	"lobstore/internal/buddy",
+	"lobstore/internal/esm",
+	"lobstore/internal/eos",
+	"lobstore/internal/starburst",
+	"lobstore/internal/postree",
+	"lobstore/internal/harness",
+	"lobstore/internal/workload",
+	"lobstore/internal/lobtest",
+}
+
+// Determinism forbids nondeterministic inputs inside the simulation
+// packages: wall-clock reads (time.Now/Since/Until), the global math/rand
+// top-level functions (process-wide shared state, seeded per process),
+// and rand.New over a source not built inline by rand.NewSource, so every
+// generator's seed is explicit at the construction site. Identical seeds
+// must reproduce identical sim.Stats, byte for byte.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now and global math/rand in simulation packages: " +
+		"experiment output must be a pure function of the seed",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	restricted := false
+	for _, p := range deterministicPkgs {
+		if pass.PkgPath == p {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(),
+						"wall-clock read time.%s in a simulation package: use the simulated clock (sim.Clock / obs.SetTimeFunc)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				checkRandCall(pass, call, fn)
+			}
+			return true
+		})
+	}
+}
+
+// checkRandCall vets one call into math/rand.
+func checkRandCall(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods on an explicit *rand.Rand are the sanctioned form
+	}
+	switch fn.Name() {
+	case "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+		return
+	case "New":
+		// rand.New(rand.NewSource(seed)) keeps the seed visible at the
+		// construction site; anything else hides it.
+		if len(call.Args) == 1 {
+			if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+				if innerFn := calleeFunc(pass.Info, inner); innerFn != nil {
+					switch innerFn.Name() {
+					case "NewSource", "NewPCG", "NewChaCha8":
+						return
+					}
+				}
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"rand.New over an opaque source: construct as rand.New(rand.NewSource(seed)) so the seed is explicit")
+	default:
+		pass.Reportf(call.Pos(),
+			"global math/rand call rand.%s in a simulation package: draw from a per-run *rand.Rand seeded from the experiment seed",
+			fn.Name())
+	}
+}

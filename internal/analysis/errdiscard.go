@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrDiscard forbids silently dropped errors: assigning an error result
+// to the blank identifier, calling an error-returning function as a bare
+// statement (including defer), and wrapping an error operand with %v in
+// fmt.Errorf where %w would preserve the chain for errors.Is/As. In a
+// storage engine a swallowed error turns a failed I/O into silent
+// corruption; the fault-injection sweeps depend on every error
+// propagating.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc: "forbid silently dropped errors (blank assigns, bare calls) and " +
+		"%v-wrapping of error operands where %w preserves the chain",
+	Run: runErrDiscard,
+}
+
+// errDiscardAllowed lists callees whose error is best-effort by
+// convention: formatted printing to a stream. Everything else either
+// handles its error or carries an explicit //lobvet:ignore with a reason.
+var errDiscardAllowed = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+// infallibleTypes never return a non-nil error by documented contract;
+// dropping their error is noise, not risk.
+var infallibleTypes = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+}
+
+func runErrDiscard(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkBareCall(pass, call)
+				}
+			case *ast.DeferStmt:
+				checkBareCall(pass, n.Call)
+			case *ast.GoStmt:
+				checkBareCall(pass, n.Call)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErrAssign flags `_ = errCall()` and `v, _ := f()` where the
+// discarded result is an error.
+func checkBlankErrAssign(pass *Pass, s *ast.AssignStmt) {
+	// Tuple form: x, _ := call().
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tv, ok := pass.Info.Types[call]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(s.Lhs) {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) && !allowedErrDrop(pass.Info, call) {
+				pass.Reportf(s.Pos(), "error result of %s discarded with _: handle it or propagate it",
+					callName(pass.Info, call))
+			}
+		}
+		return
+	}
+	// Parallel form: _ = call(), possibly several per statement.
+	for i, lhs := range s.Lhs {
+		if !isBlank(lhs) || i >= len(s.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Info.Types[call]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		if allowedErrDrop(pass.Info, call) {
+			continue
+		}
+		pass.Reportf(s.Pos(), "error result of %s discarded with _: handle it or propagate it",
+			callName(pass.Info, call))
+	}
+}
+
+// checkBareCall flags a statement-position call that returns an error
+// nobody looks at.
+func checkBareCall(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return
+	}
+	returnsErr := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				returnsErr = true
+			}
+		}
+	default:
+		returnsErr = isErrorType(tv.Type)
+	}
+	if !returnsErr || allowedErrDrop(pass.Info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "unchecked error from %s: handle it, propagate it, or discard explicitly with a justified //lobvet:ignore",
+		callName(pass.Info, call))
+}
+
+// allowedErrDrop reports whether the callee is on the best-effort
+// allowlist or infallible by contract.
+func allowedErrDrop(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		return infallibleTypes[recv.Type().String()]
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	return errDiscardAllowed[fn.Pkg().Name()+"."+fn.Name()]
+}
+
+// checkErrorfWrap flags fmt.Errorf("... %v ...", err) where the operand
+// is an error: %w keeps the chain inspectable by errors.Is/As.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	operands := call.Args[1:]
+	for i, verb := range formatVerbs(format) {
+		if i >= len(operands) {
+			break
+		}
+		if verb != 'v' {
+			continue
+		}
+		tv, ok := pass.Info.Types[operands[i]]
+		if !ok {
+			continue
+		}
+		if isErrorType(tv.Type) || implementsError(tv.Type) {
+			pass.Reportf(operands[i].Pos(), "error operand formatted with %%v in fmt.Errorf: use %%w to keep the chain inspectable by errors.Is")
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a format string in operand
+// order, skipping %% and explicit argument indexes it cannot track.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.*[]", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}
+
+// implementsError reports whether t implements the error interface
+// (beyond being exactly it).
+func implementsError(t types.Type) bool {
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errIface)
+}
+
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}

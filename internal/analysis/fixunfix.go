@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const bufferPkgPath = "lobstore/internal/buffer"
+
+// FixUnfix verifies the buffer pool pin discipline: every handle obtained
+// from Pool.FixPage, Pool.FixNew or Pool.FixRun must reach Unfix (or
+// UnfixAll for runs) on every path out of the acquiring function —
+// including error paths — and must not be unfixed twice. A leaked pin
+// silently blocks eviction and skews every §4 I/O count downstream; a
+// double unfix corrupts the pin count of an unrelated later fix.
+var FixUnfix = &Analyzer{
+	Name: "fixunfix",
+	Doc: "check that every buffer pool fix reaches exactly one unfix on " +
+		"all return paths (a leaked pin blocks eviction and skews I/O counts)",
+	Run: runFixUnfix,
+}
+
+func runFixUnfix(pass *Pass) {
+	spec := &pairSpec{
+		releaseName: "Unfix (or buffer.UnfixAll)",
+		acquire: func(info *types.Info, call *ast.CallExpr) (int, int, string, bool) {
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != bufferPkgPath {
+				return 0, 0, "", false
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+				return 0, 0, "", false
+			}
+			switch fn.Name() {
+			case "FixPage", "FixNew":
+				return 0, 1, "fixed page handle", true
+			case "FixRun":
+				return 0, 1, "fixed page run", true
+			}
+			return 0, 0, "", false
+		},
+		release: func(info *types.Info, call *ast.CallExpr, v *types.Var) bool {
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != bufferPkgPath {
+				return false
+			}
+			switch fn.Name() {
+			case "Unfix":
+				// h.Unfix(dirty): the receiver must be the tracked handle.
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return false
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				return ok && objVar(info, id) == v
+			case "UnfixAll":
+				// buffer.UnfixAll(hs, dirty).
+				if len(call.Args) < 1 {
+					return false
+				}
+				id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+				return ok && objVar(info, id) == v
+			}
+			return false
+		},
+	}
+	checkPairs(pass, spec)
+}

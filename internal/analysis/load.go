@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path the package was loaded under.
+	Path string
+	// Dir is the directory holding the sources.
+	Dir    string
+	Fset   *token.FileSet
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Loader parses and type-checks packages of one module. Intra-module
+// imports resolve to freshly checked packages; everything else (the
+// standard library) goes through the compiler's source importer, so no
+// pre-built export data is needed.
+type Loader struct {
+	// Tests includes in-package _test.go files. External test packages
+	// (package foo_test) are never loaded: they exercise the public API
+	// and hold deliberate invariant violations (leak probes, fault
+	// sweeps) the analyzers would mis-read.
+	Tests bool
+
+	root    string // module root directory
+	module  string // module path from go.mod
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package // memoized by import path
+	loading map[string]bool     // cycle detection
+}
+
+// NewLoader creates a loader rooted at the directory holding go.mod.
+func NewLoader(root string) (*Loader, error) {
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		root:    root,
+		module:  mod,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// modulePath reads the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Expand resolves command-line patterns ("./...", "./internal/buffer",
+// ".") to module-relative package directories containing Go files, in
+// sorted order.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(rel string) {
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		switch {
+		case pat == "." || pat == "./":
+			if hasGoFiles(l.root) {
+				add(".")
+			}
+		case pat == "./..." || pat == "...":
+			all, err := l.walkPackages(".")
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range all {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimPrefix(strings.TrimSuffix(pat, "/..."), "./")
+			all, err := l.walkPackages(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range all {
+				add(d)
+			}
+		default:
+			rel := strings.TrimPrefix(pat, "./")
+			if !hasGoFiles(filepath.Join(l.root, rel)) {
+				return nil, fmt.Errorf("analysis: no Go files in %s", pat)
+			}
+			add(rel)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// walkPackages lists every package directory under base (module-relative).
+func (l *Loader) walkPackages(base string) ([]string, error) {
+	var dirs []string
+	start := filepath.Join(l.root, base)
+	err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(l.root, path)
+			if err != nil {
+				return err
+			}
+			dirs = append(dirs, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads the package in the module-relative directory rel.
+func (l *Loader) LoadDir(rel string) (*Package, error) {
+	path := l.module
+	if rel != "." {
+		path = l.module + "/" + rel
+	}
+	return l.load(path)
+}
+
+// Import implements types.Importer, routing module-internal paths to the
+// loader and everything else to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module package by import path.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := "."
+	if path != l.module {
+		rel = strings.TrimPrefix(path, l.module+"/")
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	pkg, err := l.check(path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// CheckFiles type-checks an explicit file set under the given import
+// path. The analyzer unit tests use it to load testdata sources under a
+// path of their choosing (e.g. a determinism-restricted one).
+func (l *Loader) CheckFiles(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.check(path, dir, files)
+}
+
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.Tests {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	var pkgName string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		n := f.Name.Name
+		if strings.HasSuffix(n, "_test") {
+			continue // external test package: never analyzed
+		}
+		if pkgName == "" {
+			pkgName = n
+		}
+		if n != pkgName {
+			return nil, fmt.Errorf("analysis: %s holds two packages, %s and %s", dir, pkgName, n)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.fset,
+		Syntax: files,
+		Types:  tpkg,
+		Info:   info,
+	}, nil
+}

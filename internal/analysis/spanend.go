@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const obsPkgPath = "lobstore/internal/obs"
+
+// SpanEnd verifies the tracing span discipline: every SpanID returned by
+// obs.Tracer.Begin must reach Tracer.End on every path — normally via
+// defer — so no operation span is left open. An unclosed span mis-tags
+// every later event with a stale operation and breaks per-operation
+// latency accounting.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "check that every obs.Tracer.Begin is paired with End on all " +
+		"paths (an open span mis-attributes every later event)",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	spec := &pairSpec{
+		releaseName: "Tracer.End",
+		acquire: func(info *types.Info, call *ast.CallExpr) (int, int, string, bool) {
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath || fn.Name() != "Begin" {
+				return 0, 0, "", false
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+				return 0, 0, "", false
+			}
+			return 0, -1, "operation span", true
+		},
+		release: func(info *types.Info, call *ast.CallExpr, v *types.Var) bool {
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath || fn.Name() != "End" {
+				return false
+			}
+			if len(call.Args) < 1 {
+				return false
+			}
+			id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			return ok && objVar(info, id) == v
+		},
+	}
+	checkPairs(pass, spec)
+}

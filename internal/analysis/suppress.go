@@ -1,0 +1,85 @@
+package analysis
+
+import "strings"
+
+// suppression is one parsed //lobvet:ignore comment.
+type suppression struct {
+	analyzers []string // empty means malformed
+	reason    string
+}
+
+const ignorePrefix = "//lobvet:ignore"
+
+// parseSuppression decodes "//lobvet:ignore name1,name2 reason...".
+// A missing reason yields reason "".
+func parseSuppression(text string) (suppression, bool) {
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return suppression{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return suppression{}, true // malformed: no analyzer named
+	}
+	return suppression{
+		analyzers: strings.Split(fields[0], ","),
+		reason:    strings.Join(fields[1:], " "),
+	}, true
+}
+
+func (s suppression) covers(analyzer string) bool {
+	for _, a := range s.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// applySuppressions marks diagnostics covered by a //lobvet:ignore
+// comment on the same line or the line directly above. A suppression
+// without a reason does not suppress: the explanation is the point.
+func applySuppressions(pkg *Package, diags []Diagnostic) {
+	// file → line → suppression
+	byLine := make(map[string]map[int]suppression)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s, ok := parseSuppression(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int]suppression)
+					byLine[pos.Filename] = m
+				}
+				m[pos.Line] = s
+			}
+		}
+	}
+	if len(byLine) == 0 {
+		return
+	}
+	for i := range diags {
+		d := &diags[i]
+		m := byLine[d.Pos.Filename]
+		if m == nil {
+			continue
+		}
+		s, ok := m[d.Pos.Line]
+		if !ok {
+			s, ok = m[d.Pos.Line-1]
+		}
+		if !ok || !s.covers(d.Analyzer) {
+			continue
+		}
+		if s.reason == "" {
+			d.Message += " (suppression ignored: //lobvet:ignore needs a reason)"
+			continue
+		}
+		d.Suppressed = true
+		d.SuppressReason = s.reason
+	}
+}

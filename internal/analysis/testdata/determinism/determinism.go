@@ -1,0 +1,43 @@
+// Testdata for the determinism analyzer. The test checks this file twice:
+// under a restricted import path (lobstore/internal/sim), where the want
+// comments apply, and under an unrelated path, where nothing may fire.
+package simtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+// --- violations (in a restricted package) ---
+
+func wallClock() int64 {
+	t := time.Now() // want `wall-clock read time\.Now in a simulation package`
+	return t.UnixNano()
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time\.Since in a simulation package`
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want `global math/rand call rand\.Intn in a simulation package`
+}
+
+func opaqueSource(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand\.New over an opaque source`
+}
+
+// --- clean ---
+
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func sourceOnly(seed int64) rand.Source {
+	return rand.NewSource(seed)
+}
+
+func durationArithmetic(d time.Duration) time.Duration {
+	return d * 2
+}

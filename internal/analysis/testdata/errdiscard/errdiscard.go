@@ -1,0 +1,64 @@
+// Testdata for the errdiscard analyzer: no silently dropped errors, and
+// %w over %v when wrapping an error operand.
+package errtest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+// --- violations ---
+
+func blankAssign() {
+	_ = fail() // want `error result of fail discarded with _`
+}
+
+func tupleBlank() int {
+	n, _ := pair() // want `error result of pair discarded with _`
+	return n
+}
+
+func bareCall() {
+	fail() // want `unchecked error from fail`
+}
+
+func deferredDrop() {
+	defer fail() // want `unchecked error from fail`
+}
+
+func goroutineDrop() {
+	go fail() // want `unchecked error from fail`
+}
+
+func wrapWithV(err error) error {
+	return fmt.Errorf("context: %v", err) // want `error operand formatted with %v in fmt\.Errorf`
+}
+
+// --- clean ---
+
+func handled() error {
+	if err := fail(); err != nil {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	n, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+func allowedDrops(sb *strings.Builder, buf *strings.Builder) {
+	fmt.Println("best-effort stream output is allowlisted")
+	sb.WriteString("infallible by documented contract")
+	_, _ = buf.WriteString("both results blank is still infallible")
+}
+
+func nonErrorVerb(n int) error {
+	return fmt.Errorf("count %v exceeded", n)
+}

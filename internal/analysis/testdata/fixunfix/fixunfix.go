@@ -1,0 +1,138 @@
+// Testdata for the fixunfix analyzer. Functions with want comments are
+// violations; the rest exercise release idioms the analyzer must accept.
+// This directory is invisible to the go tool (testdata); the analyzer
+// tests type-check it explicitly.
+package fixtest
+
+import (
+	"lobstore/internal/buffer"
+	"lobstore/internal/disk"
+)
+
+// --- violations ---
+
+func leakOnSuccess(p *buffer.Pool, a disk.Addr) (byte, error) {
+	h, err := p.FixPage(a) // want `fixed page handle "h" is not released on every path`
+	if err != nil {
+		return 0, err
+	}
+	return h.Data[0], nil
+}
+
+func leakOnEarlyReturn(p *buffer.Pool, a disk.Addr) error {
+	h, err := p.FixPage(a) // want `fixed page handle "h" is not released on every path`
+	if err != nil {
+		return err
+	}
+	if h.Data[0] == 0 {
+		return nil // leaks: the handle is only unfixed below
+	}
+	h.Unfix(false)
+	return nil
+}
+
+func discardedHandle(p *buffer.Pool, a disk.Addr) error {
+	_, err := p.FixPage(a) // want `result of FixPage \(fixed page handle\) is discarded`
+	return err
+}
+
+func doubleUnfix(p *buffer.Pool, a disk.Addr) error {
+	h, err := p.FixPage(a)
+	if err != nil {
+		return err
+	}
+	h.Unfix(false)
+	h.Unfix(false) // want `fixed page handle "h" is released twice`
+	return nil
+}
+
+func reassigned(p *buffer.Pool, a, b disk.Addr) error {
+	h, err := p.FixPage(a)
+	if err != nil {
+		return err
+	}
+	h, err = p.FixPage(b) // want `fixed page handle "h" is reassigned while still unreleased`
+	if err != nil {
+		return err
+	}
+	h.Unfix(false)
+	return nil
+}
+
+func leakInLoop(p *buffer.Pool, addrs []disk.Addr) (int, error) {
+	n := 0
+	for _, a := range addrs {
+		h, err := p.FixPage(a) // want `fixed page handle "h" acquired in a loop is not released before the next iteration`
+		if err != nil {
+			return n, err
+		}
+		n += len(h.Data)
+	}
+	return n, nil
+}
+
+// --- clean ---
+
+func deferredUnfix(p *buffer.Pool, a disk.Addr) (byte, error) {
+	h, err := p.FixPage(a)
+	if err != nil {
+		return 0, err
+	}
+	defer h.Unfix(false)
+	return h.Data[0], nil
+}
+
+func explicitBothPaths(p *buffer.Pool, a disk.Addr) (byte, error) {
+	h, err := p.FixNew(a)
+	if err != nil {
+		return 0, err
+	}
+	if h.Data[0] == 1 {
+		h.Unfix(true)
+		return 1, nil
+	}
+	h.Unfix(false)
+	return 0, nil
+}
+
+func runUnfixAll(p *buffer.Pool, a disk.Addr, n int) error {
+	hs, err := p.FixRun(a, n)
+	if err != nil {
+		return err
+	}
+	defer buffer.UnfixAll(hs, false)
+	return nil
+}
+
+func runRangeRelease(p *buffer.Pool, a disk.Addr, n int) error {
+	hs, err := p.FixRun(a, n)
+	if err != nil {
+		return err
+	}
+	for _, h := range hs {
+		h.Unfix(false)
+	}
+	return nil
+}
+
+// Returning the handle transfers the release duty to the caller.
+func transfer(p *buffer.Pool, a disk.Addr) (*buffer.Handle, error) {
+	h, err := p.FixPage(a)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func deferredClosure(p *buffer.Pool, a disk.Addr) error {
+	h, err := p.FixPage(a)
+	if err != nil {
+		return err
+	}
+	dirty := false
+	defer func() {
+		h.Unfix(dirty)
+	}()
+	dirty = h.Data[0] == 1
+	return nil
+}

@@ -1,0 +1,49 @@
+// Testdata for the spanend analyzer: every obs.Tracer.Begin must reach
+// End on all paths.
+package spantest
+
+import "lobstore/internal/obs"
+
+// --- violations ---
+
+func leakOnErrorPath(tr *obs.Tracer, work func() error) error {
+	sp := tr.Begin(obs.OpRead) // want `operation span "sp" is not released on every path`
+	if err := work(); err != nil {
+		return err // span left open
+	}
+	tr.End(sp, nil)
+	return nil
+}
+
+func doubleEnd(tr *obs.Tracer) {
+	sp := tr.Begin(obs.OpRead)
+	tr.End(sp, nil)
+	tr.End(sp, nil) // want `operation span "sp" is released twice`
+}
+
+// --- clean ---
+
+func deferredEnd(tr *obs.Tracer, work func() error) error {
+	sp := tr.Begin(obs.OpInsert)
+	var err error
+	defer func() {
+		tr.End(sp, err)
+	}()
+	err = work()
+	return err
+}
+
+func explicitEnd(tr *obs.Tracer) {
+	sp := tr.Begin(obs.OpRead)
+	tr.End(sp, nil)
+}
+
+func endOnBothPaths(tr *obs.Tracer, work func() error) error {
+	sp := tr.Begin(obs.OpCreate)
+	if err := work(); err != nil {
+		tr.End(sp, err)
+		return err
+	}
+	tr.End(sp, nil)
+	return nil
+}

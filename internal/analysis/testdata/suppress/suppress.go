@@ -1,0 +1,25 @@
+// Testdata for //lobvet:ignore handling: same-line and line-above
+// suppressions with reasons work; a reasonless or wrong-analyzer
+// suppression does not.
+package suppresstest
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func sameLine() {
+	fail() //lobvet:ignore errdiscard best-effort probe in a test fixture
+}
+
+func lineAbove() {
+	//lobvet:ignore errdiscard the result feeds a metric that tolerates loss
+	fail()
+}
+
+func missingReason() {
+	fail() //lobvet:ignore errdiscard
+}
+
+func wrongAnalyzer() {
+	fail() //lobvet:ignore fixunfix names an analyzer that did not fire
+}

@@ -16,8 +16,10 @@ var errInjected = errors.New("injected disk fault")
 
 // sweepFaults runs op against fresh objects while injecting a disk fault
 // at every successive I/O position until the operation completes cleanly.
-// Each run must either succeed or surface the injected error — never panic
-// and never mis-report success.
+// Each run must either succeed or surface the injected error — never panic,
+// never mis-report success, and never leak a buffer pin: whether the
+// operation completes or unwinds on the fault, every page it fixed must be
+// unfixed again (the dynamic twin of the lobvet fixunfix analyzer).
 func sweepFaults(t *testing.T, name string, build func(st *store.Store) (core.Object, error),
 	op func(obj core.Object) error) {
 	t.Helper()
@@ -26,6 +28,9 @@ func sweepFaults(t *testing.T, name string, build func(st *store.Store) (core.Ob
 		obj, err := build(st)
 		if err != nil {
 			t.Fatalf("%s: setup: %v", name, err)
+		}
+		if n := st.Pool.PinnedPages(); n != 0 {
+			t.Fatalf("%s: %d pages left pinned after setup", name, n)
 		}
 		st.Disk.FailAfter(failAt, errInjected)
 		err = func() (err error) {
@@ -37,6 +42,10 @@ func sweepFaults(t *testing.T, name string, build func(st *store.Store) (core.Ob
 			return op(obj)
 		}()
 		st.Disk.FailAfter(-1, nil)
+		if n := st.Pool.PinnedPages(); n != 0 {
+			t.Fatalf("%s: %d pages left pinned after fault at I/O %d (err=%v)",
+				name, n, failAt, err)
+		}
 		if err == nil {
 			return // fault position beyond the op's I/O count: done
 		}

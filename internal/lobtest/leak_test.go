@@ -1,0 +1,94 @@
+package lobtest_test
+
+import (
+	"testing"
+
+	"lobstore/internal/core"
+	"lobstore/internal/eos"
+	"lobstore/internal/esm"
+	"lobstore/internal/lobtest"
+	"lobstore/internal/starburst"
+	"lobstore/internal/store"
+)
+
+// leakEngines builds one object per manager for the pin-leak checks.
+var leakEngines = []struct {
+	name  string
+	build func(st *store.Store) (core.Object, error)
+}{
+	{"esm", func(st *store.Store) (core.Object, error) {
+		return esm.New(st, esm.Config{LeafPages: 4})
+	}},
+	{"eos", func(st *store.Store) (core.Object, error) {
+		return eos.New(st, eos.Config{Threshold: 8})
+	}},
+	{"starburst", func(st *store.Store) (core.Object, error) {
+		return starburst.New(st, starburst.Config{MaxSegmentPages: 16})
+	}},
+}
+
+// TestNoPinLeaks drives every public object operation on all three
+// managers and asserts the buffer pool holds zero fix pins after each one:
+// the runtime counterpart of the lobvet fixunfix analyzer.
+func TestNoPinLeaks(t *testing.T) {
+	for _, eng := range leakEngines {
+		t.Run(eng.name, func(t *testing.T) {
+			st := lobtest.NewStore(t, lobtest.TestParams())
+			obj, err := eng.build(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertUnpinned := func(op string) {
+				t.Helper()
+				if n := st.Pool.PinnedPages(); n != 0 {
+					t.Fatalf("%s left %d pages pinned", op, n)
+				}
+			}
+			assertUnpinned("create")
+
+			steps := []struct {
+				op  string
+				run func() error
+			}{
+				{"append", func() error { return obj.Append(make([]byte, 150_000)) }},
+				{"read", func() error { return obj.Read(10_000, make([]byte, 50_000)) }},
+				{"replace", func() error { return obj.Replace(40_000, make([]byte, 20_000)) }},
+				{"insert", func() error { return obj.Insert(75_000, make([]byte, 30_000)) }},
+				{"delete", func() error { return obj.Delete(5_000, 60_000) }},
+				{"utilization", func() error { obj.Utilization(); return nil }},
+				{"close", obj.Close},
+				{"read-after-close", func() error { return obj.Read(0, make([]byte, 1_000)) }},
+				{"destroy", obj.Destroy},
+			}
+			for _, s := range steps {
+				if err := s.run(); err != nil {
+					t.Fatalf("%s: %v", s.op, err)
+				}
+				assertUnpinned(s.op)
+			}
+		})
+	}
+}
+
+// TestNoPinLeaksRandomOps runs the model-based harness against each
+// manager with a pinned-page check wired into every periodic invariant
+// verification.
+func TestNoPinLeaksRandomOps(t *testing.T) {
+	for _, eng := range leakEngines {
+		t.Run(eng.name, func(t *testing.T) {
+			st := lobtest.NewStore(t, lobtest.TestParams())
+			obj, err := eng.build(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := lobtest.New(t, obj, 42)
+			h.Check = func() error {
+				if n := st.Pool.PinnedPages(); n != 0 {
+					t.Fatalf("%d pages pinned at invariant check", n)
+				}
+				return nil
+			}
+			h.RandomOps(150, 20_000)
+		})
+	}
+}

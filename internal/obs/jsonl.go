@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // jsonEvent is the wire form of an Event: short keys, zero fields omitted.
@@ -22,8 +23,9 @@ type jsonEvent struct {
 }
 
 // JSONL is a sink writing one JSON object per event. Output is buffered;
-// Close (or Flush) drains the buffer.
+// Close (or Flush) drains the buffer. Safe for concurrent use.
 type JSONL struct {
+	mu  sync.Mutex
 	w   *bufio.Writer
 	err error
 }
@@ -33,6 +35,8 @@ func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: bufio.NewWriterSize(w, 1<<1
 
 // Record implements Sink.
 func (j *JSONL) Record(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.err != nil {
 		return
 	}
@@ -61,6 +65,8 @@ func (j *JSONL) Record(e Event) {
 
 // Flush drains buffered output without closing.
 func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.err != nil {
 		return j.err
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Histogram is a fixed-bucket histogram over int64 samples. Bounds are
@@ -70,8 +71,11 @@ var (
 // Metrics is an aggregating sink: counters plus fixed-bucket histograms of
 // I/O call size, seek distance, tree descent depth and per-operation
 // simulated latency. One registry may be shared by several databases (the
-// harness shares one across an experiment's runs).
+// harness shares one across an experiment's runs). Recording and the
+// read/report methods are safe for concurrent use; the exported histogram
+// fields must only be read directly once recording has quiesced.
 type Metrics struct {
+	mu       sync.Mutex
 	counters map[string]int64
 
 	IOSize  *Histogram // pages moved per I/O call
@@ -92,13 +96,28 @@ func NewMetrics() *Metrics {
 }
 
 // Add bumps a named counter.
-func (m *Metrics) Add(name string, delta int64) { m.counters[name] += delta }
+func (m *Metrics) Add(name string, delta int64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// add bumps a counter with m.mu held.
+func (m *Metrics) add(name string, delta int64) { m.counters[name] += delta }
 
 // Counter returns a named counter (0 when never bumped).
-func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
+func (m *Metrics) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
 
 // CounterNames returns every counter name in sorted order.
-func (m *Metrics) CounterNames() []string { return m.sortedCounters() }
+func (m *Metrics) CounterNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sortedCounters()
+}
 
 // opLatency lazily creates the per-operation latency histogram.
 func (m *Metrics) opLatency(op Op) *Histogram {
@@ -111,58 +130,60 @@ func (m *Metrics) opLatency(op Op) *Histogram {
 
 // Record implements Sink.
 func (m *Metrics) Record(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	switch e.Kind {
 	case KindSpanBegin:
-		m.Add("op."+e.Op.String()+".count", 1)
+		m.add("op."+e.Op.String()+".count", 1)
 	case KindSpanEnd:
 		m.opLatency(e.Op).Observe(e.Aux1 / 1000) // µs → ms
 		if e.Err != "" {
-			m.Add("op."+e.Op.String()+".errors", 1)
+			m.add("op."+e.Op.String()+".errors", 1)
 		}
 	case KindIORead:
-		m.Add("io.read.calls", 1)
-		m.Add("io.read.pages", int64(e.Pages))
-		m.Add("io.seek.pages", e.Aux1)
+		m.add("io.read.calls", 1)
+		m.add("io.read.pages", int64(e.Pages))
+		m.add("io.seek.pages", e.Aux1)
 		m.IOSize.Observe(int64(e.Pages))
 		m.Seek.Observe(e.Aux1)
 	case KindIOWrite:
-		m.Add("io.write.calls", 1)
-		m.Add("io.write.pages", int64(e.Pages))
-		m.Add("io.seek.pages", e.Aux1)
+		m.add("io.write.calls", 1)
+		m.add("io.write.pages", int64(e.Pages))
+		m.add("io.seek.pages", e.Aux1)
 		m.IOSize.Observe(int64(e.Pages))
 		m.Seek.Observe(e.Aux1)
 	case KindIOError:
-		m.Add("io.errors", 1)
+		m.add("io.errors", 1)
 	case KindBufHit:
 		// Run fetches carry the run length; the pool counts per page.
-		m.Add("buf.hits", pagesOr1(e))
+		m.add("buf.hits", pagesOr1(e))
 	case KindBufMiss:
-		m.Add("buf.misses", pagesOr1(e))
+		m.add("buf.misses", pagesOr1(e))
 	case KindBufEvict:
-		m.Add("buf.evictions", 1)
+		m.add("buf.evictions", 1)
 	case KindBufFlush:
-		m.Add("buf.flushes", 1)
+		m.add("buf.flushes", 1)
 	case KindBufFetchRun:
-		m.Add("buf.runfetches", 1)
+		m.add("buf.runfetches", 1)
 	case KindAlloc:
-		m.Add("buddy.allocs", 1)
-		m.Add("buddy.alloc.pages", int64(e.Pages))
+		m.add("buddy.allocs", 1)
+		m.add("buddy.alloc.pages", int64(e.Pages))
 	case KindFree:
-		m.Add("buddy.frees", 1)
-		m.Add("buddy.free.pages", int64(e.Pages))
+		m.add("buddy.frees", 1)
+		m.add("buddy.free.pages", int64(e.Pages))
 	case KindSplit:
-		m.Add("buddy.splits", 1)
+		m.add("buddy.splits", 1)
 	case KindCoalesce:
-		m.Add("buddy.coalesces", 1)
+		m.add("buddy.coalesces", 1)
 	case KindDescend:
-		m.Add("tree.descents", 1)
+		m.add("tree.descents", 1)
 		m.Depth.Observe(e.Aux1)
 	case KindLeafSplit:
-		m.Add("leaf.splits", 1)
+		m.add("leaf.splits", 1)
 	case KindLeafMerge:
-		m.Add("leaf.merges", 1)
+		m.add("leaf.merges", 1)
 	case KindExtentDouble:
-		m.Add("extent.doublings", 1)
+		m.add("extent.doublings", 1)
 	}
 }
 
@@ -180,6 +201,13 @@ func (m *Metrics) Close() error { return nil }
 // HitRate returns the buffer pool hit fraction seen so far (0 when no
 // buffer traffic was recorded).
 func (m *Metrics) HitRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hitRate()
+}
+
+// hitRate computes the hit fraction with m.mu held.
+func (m *Metrics) hitRate() float64 {
 	h, mi := m.counters["buf.hits"], m.counters["buf.misses"]
 	if h+mi == 0 {
 		return 0
@@ -208,6 +236,8 @@ func (m *Metrics) histograms() []*Histogram {
 
 // WriteText renders the registry as aligned human-readable text.
 func (m *Metrics) WriteText(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, err := fmt.Fprintf(w, "counters:\n"); err != nil {
 		return err
 	}
@@ -217,7 +247,7 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		}
 	}
 	if h, mi := m.counters["buf.hits"], m.counters["buf.misses"]; h+mi > 0 {
-		if _, err := fmt.Fprintf(w, "  %-24s %11.1f%%\n", "buf.hitrate", 100*m.HitRate()); err != nil {
+		if _, err := fmt.Fprintf(w, "  %-24s %11.1f%%\n", "buf.hitrate", 100*m.hitRate()); err != nil {
 			return err
 		}
 	}
@@ -243,6 +273,8 @@ func (m *Metrics) WriteText(w io.Writer) error {
 
 // WriteCSV renders the registry as CSV rows: type,name,bucket,value.
 func (m *Metrics) WriteCSV(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"type", "name", "bucket", "value"}); err != nil {
 		return err

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentEmit hammers one tracer fanning out to every sink kind
+// from several goroutines at once. Run under -race this is the
+// goroutine-safety contract of the event layer: Begin/Emit/End and the
+// sink read paths may interleave freely.
+func TestConcurrentEmit(t *testing.T) {
+	tr := NewTracer()
+	var clock atomic.Int64
+	tr.SetTimeFunc(func() int64 { return clock.Add(1) })
+
+	ring := NewRing(128)
+	metrics := NewMetrics()
+	trace := NewJSONL(io.Discard)
+	tr.Attach(ring)
+	tr.Attach(metrics)
+	tr.Attach(trace)
+
+	const (
+		goroutines = 8
+		iterations = 400
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				sp := tr.Begin(OpRead)
+				tr.Emit(Event{Kind: KindIORead, Pages: 1, Aux1: int64(i)})
+				tr.End(sp, nil)
+				// Interleave reads with the writes.
+				if i%32 == 0 {
+					_ = ring.Len()
+					_ = ring.Events()
+					_ = metrics.Counter("io.read.calls")
+					_ = metrics.HitRate()
+					_ = tr.Enabled()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Counter("io.read.calls"); got != goroutines*iterations {
+		t.Errorf("io.read.calls = %d, want %d", got, goroutines*iterations)
+	}
+	// Every iteration emits at least the explicit I/O event; Begin/End add
+	// more. The ring keeps only the last 128 but counts them all.
+	if min := int64(goroutines * iterations); ring.Total() < min {
+		t.Errorf("ring.Total() = %d, want at least %d", ring.Total(), min)
+	}
+	if ring.Len() != 128 {
+		t.Errorf("ring.Len() = %d, want full ring of 128", ring.Len())
+	}
+}
+
+// TestConcurrentAttachClose interleaves sink attachment and tracer
+// shutdown with emission: Enabled flips are atomic and emission against a
+// closing tracer must not race.
+func TestConcurrentAttachClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		tr := NewTracer()
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			tr.Attach(NewRing(16))
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.Begin(OpAppend)
+				tr.Emit(Event{Kind: KindIOWrite, Pages: 2})
+				tr.End(sp, nil)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := tr.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+		wg.Wait()
+	}
+}

@@ -1,8 +1,12 @@
 package obs
 
+import "sync"
+
 // Ring is an in-memory sink keeping the last N events. It never allocates
-// after construction, so it can observe allocation-sensitive paths.
+// after construction while recording, so it can observe
+// allocation-sensitive paths. Safe for concurrent use.
 type Ring struct {
+	mu    sync.Mutex
 	buf   []Event
 	next  int
 	full  bool
@@ -19,6 +23,7 @@ func NewRing(n int) *Ring {
 
 // Record implements Sink.
 func (r *Ring) Record(e Event) {
+	r.mu.Lock()
 	r.buf[r.next] = e
 	r.next++
 	r.total++
@@ -26,6 +31,7 @@ func (r *Ring) Record(e Event) {
 		r.next = 0
 		r.full = true
 	}
+	r.mu.Unlock()
 }
 
 // Close implements Sink.
@@ -33,6 +39,8 @@ func (r *Ring) Close() error { return nil }
 
 // Len returns the number of events currently held.
 func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.full {
 		return len(r.buf)
 	}
@@ -40,11 +48,21 @@ func (r *Ring) Len() int {
 }
 
 // Total returns the number of events ever recorded.
-func (r *Ring) Total() int64 { return r.total }
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
 
-// Events returns the held events, oldest first.
+// Events returns a copy of the held events, oldest first.
 func (r *Ring) Events() []Event {
-	out := make([]Event, 0, r.Len())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]Event, 0, n)
 	if r.full {
 		out = append(out, r.buf[r.next:]...)
 	}

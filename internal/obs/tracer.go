@@ -1,5 +1,10 @@
 package obs
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // SpanID identifies one open operation span. The zero SpanID is "no span"
 // and is returned by Begin on a disabled tracer, making End a no-op.
 type SpanID uint64
@@ -13,11 +18,15 @@ type spanFrame struct {
 // Tracer fans events out to its sinks. A tracer with no sinks is disabled:
 // Enabled() is false, Begin returns 0 and Emit does nothing, so the
 // instrumentation adds no allocations to the hot paths. All methods are
-// nil-receiver safe.
+// nil-receiver safe and safe for concurrent use: the disabled check is a
+// single atomic load, everything else serializes on one mutex.
 //
 // The tracer tracks the stack of open operation spans and stamps every
 // emitted event with the innermost one plus the simulated time.
 type Tracer struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex
 	sinks    []Sink
 	timeFn   func() int64
 	stack    []spanFrame
@@ -29,22 +38,30 @@ func NewTracer() *Tracer { return &Tracer{} }
 
 // SetTimeFunc installs the simulated-clock reader used to stamp events.
 func (t *Tracer) SetTimeFunc(fn func() int64) {
-	if t != nil {
-		t.timeFn = fn
+	if t == nil {
+		return
 	}
+	t.mu.Lock()
+	t.timeFn = fn
+	t.mu.Unlock()
 }
 
 // Attach adds a sink and enables the tracer.
 func (t *Tracer) Attach(s Sink) {
-	if t != nil && s != nil {
-		t.sinks = append(t.sinks, s)
+	if t == nil || s == nil {
+		return
 	}
+	t.mu.Lock()
+	t.sinks = append(t.sinks, s)
+	t.enabled.Store(true)
+	t.mu.Unlock()
 }
 
 // Enabled reports whether any sink is attached. Instrumentation sites guard
 // event construction with this check.
-func (t *Tracer) Enabled() bool { return t != nil && len(t.sinks) > 0 }
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
 
+// now reads the simulated clock; callers hold t.mu.
 func (t *Tracer) now() int64 {
 	if t.timeFn == nil {
 		return 0
@@ -56,6 +73,16 @@ func (t *Tracer) now() int64 {
 // dispatches it to every sink. Callers should guard with Enabled().
 func (t *Tracer) Emit(e Event) {
 	if !t.Enabled() {
+		return
+	}
+	t.mu.Lock()
+	t.emitLocked(e)
+	t.mu.Unlock()
+}
+
+// emitLocked is Emit with t.mu held.
+func (t *Tracer) emitLocked(e Event) {
+	if len(t.sinks) == 0 {
 		return
 	}
 	e.Time = t.now()
@@ -75,10 +102,15 @@ func (t *Tracer) Begin(op Op) SpanID {
 	if !t.Enabled() {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.sinks) == 0 {
+		return 0 // detached between the Enabled check and the lock
+	}
 	t.nextSpan++
 	id := SpanID(t.nextSpan)
 	t.stack = append(t.stack, spanFrame{id: id, op: op, start: t.now()})
-	t.Emit(Event{Kind: KindSpanBegin})
+	t.emitLocked(Event{Kind: KindSpanBegin})
 	return id
 }
 
@@ -86,9 +118,11 @@ func (t *Tracer) Begin(op Op) SpanID {
 // the span's simulated duration and, when err != nil, its error text.
 // End(0, …) is a no-op, so Begin/End pairs need no disabled-path branching.
 func (t *Tracer) End(id SpanID, err error) {
-	if t == nil || id == 0 || len(t.stack) == 0 {
+	if t == nil || id == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	// Pop down to (and including) id; tolerates unbalanced nesting.
 	for len(t.stack) > 0 {
 		top := t.stack[len(t.stack)-1]
@@ -118,6 +152,8 @@ func (t *Tracer) Close() error {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var first error
 	for _, s := range t.sinks {
 		if err := s.Close(); err != nil && first == nil {
@@ -125,5 +161,6 @@ func (t *Tracer) Close() error {
 		}
 	}
 	t.sinks = nil
+	t.enabled.Store(false)
 	return first
 }

@@ -58,7 +58,9 @@ func (t *Tree) UpdateLeaf(path Path, e Entry) error {
 	n.setPtr(step.Idx, e.Ptr)
 	n.addToCounts(step.Idx, delta)
 	h.Unfix(true)
-	t.markPathDirty(path, depth)
+	if err := t.markPathDirty(path, depth); err != nil {
+		return err
+	}
 	if delta != 0 && depth > 0 {
 		if err := t.propagate(path, depth-1, delta); err != nil {
 			return err
@@ -134,7 +136,9 @@ func (t *Tree) replaceAt(path Path, depth int, entries []Entry) error {
 		}
 		np := n.npairs()
 		h.Unfix(true)
-		t.markPathDirty(path, depth)
+		if err := t.markPathDirty(path, depth); err != nil {
+			return err
+		}
 		if depth > 0 {
 			if delta := newSum - oldBytes; delta != 0 {
 				if err := t.propagate(path, depth-1, delta); err != nil {
@@ -187,7 +191,9 @@ func (t *Tree) replaceAt(path Path, depth int, entries []Entry) error {
 		t.reparent(groups[0], step.Addr)
 	}
 	h.Unfix(true)
-	t.markPathDirty(path, depth)
+	if err := t.markPathDirty(path, depth); err != nil {
+		return err
+	}
 	parentEntries := make([]Entry, 1, len(groups))
 	parentEntries[0] = Entry{Bytes: sumEntries(groups[0]), Ptr: uint32(step.Addr.Page)}
 	for _, g := range groups[1:] {
@@ -258,11 +264,16 @@ func (t *Tree) reparent(es []Entry, parent disk.Addr) {
 
 // markPathDirty records path[0..depth] as modified this operation. Every
 // marked page is made sticky in the pool so buffer replacement can never
-// overwrite its on-disk pre-image before the end-of-operation flush.
-func (t *Tree) markPathDirty(path Path, depth int) {
+// overwrite its on-disk pre-image before the end-of-operation flush. The
+// pages were fixed moments ago and no I/O has intervened, so they are
+// still resident; a SetSticky failure means the shadow protocol is broken
+// and must surface, not be swallowed.
+func (t *Tree) markPathDirty(path Path, depth int) error {
 	for d := depth; d >= 0; d-- {
 		addr := path[d].Addr
-		_ = t.st.Pool.SetSticky(addr, true)
+		if err := t.st.Pool.SetSticky(addr, true); err != nil {
+			return err
+		}
 		if addr == t.root {
 			t.rootDirty = true
 			continue
@@ -275,6 +286,7 @@ func (t *Tree) markPathDirty(path Path, depth int) {
 			t.dirty[addr] = &dirtyRec{level: level, parent: path[d-1].Addr}
 		}
 	}
+	return nil
 }
 
 // propagate adds delta to the counts covering path's subtree in every node
@@ -288,8 +300,7 @@ func (t *Tree) propagate(path Path, depth int, delta int64) error {
 		n.addToCounts(path[d].Idx, delta)
 		h.Unfix(true)
 	}
-	t.markPathDirty(path, depth)
-	return nil
+	return t.markPathDirty(path, depth)
 }
 
 // rebalance restores the half-full invariant of the node at path[depth] by
@@ -352,8 +363,12 @@ func (t *Tree) rebalance(path Path, depth int) error {
 			return err
 		}
 		t.nIndexPages--
-		t.markLoneDirty(leftAddr, level, parentAddr)
-		t.markPathDirty(path, depth-1)
+		if err := t.markLoneDirty(leftAddr, level, parentAddr); err != nil {
+			return err
+		}
+		if err := t.markPathDirty(path, depth-1); err != nil {
+			return err
+		}
 		if depth-1 == 0 {
 			return t.collapseRoot()
 		}
@@ -379,26 +394,32 @@ func (t *Tree) rebalance(path Path, depth int) error {
 	hr.Unfix(true)
 	hl.Unfix(true)
 	hp.Unfix(true)
-	t.markLoneDirty(leftAddr, level, parentAddr)
-	t.markLoneDirty(rightAddr, level, parentAddr)
-	t.markPathDirty(path, depth-1)
-	return nil
+	if err := t.markLoneDirty(leftAddr, level, parentAddr); err != nil {
+		return err
+	}
+	if err := t.markLoneDirty(rightAddr, level, parentAddr); err != nil {
+		return err
+	}
+	return t.markPathDirty(path, depth-1)
 }
 
 // markLoneDirty records a node not on the current path (a sibling touched
 // by rebalancing) as modified.
-func (t *Tree) markLoneDirty(addr disk.Addr, level int, parent disk.Addr) {
-	_ = t.st.Pool.SetSticky(addr, true)
+func (t *Tree) markLoneDirty(addr disk.Addr, level int, parent disk.Addr) error {
+	if err := t.st.Pool.SetSticky(addr, true); err != nil {
+		return err
+	}
 	if addr == t.root {
 		t.rootDirty = true
-		return
+		return nil
 	}
 	if rec, ok := t.dirty[addr]; ok {
 		rec.level = level
 		rec.parent = parent
-		return
+		return nil
 	}
 	t.dirty[addr] = &dirtyRec{level: level, parent: parent}
+	return nil
 }
 
 // collapseRoot shrinks the tree while the root has a single interior child

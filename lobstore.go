@@ -315,8 +315,9 @@ func (db *DB) EnableTrace(w io.Writer) {
 }
 
 // AttachTrace attaches an existing trace writer, so several databases can
-// append to the same stream. The simulation is single-threaded; sharing
-// needs no locking.
+// append to the same stream: the event layer (tracer and sinks) is
+// goroutine-safe, so databases driven from different goroutines may share
+// one writer. Objects themselves remain single-threaded.
 func (db *DB) AttachTrace(t *TraceWriter) {
 	db.trace = t
 	db.st.Obs.Attach(t)

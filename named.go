@@ -1,6 +1,7 @@
 package lobstore
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -67,8 +68,11 @@ func (db *DB) Create(name string, spec ObjectSpec) (Object, error) {
 		return nil, err
 	}
 	if err := db.cat.Put(catalog.Entry{Name: name, Kind: kind, Root: root}); err != nil {
-		// Roll the object back so a name clash leaks no space.
-		_ = obj.Destroy()
+		// Roll the object back so a name clash leaks no space. A failed
+		// rollback leaks pages: report it alongside the primary error.
+		if derr := obj.Destroy(); derr != nil {
+			return nil, errors.Join(err, fmt.Errorf("lobstore: rollback of %q failed: %w", name, derr))
+		}
 		return nil, err
 	}
 	return obj, nil
@@ -133,11 +137,7 @@ func (db *DB) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := db.SaveImage(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return errors.Join(db.SaveImage(f), f.Close())
 }
 
 // OpenImage reopens a database saved with SaveImage. The simulated clock
@@ -160,8 +160,11 @@ func OpenFile(path string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return OpenImage(f)
+	db, err := OpenImage(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, cerr
+	}
+	return db, err
 }
 
 // catalogAddr is the fixed location of the first catalog page: the first
