@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"lobstore"
+	"lobstore/internal/buffer"
+	"lobstore/internal/disk"
+	"lobstore/internal/sim"
+)
+
+// benchReport is the BENCH_harness.json schema: per-experiment wall time,
+// Go allocations and simulated disk time, plus allocation micro-benchmarks
+// of the I/O hot paths. CI regenerates it at quick scale on every push.
+type benchReport struct {
+	Config      benchConfigInfo `json:"config"`
+	Prepass     *benchPhase     `json:"prepass,omitempty"`
+	Experiments []benchPhase    `json:"experiments"`
+	Micro       []microResult   `json:"micro"`
+	TotalSimMs  float64         `json:"total_sim_ms"`
+	TotalWallMs float64         `json:"total_wall_ms"`
+}
+
+type benchConfigInfo struct {
+	Quick       bool  `json:"quick"`
+	ObjectBytes int64 `json:"object_bytes"`
+	MixOps      int   `json:"mix_ops"`
+	Seed        int64 `json:"seed"`
+	Workers     int   `json:"workers"`
+}
+
+// benchPhase records one experiment's assembly (or the parallel prepass):
+// wall-clock time, heap allocations performed, and the simulated disk time
+// accumulated by the databases opened during the phase.
+type benchPhase struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+	Allocs uint64  `json:"allocs"`
+	SimMs  float64 `json:"sim_ms"`
+}
+
+type microResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchTracker attributes simulated time to phases by remembering every
+// database the runner opens. Observe runs on worker goroutines under a
+// parallel schedule, hence the mutex.
+type benchTracker struct {
+	mu  sync.Mutex
+	dbs []*lobstore.DB
+}
+
+func (t *benchTracker) track(db *lobstore.DB) {
+	t.mu.Lock()
+	t.dbs = append(t.dbs, db)
+	t.mu.Unlock()
+}
+
+func (t *benchTracker) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.dbs)
+}
+
+// simSince sums the simulated clocks of the databases opened at index from
+// onward. Called only between phases, when no worker is running.
+func (t *benchTracker) simSince(from int) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var ms float64
+	for _, db := range t.dbs[from:] {
+		ms += float64(db.Now().Milliseconds())
+	}
+	return ms
+}
+
+// measurePhase runs fn and returns its wall time, allocation count, and the
+// simulated time of databases opened while it ran.
+func (t *benchTracker) measurePhase(name string, fn func() error) (benchPhase, error) {
+	from := t.count()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchPhase{
+		Name:   name,
+		WallMs: float64(wall.Microseconds()) / 1000,
+		Allocs: after.Mallocs - before.Mallocs,
+		SimMs:  t.simSince(from),
+	}, err
+}
+
+// microBenchmarks measures the allocation behaviour of the I/O hot paths
+// via testing.Benchmark: the buffer pool's multi-page hit path and the
+// simulated disk's materialized read. Both were allocation sites before
+// the scratch-reuse work; the JSON keeps them pinned.
+func microBenchmarks() []microResult {
+	specs := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"FixRunHit4", benchFixRunHit},
+		{"DiskReadMaterialized4", benchDiskReadMaterialized},
+		{"DiskSequentialWriteGrow", benchDiskWriteGrow},
+	}
+	out := make([]microResult, 0, len(specs))
+	for _, s := range specs {
+		res := testing.Benchmark(s.fn)
+		out = append(out, microResult{
+			Name:        s.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	return out
+}
+
+// benchFixRunHit measures a 4-page FixRun with all pages resident — the
+// sequential-scan fast path.
+func benchFixRunHit(b *testing.B) {
+	d, err := disk.New(sim.DefaultModel(), sim.NewClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	aid, err := d.AddArea(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := buffer.New(d, buffer.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := disk.Addr{Area: aid, Page: 8}
+	hs, err := pool.FixRun(addr, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buffer.UnfixAll(hs, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hs, err := pool.FixRun(addr, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buffer.UnfixAll(hs, false)
+	}
+}
+
+// benchDiskReadMaterialized measures a 4-page materialized disk read into a
+// reused buffer.
+func benchDiskReadMaterialized(b *testing.B) {
+	d, err := disk.New(sim.DefaultModel(), sim.NewClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	aid, err := d.AddArea(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := disk.Addr{Area: aid, Page: 0}
+	buf := make([]byte, 4*d.PageSize())
+	if err := d.Write(addr, 4, buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Read(addr, 4, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDiskWriteGrow measures sequential writes that keep growing the
+// materialized area, exercising the amortized backing-store growth.
+func benchDiskWriteGrow(b *testing.B) {
+	d, err := disk.New(sim.DefaultModel(), sim.NewClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	npages := 1 << 20
+	aid, err := d.AddArea(npages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, d.PageSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := disk.Addr{Area: aid, Page: disk.PageID(i % npages)}
+		if err := d.Write(addr, 1, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func writeBenchJSON(path string, rep *benchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -9,6 +9,13 @@
 //	lobbench -exp fig7,fig9,fig11      # several (mix runs are shared)
 //	lobbench -exp all -quick -v        # everything, ~10x smaller, verbose
 //	lobbench -exp table3 -csv out/     # also write CSV files
+//	lobbench -exp all -parallel 1      # force the fully sequential path
+//	lobbench -exp all -benchjson b.json -cpuprofile cpu.pprof
+//
+// Experiments decompose into independent simulation cells that run on a
+// worker pool (-parallel, default GOMAXPROCS); tables are assembled
+// sequentially from the cached cells, so stdout and CSV output are
+// byte-identical for every -parallel value.
 //
 // Results are aligned text tables on stdout; each carries the paper
 // reference values in its note.
@@ -19,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -28,16 +37,20 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment names, 'all', or 'list'")
-		quick   = flag.Bool("quick", false, "run ~10x smaller (1 MB object, 1000 ops)")
-		verbose = flag.Bool("v", false, "print per-run progress to stderr")
-		object  = flag.String("object", "", "object size override, e.g. 10M or 512K")
-		ops     = flag.Int("ops", 0, "random-mix length override")
-		seed    = flag.Int64("seed", 0, "workload seed override")
-		csvDir  = flag.String("csv", "", "directory to also write one CSV per table")
-		sample  = flag.Int("sample", 0, "figure mark spacing override")
-		trace   = flag.String("trace", "", "write a JSONL event trace of every run to this file")
-		metrics = flag.Bool("metrics", false, "print an aggregated metrics report to stderr at the end")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment names, 'all', or 'list'")
+		quick    = flag.Bool("quick", false, "run ~10x smaller (1 MB object, 1000 ops)")
+		verbose  = flag.Bool("v", false, "print per-run progress to stderr")
+		object   = flag.String("object", "", "object size override, e.g. 10M or 512K")
+		ops      = flag.Int("ops", 0, "random-mix length override")
+		seed     = flag.Int64("seed", 0, "workload seed override")
+		csvDir   = flag.String("csv", "", "directory to also write one CSV per table")
+		sample   = flag.Int("sample", 0, "figure mark spacing override")
+		trace    = flag.String("trace", "", "write a JSONL event trace of every run to this file")
+		metrics  = flag.Bool("metrics", false, "print an aggregated metrics report to stderr at the end")
+		parallel = flag.Int("parallel", 0, "simulation cell workers; 0 = GOMAXPROCS, 1 = fully sequential")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
+		benchOut = flag.String("benchjson", "", "write per-experiment wall/alloc/simulated-time measurements to this JSON file")
 	)
 	flag.Parse()
 
@@ -73,7 +86,18 @@ func main() {
 	if *expFlag == "all" {
 		names = harness.Names()
 	} else {
-		names = strings.Split(*expFlag, ",")
+		for _, name := range strings.Split(*expFlag, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+	}
+	for _, name := range names {
+		if _, ok := harness.Lookup(name); !ok {
+			fatalf("unknown experiment %q (try -exp list)", name)
+		}
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	r := harness.NewRunner(cfg)
@@ -105,7 +129,13 @@ func main() {
 	if *metrics {
 		agg = lobstore.NewMetrics()
 	}
-	if traceWriter != nil || agg != nil {
+	var tracker *benchTracker
+	if *benchOut != "" {
+		tracker = &benchTracker{}
+	}
+	if traceWriter != nil || agg != nil || tracker != nil {
+		// The hook runs on worker goroutines under a parallel schedule; the
+		// trace writer, metrics registry and tracker are all goroutine-safe.
 		r.Observe = func(db *lobstore.DB) {
 			if traceWriter != nil {
 				db.AttachTrace(traceWriter)
@@ -113,35 +143,119 @@ func main() {
 			if agg != nil {
 				db.EnableMetrics(agg)
 			}
+			if tracker != nil {
+				tracker.track(db)
+			}
 		}
 	}
 
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		e, ok := harness.Lookup(name)
-		if !ok {
-			fatalf("unknown experiment %q (try -exp list)", name)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("creating cpu profile: %v", err)
 		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting cpu profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatalf("closing cpu profile: %v", err)
+			}
+		}()
+	}
+
+	var report *benchReport
+	if tracker != nil {
+		report = &benchReport{Config: benchConfigInfo{
+			Quick:       *quick,
+			ObjectBytes: cfg.ObjectBytes,
+			MixOps:      cfg.MixOps,
+			Seed:        cfg.Seed,
+			Workers:     workers,
+		}}
+	}
+
+	// Phase 1: execute the simulation cells behind all requested experiments
+	// on the worker pool. Phase 2 assembles tables sequentially from the
+	// cached results, so the output is byte-identical for every -parallel
+	// value (with -parallel 1 the prepass is skipped and each cell is
+	// computed on demand during assembly, the fully sequential path).
+	precompute := func() error { return r.Precompute(names, workers) }
+	if tracker != nil && workers > 1 {
+		phase, err := tracker.measurePhase("prepass", precompute)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report.Prepass = &phase
+	} else if err := precompute(); err != nil {
+		fatalf("%v", err)
+	}
+
+	emit := func(name string) error {
+		e, _ := harness.Lookup(name)
 		tables, err := e.Run(r)
 		if err != nil {
-			fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		for _, t := range tables {
 			if err := t.WriteText(os.Stdout); err != nil {
-				fatalf("writing %s: %v", t.ID, err)
+				return fmt.Errorf("writing %s: %w", t.ID, err)
 			}
 			if *csvDir != "" {
 				f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
 				if err != nil {
-					fatalf("creating csv: %v", err)
+					return fmt.Errorf("creating csv: %w", err)
 				}
 				if err := t.WriteCSV(f); err != nil {
-					fatalf("writing csv: %v", err)
+					return fmt.Errorf("writing csv: %w", err)
 				}
 				if err := f.Close(); err != nil {
-					fatalf("closing csv: %v", err)
+					return fmt.Errorf("closing csv: %w", err)
 				}
 			}
+		}
+		return nil
+	}
+	for _, name := range names {
+		if tracker == nil {
+			if err := emit(name); err != nil {
+				fatalf("%v", err)
+			}
+			continue
+		}
+		phase, err := tracker.measurePhase(name, func() error { return emit(name) })
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report.Experiments = append(report.Experiments, phase)
+	}
+
+	if report != nil {
+		report.Micro = microBenchmarks()
+		report.TotalSimMs = tracker.simSince(0)
+		if report.Prepass != nil {
+			report.TotalWallMs += report.Prepass.WallMs
+		}
+		for _, p := range report.Experiments {
+			report.TotalWallMs += p.WallMs
+		}
+		if err := writeBenchJSON(*benchOut, report); err != nil {
+			fatalf("writing benchjson: %v", err)
+		}
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatalf("creating mem profile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("writing mem profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing mem profile: %v", err)
 		}
 	}
 

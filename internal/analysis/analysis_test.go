@@ -122,6 +122,30 @@ func TestDeterminism(t *testing.T) {
 	checkTestdata(t, Determinism, "lobstore/internal/sim", "determinism")
 }
 
+// TestDeterminismSync checks the concurrency rules under a restricted
+// non-scheduler path, where every want comment must fire.
+func TestDeterminismSync(t *testing.T) {
+	checkTestdata(t, Determinism, "lobstore/internal/sim", "determinismsync")
+}
+
+// TestDeterminismSyncScheduler re-checks the same file under the harness
+// path: the scheduler may use goroutines and sync, so of the five want
+// comments only the wall-clock diagnostic may remain.
+func TestDeterminismSyncScheduler(t *testing.T) {
+	file := filepath.Join("testdata", "determinismsync", "determinismsync.go")
+	pkg, err := testLoader(t).CheckFiles("lobstore/internal/harness", filepath.Dir(file), []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkg, []*Analyzer{Determinism})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics under the scheduler path, want 1 (wall clock only): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "wall-clock read time.Now") {
+		t.Errorf("surviving diagnostic is not the wall-clock one: %s", diags[0].Message)
+	}
+}
+
 // TestDeterminismUnrestricted re-checks the same file under an unrelated
 // path: the analyzer only polices the simulation packages.
 func TestDeterminismUnrestricted(t *testing.T) {

@@ -23,6 +23,17 @@ var deterministicPkgs = []string{
 	"lobstore/internal/lobtest",
 }
 
+// schedulerPkgs are the deterministic packages additionally allowed to use
+// goroutines and the sync/sync-atomic primitives: the harness's cell
+// scheduler runs independent simulation cells concurrently and reconciles
+// them through a single-flight cache, which is deterministic by
+// construction (each cell owns its database, clock and RNG). Everything
+// below the harness simulates a single-threaded system and must not spawn
+// concurrency of its own.
+var schedulerPkgs = []string{
+	"lobstore/internal/harness",
+}
+
 // Determinism forbids nondeterministic inputs inside the simulation
 // packages: wall-clock reads (time.Now/Since/Until), the global math/rand
 // top-level functions (process-wide shared state, seeded per process),
@@ -31,8 +42,9 @@ var deterministicPkgs = []string{
 // must reproduce identical sim.Stats, byte for byte.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc: "forbid time.Now and global math/rand in simulation packages: " +
-		"experiment output must be a pure function of the seed",
+	Doc: "forbid time.Now, global math/rand and (outside the scheduler) " +
+		"goroutines and sync in simulation packages: experiment output " +
+		"must be a pure function of the seed",
 	Run: runDeterminism,
 }
 
@@ -47,8 +59,31 @@ func runDeterminism(pass *Pass) {
 	if !restricted {
 		return
 	}
+	scheduler := false
+	for _, p := range schedulerPkgs {
+		if pass.PkgPath == p {
+			scheduler = true
+			break
+		}
+	}
 	for _, f := range pass.Files {
+		if !scheduler {
+			for _, imp := range f.Imports {
+				switch importPath(imp) {
+				case "sync", "sync/atomic":
+					pass.Reportf(imp.Pos(),
+						"import of %s in a simulation package: the simulated system is single-threaded; "+
+							"concurrency belongs to the harness scheduler", importPath(imp))
+				}
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok && !scheduler {
+				pass.Reportf(g.Pos(),
+					"goroutine spawn in a simulation package: cost accounting assumes single-threaded "+
+						"execution; parallelism belongs to the harness scheduler")
+				return true
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
@@ -71,6 +106,15 @@ func runDeterminism(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// importPath returns the unquoted import path of spec.
+func importPath(spec *ast.ImportSpec) string {
+	p := spec.Path.Value
+	if len(p) >= 2 {
+		return p[1 : len(p)-1]
+	}
+	return p
 }
 
 // checkRandCall vets one call into math/rand.

@@ -1,0 +1,40 @@
+// Testdata for the determinism analyzer's concurrency rules. The test
+// checks this file twice: under a restricted non-scheduler import path
+// (lobstore/internal/sim), where the want comments apply, and under the
+// harness scheduler path, where the sync imports and goroutine spawns are
+// sanctioned and only the wall-clock read may fire.
+package synctest
+
+import (
+	"sync"        // want `import of sync in a simulation package`
+	"sync/atomic" // want `import of sync/atomic in a simulation package`
+	"time"
+)
+
+// --- violations (in a restricted, non-scheduler package) ---
+
+func spawn(fn func()) {
+	go fn() // want `goroutine spawn in a simulation package`
+}
+
+func fanOut(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func() { // want `goroutine spawn in a simulation package`
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+func counter(c *atomic.Int64) int64 {
+	return c.Add(1)
+}
+
+// wallClock fires everywhere, scheduler or not: concurrency may be
+// sanctioned in the harness but wall-clock reads never are.
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock read time\.Now in a simulation package`
+}

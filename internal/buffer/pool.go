@@ -37,6 +37,10 @@ type Pool struct {
 	maxRun   int
 	pageSize int
 
+	// runIdx is residentRun's scratch space (maxRun entries), reused across
+	// calls so the multi-block hit path allocates nothing for the probe.
+	runIdx []int
+
 	hits   int64
 	misses int64
 }
@@ -79,6 +83,7 @@ func New(d *disk.Disk, cfg Config) (*Pool, error) {
 		index:    make(map[disk.Addr]int),
 		maxRun:   cfg.MaxRun,
 		pageSize: ps,
+		runIdx:   make([]int, cfg.MaxRun),
 	}, nil
 }
 
@@ -210,11 +215,12 @@ func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 		if p.obs.Enabled() {
 			p.emit(obs.KindBufHit, addr, npages)
 		}
-		hs := make([]*Handle, npages)
+		hs, hbuf := make([]*Handle, npages), make([]Handle, npages)
 		for k, i := range idx {
 			p.frames[i].pins++
 			p.frames[i].lastUse = p.tick
-			hs[k] = &Handle{p: p, frame: i, Data: p.data(i), Addr: addr.Add(k)}
+			hbuf[k] = Handle{p: p, frame: i, Data: p.data(i), Addr: addr.Add(k)}
+			hs[k] = &hbuf[k]
 		}
 		return hs, nil
 	}
@@ -237,12 +243,13 @@ func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 	if err := p.d.Read(addr, npages, p.arena[start*p.pageSize:(start+npages)*p.pageSize]); err != nil {
 		return nil, err
 	}
-	hs := make([]*Handle, npages)
+	hs, hbuf := make([]*Handle, npages), make([]Handle, npages)
 	for k := 0; k < npages; k++ {
 		i := start + k
 		p.install(i, addr.Add(k))
 		p.frames[i].pins = 1
-		hs[k] = &Handle{p: p, frame: i, Data: p.data(i), Addr: addr.Add(k)}
+		hbuf[k] = Handle{p: p, frame: i, Data: p.data(i), Addr: addr.Add(k)}
+		hs[k] = &hbuf[k]
 	}
 	return hs, nil
 }
@@ -254,9 +261,11 @@ func UnfixAll(hs []*Handle, dirty bool) {
 	}
 }
 
-// residentRun reports frame numbers if all npages pages are cached.
+// residentRun reports frame numbers if all npages pages are cached. The
+// returned slice aliases the pool's scratch space and is only valid until
+// the next call.
 func (p *Pool) residentRun(addr disk.Addr, npages int) ([]int, bool) {
-	idx := make([]int, npages)
+	idx := p.runIdx[:npages]
 	for k := 0; k < npages; k++ {
 		i, ok := p.index[addr.Add(k)]
 		if !ok {
@@ -304,7 +313,8 @@ func (p *Pool) freeWindow(npages int) (int, error) {
 		start, dirty int
 		recency      int64
 	}
-	var best *cand
+	var best cand
+	found := false
 	for s := 0; s+npages <= len(p.frames); s++ {
 		c := cand{start: s}
 		ok := true
@@ -327,13 +337,13 @@ func (p *Pool) freeWindow(npages int) (int, error) {
 		if !ok {
 			continue
 		}
-		if best == nil || c.dirty < best.dirty ||
+		if !found || c.dirty < best.dirty ||
 			(c.dirty == best.dirty && c.recency < best.recency) {
-			cc := c
-			best = &cc
+			best = c
+			found = true
 		}
 	}
-	if best == nil {
+	if !found {
 		return 0, ErrNoRun
 	}
 	for i := best.start; i < best.start+npages; i++ {

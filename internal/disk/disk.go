@@ -69,11 +69,26 @@ type area struct {
 	data        []byte // grows lazily up to npages*PageSize when materialized
 }
 
-// ensure grows the backing store to cover n bytes.
+// ensure grows the backing store to cover n bytes. Capacity doubles so a
+// sequentially growing area costs amortized O(1) allocations per write
+// rather than one temporary slice per growth step. Spare capacity is only
+// ever created zeroed (make) and the store never shrinks, so extending the
+// length exposes zero bytes without re-clearing.
 func (a *area) ensure(n int) {
-	if len(a.data) < n {
-		a.data = append(a.data, make([]byte, n-len(a.data))...)
+	if n <= len(a.data) {
+		return
 	}
+	if n <= cap(a.data) {
+		a.data = a.data[:n]
+		return
+	}
+	newCap := 2 * cap(a.data)
+	if newCap < n {
+		newCap = n
+	}
+	grown := make([]byte, n, newCap)
+	copy(grown, a.data)
+	a.data = grown
 }
 
 // Option configures a Disk.
@@ -215,13 +230,16 @@ func (d *Disk) Read(addr Addr, npages int, dst []byte) error {
 	if err := d.checkInjected(addr, npages, false); err != nil {
 		return fmt.Errorf("disk: read %v: %w", addr, err)
 	}
-	clear(dst[:n])
+	// Copy what is materialized, then zero only the tail — clearing bytes
+	// that are about to be overwritten is pure waste on the hottest path.
+	m := 0
 	if a.materialize {
 		off := int(addr.Page) * d.model.PageSize
 		if off < len(a.data) {
-			copy(dst[:n], a.data[off:min(off+n, len(a.data))])
+			m = copy(dst[:n], a.data[off:min(off+n, len(a.data))])
 		}
 	}
+	clear(dst[m:n])
 	d.charge(a, addr, npages, false)
 	return nil
 }
@@ -306,10 +324,11 @@ func (d *Disk) Peek(addr Addr, npages int, dst []byte) error {
 	if len(dst) < n {
 		return fmt.Errorf("disk: peek buffer %d bytes, need %d", len(dst), n)
 	}
-	clear(dst[:n])
+	m := 0
 	off := int(addr.Page) * d.model.PageSize
 	if off < len(a.data) {
-		copy(dst[:n], a.data[off:min(off+n, len(a.data))])
+		m = copy(dst[:n], a.data[off:min(off+n, len(a.data))])
 	}
+	clear(dst[m:n])
 	return nil
 }

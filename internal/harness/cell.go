@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Cell is one self-contained unit of simulated work: it owns a private
+// database, clock and RNG, so cells never share mutable state and may run
+// concurrently. The Key uniquely names the cell's result in the runner's
+// cache; experiments that need the same cell (fig7 and fig9 both consume
+// the ESM mix runs) share one computation through it.
+type Cell struct {
+	// Key is the cell's cache identity, stable across runs.
+	Key string
+	// Run computes the cell's result on r. It must derive all randomness
+	// from the runner's seed (see Runner.rng) and touch no runner state
+	// besides the configuration and the Observe hook.
+	Run func(r *Runner) (any, error)
+}
+
+// cellFn adapts a typed cell computation to the any-valued cache.
+func cellFn[T any](fn func(*Runner) (T, error)) func(*Runner) (any, error) {
+	return func(r *Runner) (any, error) {
+		v, err := fn(r)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+}
+
+// cellResult runs c through the runner's cache and asserts the result type.
+func cellResult[T any](r *Runner, c Cell) (T, error) {
+	v, err := r.cell(c)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// cellCache is a concurrency-safe single-flight cache: the first caller of
+// a key computes it while later callers of the same key block until the
+// result (or error) is ready. Duplicate cells across experiments therefore
+// run exactly once, whether the schedule is sequential or parallel.
+type cellCache struct {
+	mu      sync.Mutex
+	entries map[string]*cellEntry
+}
+
+type cellEntry struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+func newCellCache() *cellCache {
+	return &cellCache{entries: make(map[string]*cellEntry)}
+}
+
+// do returns the cached result for key, computing it with fn on first use.
+func (c *cellCache) do(key string, fn func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cellEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	e.val, e.err = fn()
+	close(e.done)
+	return e.val, e.err
+}
+
+// seedFor derives the RNG seed of one workload stream from the experiment
+// seed: FNV-1a over the stream name, folded with the seed. Cells never
+// share a *rand.Rand; cells that must replay the same operation sequence —
+// the paper runs every engine of a figure against one workload so the
+// comparison is paired — share a stream name instead, and distinct streams
+// (different experiments) draw decorrelated sequences.
+func seedFor(seed int64, stream string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= prime64
+	}
+	h ^= uint64(seed) * 0x9E3779B97F4A7C15
+	return int64(h)
+}
+
+// rng returns a fresh generator for one workload stream of this runner's
+// configuration. The result is a pure function of (Cfg.Seed, stream).
+func (r *Runner) rng(stream string) *rand.Rand {
+	return rand.New(rand.NewSource(seedFor(r.Cfg.Seed, stream)))
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 )
 
@@ -37,5 +38,88 @@ func TestSameSeedByteIdenticalCSV(t *testing.T) {
 	}
 	if first == "" {
 		t.Fatal("experiment rendered no CSV")
+	}
+}
+
+// renderAllCSV runs the named experiments through the scheduler at the
+// given worker count and renders every table of every experiment, in
+// order, as one CSV blob.
+func renderAllCSV(t *testing.T, names []string, workers int) string {
+	t.Helper()
+	var b bytes.Buffer
+	err := NewRunner(QuickConfig()).RunAll(names, workers, func(e Experiment, tabs []*Table) error {
+		for _, tab := range tabs {
+			if err := tab.WriteCSV(&b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestParallelScheduleByteIdenticalCSV pins the scheduler's core contract:
+// the assembled output is byte-identical no matter how many workers execute
+// the simulation cells, because every cell owns its database and RNG and
+// assembly always walks experiments in declaration order. The experiment
+// set deliberately includes cross-experiment cell sharing (fig7/fig9 share
+// the ESM mix runs; summary consumes table2/table3 cells) so the
+// single-flight cache is exercised under contention. Run with -race in CI.
+func TestParallelScheduleByteIdenticalCSV(t *testing.T) {
+	names := []string{"fig7", "fig9", "table2", "table3", "summary", "tuning", "ablation-poolrun"}
+	want := renderAllCSV(t, names, 1)
+	if want == "" {
+		t.Fatal("sequential run rendered no CSV")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got := renderAllCSV(t, names, workers)
+			if got != want {
+				t.Errorf("workers=%d output differs from sequential run", workers)
+			}
+		})
+	}
+}
+
+// TestCellPlanDeduplicates checks that cells shared between experiments
+// appear once in the plan, in first-declaration order.
+func TestCellPlanDeduplicates(t *testing.T) {
+	plan, err := CellPlan([]string{"fig7", "fig9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := CellPlan([]string{"fig7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != len(single) {
+		t.Errorf("fig7+fig9 plan has %d cells, want %d (both consume the same ESM mix runs)", len(plan), len(single))
+	}
+	seen := make(map[string]bool)
+	for _, c := range plan {
+		if seen[c.Key] {
+			t.Errorf("duplicate cell %q in plan", c.Key)
+		}
+		seen[c.Key] = true
+	}
+	if _, err := CellPlan([]string{"nosuch"}); err == nil {
+		t.Error("CellPlan accepted an unknown experiment")
+	}
+}
+
+// TestSeedForStreams checks the seed derivation: stable per stream,
+// distinct across streams and seeds.
+func TestSeedForStreams(t *testing.T) {
+	if seedFor(1, "mix") != seedFor(1, "mix") {
+		t.Error("seedFor is not deterministic")
+	}
+	if seedFor(1, "mix") == seedFor(1, "tuning") {
+		t.Error("distinct streams produced the same seed")
+	}
+	if seedFor(1, "mix") == seedFor(2, "mix") {
+		t.Error("distinct seeds produced the same stream seed")
 	}
 }

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"lobstore"
@@ -13,32 +12,39 @@ import (
 type Experiment struct {
 	Name string
 	Desc string
-	Run  func(r *Runner) ([]*Table, error)
+	// Run assembles the experiment's tables from cell results. It is always
+	// called sequentially, in declaration order; any cell it needs that
+	// Precompute did not already fill is computed on demand.
+	Run func(r *Runner) ([]*Table, error)
+	// Cells enumerates the independent simulation cells behind the
+	// experiment, for the parallel scheduler. nil means the experiment has
+	// no expensive work (table1) and runs entirely during assembly.
+	Cells func() []Cell
 }
 
 // Experiments lists every regenerable table and figure.
 var Experiments = []Experiment{
-	{"table1", "Fixed system parameters", (*Runner).Table1},
-	{"fig5", "10 MB object creation time vs append size", (*Runner).Fig5},
-	{"fig6", "10 MB sequential scan time vs scan size", (*Runner).Fig6},
-	{"fig7", "ESM storage utilization under the random mix", (*Runner).Fig7},
-	{"fig8", "EOS storage utilization under the random mix", (*Runner).Fig8},
-	{"table2", "Starburst read I/O cost", (*Runner).Table2},
-	{"fig9", "ESM read I/O cost under the random mix", (*Runner).Fig9},
-	{"fig10", "EOS read I/O cost under the random mix", (*Runner).Fig10},
-	{"table3", "Starburst insert and delete I/O cost", (*Runner).Table3},
-	{"fig11", "ESM insert I/O cost under the random mix", (*Runner).Fig11},
-	{"fig12", "EOS insert I/O cost under the random mix", (*Runner).Fig12},
-	{"deletes", "ESM and EOS delete I/O cost (§4.4.3, technical report)", (*Runner).Deletes},
-	{"scaling", "Cost vs object size (1/10/100 MB, §4.2 & §4.4.3)", (*Runner).Scaling},
-	{"summary", "§4.6 headline: EOS-64 vs Starburst", (*Runner).Summary},
-	{"tuning", "EOS threshold selection sweep (§4.6)", (*Runner).Tuning},
-	{"mixsense", "Operation-mix insensitivity (footnote 4)", (*Runner).MixSensitivity},
-	{"hotspot", "Skewed-offset workload (extension)", (*Runner).Hotspot},
-	{"ablation-wholeleaf", "Whole-leaf read I/O (the [Care86] assumption, §4.5)", (*Runner).AblationWholeLeaf},
-	{"ablation-noshadow", "Updates without segment shadowing (§3.3)", (*Runner).AblationNoShadow},
-	{"ablation-poolrun", "Buffer pool without multi-page runs (§3.2)", (*Runner).AblationPoolRun},
-	{"ablation-basicinsert", "ESM basic vs improved insert (§3.4)", (*Runner).AblationBasicInsert},
+	{"table1", "Fixed system parameters", (*Runner).Table1, nil},
+	{"fig5", "10 MB object creation time vs append size", (*Runner).Fig5, buildScanCells},
+	{"fig6", "10 MB sequential scan time vs scan size", (*Runner).Fig6, buildScanCells},
+	{"fig7", "ESM storage utilization under the random mix", (*Runner).Fig7, mixCells(esmSpecs)},
+	{"fig8", "EOS storage utilization under the random mix", (*Runner).Fig8, mixCells(eosSpecs)},
+	{"table2", "Starburst read I/O cost", (*Runner).Table2, table2Cells},
+	{"fig9", "ESM read I/O cost under the random mix", (*Runner).Fig9, mixCells(esmSpecs)},
+	{"fig10", "EOS read I/O cost under the random mix", (*Runner).Fig10, mixCells(eosSpecs)},
+	{"table3", "Starburst insert and delete I/O cost", (*Runner).Table3, table3Cells},
+	{"fig11", "ESM insert I/O cost under the random mix", (*Runner).Fig11, mixCells(esmSpecs)},
+	{"fig12", "EOS insert I/O cost under the random mix", (*Runner).Fig12, mixCells(eosSpecs)},
+	{"deletes", "ESM and EOS delete I/O cost (§4.4.3, technical report)", (*Runner).Deletes, deletesCells},
+	{"scaling", "Cost vs object size (1/10/100 MB, §4.2 & §4.4.3)", (*Runner).Scaling, scalingCells},
+	{"summary", "§4.6 headline: EOS-64 vs Starburst", (*Runner).Summary, summaryCells},
+	{"tuning", "EOS threshold selection sweep (§4.6)", (*Runner).Tuning, tuningCells},
+	{"mixsense", "Operation-mix insensitivity (footnote 4)", (*Runner).MixSensitivity, mixSenseCells},
+	{"hotspot", "Skewed-offset workload (extension)", (*Runner).Hotspot, hotspotCells},
+	{"ablation-wholeleaf", "Whole-leaf read I/O (the [Care86] assumption, §4.5)", (*Runner).AblationWholeLeaf, wholeLeafCells},
+	{"ablation-noshadow", "Updates without segment shadowing (§3.3)", (*Runner).AblationNoShadow, noShadowCells},
+	{"ablation-poolrun", "Buffer pool without multi-page runs (§3.2)", (*Runner).AblationPoolRun, poolRunCells},
+	{"ablation-basicinsert", "ESM basic vs improved insert (§3.4)", (*Runner).AblationBasicInsert, basicInsertCells},
 }
 
 // Lookup finds an experiment by name.
@@ -68,6 +74,42 @@ func (r *Runner) Table1() ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
+// buildScanEngines is the Figure 5/6 engine set. Starburst and EOS share one
+// growth pattern in the paper; both are shown.
+func buildScanEngines() []engineSpec {
+	return append(append([]engineSpec{}, esmSpecs...), starburstSpec, engineSpec{"EOS", "eos", 4})
+}
+
+// buildScanCells enumerates the Figure 5/6 grid (shared by both figures:
+// each cell builds with n-byte appends and scans with n-byte reads).
+func buildScanCells() []Cell {
+	var cells []Cell
+	for _, kb := range appendSizesKB {
+		for _, e := range buildScanEngines() {
+			cells = append(cells, buildCell(e, kb<<10))
+		}
+	}
+	return cells
+}
+
+// mixCells enumerates the §4.4 random-mix grid for one engine family:
+// every engine spec crossed with every mean operation size.
+func mixCells(specs []engineSpec) func() []Cell {
+	return func() []Cell {
+		var cells []Cell
+		for _, mean := range meanOpSizes {
+			for _, e := range specs {
+				cells = append(cells, mixCell(e, mean))
+			}
+		}
+		return cells
+	}
+}
+
+func deletesCells() []Cell {
+	return append(mixCells(esmSpecs)(), mixCells(eosSpecs)()...)
+}
+
 // Fig5 regenerates the object build time curves.
 func (r *Runner) Fig5() ([]*Table, error) {
 	return r.buildScanTable("fig5", "10 MB object creation time (seconds) vs append size (Figure 5)",
@@ -86,7 +128,7 @@ func (r *Runner) Fig6() ([]*Table, error) {
 }
 
 func (r *Runner) buildScanTable(id, title, note string, pick func(buildResult) float64) ([]*Table, error) {
-	engines := append(append([]engineSpec{}, esmSpecs...), starburstSpec, engineSpec{"EOS", "eos", 4})
+	engines := buildScanEngines()
 	t := &Table{ID: id, Title: title, Note: note}
 	t.Headers = append([]string{"append size"}, enginesNames(engines)...)
 	for _, kb := range appendSizesKB {
@@ -207,30 +249,67 @@ func (r *Runner) mixFigure(id, titleFmt, note string, engines []engineSpec,
 	return out, nil
 }
 
-// Table2 regenerates the Starburst read costs.
-func (r *Runner) Table2() ([]*Table, error) {
+// starReadResult is the table2 cell: the average Starburst read cost at
+// each mean operation size. One cell covers all three means because the
+// object's update history and the RNG position carry across them.
+type starReadResult struct {
+	ms [3]float64 // indexed like meanOpSizes
+}
+
+func table2Cell() Cell {
+	return Cell{Key: "table2", Run: cellFn((*Runner).computeStarReads)}
+}
+
+func table2Cells() []Cell { return []Cell{table2Cell()} }
+
+func (r *Runner) computeStarReads() (starReadResult, error) {
+	var res starReadResult
 	db, err := r.open(r.Cfg.DB)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	obj, err := db.NewStarburst(0)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
-		return nil, err
+		return res, err
 	}
 	// A couple of updates reorganise the field, as in the paper's mix,
 	// after which the read cost no longer depends on update history.
-	rng := rand.New(rand.NewSource(r.Cfg.Seed))
+	rng := r.rng("table2")
 	for i := 0; i < 3; i++ {
 		off := rng.Int63n(obj.Size())
 		if err := obj.Insert(off, make([]byte, 1000)); err != nil {
-			return nil, err
+			return res, err
 		}
 		if err := obj.Delete(off, 1000); err != nil {
-			return nil, err
+			return res, err
 		}
+	}
+	for mi, mean := range meanOpSizes {
+		var total float64
+		buf := make([]byte, 2*mean)
+		for i := 0; i < r.Cfg.StarburstReadOps; i++ {
+			n := int64(mean/2 + rng.Intn(mean+1))
+			off := rng.Int63n(obj.Size() - n + 1)
+			stats, err := db.Measure(func() error { return obj.Read(off, buf[:n]) })
+			if err != nil {
+				return res, err
+			}
+			total += stats.Time.Seconds() * 1000
+		}
+		res.ms[mi] = total / float64(r.Cfg.StarburstReadOps)
+	}
+	r.logf("table2 read=%.1f/%.1f/%.1fms", res.ms[0], res.ms[1], res.ms[2])
+	return res, nil
+}
+
+// Table2 regenerates the Starburst read costs.
+func (r *Runner) Table2() ([]*Table, error) {
+	res, err := cellResult[starReadResult](r, table2Cell())
+	if err != nil {
+		return nil, err
 	}
 	t := &Table{
 		ID:      "table2",
@@ -239,22 +318,75 @@ func (r *Runner) Table2() ([]*Table, error) {
 		Headers: []string{"Mean operation size", "100", "10K", "100K"},
 	}
 	row := []string{"Read I/O cost (ms)"}
-	for _, mean := range meanOpSizes {
-		var total float64
-		buf := make([]byte, 2*mean)
-		for i := 0; i < r.Cfg.StarburstReadOps; i++ {
-			n := int64(mean/2 + rng.Intn(mean+1))
-			off := rng.Int63n(obj.Size() - n + 1)
-			stats, err := db.Measure(func() error { return obj.Read(off, buf[:n]) })
-			if err != nil {
-				return nil, err
-			}
-			total += stats.Time.Seconds() * 1000
-		}
-		row = append(row, millis(total/float64(r.Cfg.StarburstReadOps)))
+	for _, ms := range res.ms {
+		row = append(row, millis(ms))
 	}
 	t.AddRow(row...)
 	return []*Table{t}, nil
+}
+
+// starUpdateResult is one table3 cell: average Starburst insert and delete
+// cost at one mean operation size, each mean on a fresh database.
+type starUpdateResult struct {
+	insertSec float64
+	deleteSec float64
+}
+
+func table3Cell(mean int) Cell {
+	return Cell{
+		Key: fmt.Sprintf("table3/%d", mean),
+		Run: cellFn(func(r *Runner) (starUpdateResult, error) {
+			return r.computeStarUpdates(mean)
+		}),
+	}
+}
+
+func table3Cells() []Cell {
+	var cells []Cell
+	for _, mean := range meanOpSizes {
+		cells = append(cells, table3Cell(mean))
+	}
+	return cells
+}
+
+func (r *Runner) computeStarUpdates(mean int) (starUpdateResult, error) {
+	var res starUpdateResult
+	db, err := r.open(r.Cfg.DB)
+	if err != nil {
+		return res, err
+	}
+	obj, err := db.NewStarburst(0)
+	if err != nil {
+		return res, err
+	}
+	if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
+		return res, err
+	}
+	rng := r.rng("table3")
+	var insTotal, delTotal float64
+	var insCount, delCount int
+	data := make([]byte, 2*mean)
+	for i := 0; i < r.Cfg.StarburstUpdateOps; i++ {
+		n := int64(mean/2 + rng.Intn(mean+1))
+		off := rng.Int63n(obj.Size() + 1)
+		stats, err := db.Measure(func() error { return obj.Insert(off, data[:n]) })
+		if err != nil {
+			return res, err
+		}
+		insTotal += stats.Time.Seconds()
+		insCount++
+		off = rng.Int63n(obj.Size() - n + 1)
+		stats, err = db.Measure(func() error { return obj.Delete(off, n) })
+		if err != nil {
+			return res, err
+		}
+		delTotal += stats.Time.Seconds()
+		delCount++
+	}
+	res.insertSec = insTotal / float64(insCount)
+	res.deleteSec = delTotal / float64(delCount)
+	r.logf("table3 mean=%s insert=%.1fs delete=%.1fs", sizeLabel(int64(mean)), res.insertSec, res.deleteSec)
+	return res, nil
 }
 
 // Table3 regenerates the Starburst insert/delete costs.
@@ -268,58 +400,88 @@ func (r *Runner) Table3() ([]*Table, error) {
 	insRow := []string{"Insert I/O cost (s)"}
 	delRow := []string{"Delete I/O cost (s)"}
 	for _, mean := range meanOpSizes {
-		db, err := r.open(r.Cfg.DB)
+		res, err := cellResult[starUpdateResult](r, table3Cell(mean))
 		if err != nil {
 			return nil, err
 		}
-		obj, err := db.NewStarburst(0)
-		if err != nil {
-			return nil, err
-		}
-		if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
-			return nil, err
-		}
-		rng := rand.New(rand.NewSource(r.Cfg.Seed))
-		var insTotal, delTotal float64
-		var insCount, delCount int
-		data := make([]byte, 2*mean)
-		for i := 0; i < r.Cfg.StarburstUpdateOps; i++ {
-			n := int64(mean/2 + rng.Intn(mean+1))
-			off := rng.Int63n(obj.Size() + 1)
-			stats, err := db.Measure(func() error { return obj.Insert(off, data[:n]) })
-			if err != nil {
-				return nil, err
-			}
-			insTotal += stats.Time.Seconds()
-			insCount++
-			off = rng.Int63n(obj.Size() - n + 1)
-			stats, err = db.Measure(func() error { return obj.Delete(off, n) })
-			if err != nil {
-				return nil, err
-			}
-			delTotal += stats.Time.Seconds()
-			delCount++
-		}
-		insRow = append(insRow, seconds(insTotal/float64(insCount)))
-		delRow = append(delRow, seconds(delTotal/float64(delCount)))
-		r.logf("table3 mean=%s insert=%.1fs delete=%.1fs",
-			sizeLabel(int64(mean)), insTotal/float64(insCount), delTotal/float64(delCount))
+		insRow = append(insRow, seconds(res.insertSec))
+		delRow = append(delRow, seconds(res.deleteSec))
 	}
 	t.AddRow(insRow...)
 	t.AddRow(delRow...)
 	return []*Table{t}, nil
 }
 
-// Scaling shows the object-size dependence claimed in §4.2 (build time
-// linear in size) and §4.4.3 (Starburst updates grow with the object, ESM
-// and EOS stay flat: a 100 MB object pushes Starburst to ~2.5 minutes).
-func (r *Runner) Scaling() ([]*Table, error) {
-	sizes := []int64{1 << 20, 10 << 20, 100 << 20}
+// scalingResult is one scaling cell: build time and average 10K-insert cost
+// for one (engine, object size) pair.
+type scalingResult struct {
+	buildSeconds float64
+	insertSec    float64 // average per insert
+}
+
+var scalingSizes = []int64{1 << 20, 10 << 20, 100 << 20}
+
+var scalingSpecs = []engineSpec{{"ESM-16", "esm", 16}, {"EOS-16", "eos", 16}, starburstSpec}
+
+func scalingCell(size int64, e engineSpec) Cell {
+	return Cell{
+		Key: fmt.Sprintf("scaling/%s/%d", e.name, size),
+		Run: cellFn(func(r *Runner) (scalingResult, error) {
+			return r.computeScaling(size, e)
+		}),
+	}
+}
+
+func scalingCells() []Cell {
+	var cells []Cell
+	for _, size := range scalingSizes {
+		for _, e := range scalingSpecs {
+			cells = append(cells, scalingCell(size, e))
+		}
+	}
+	return cells
+}
+
+func (r *Runner) computeScaling(size int64, e engineSpec) (scalingResult, error) {
+	var res scalingResult
 	cfg := r.Cfg.DB
 	cfg.Materialize = false // cost-only: content does not affect structure
 	cfg.LeafAreaPages = 128 << 10
 	cfg.MetaAreaPages = 16 << 10
+	db, err := r.open(cfg)
+	if err != nil {
+		return res, err
+	}
+	obj, err := r.newObject(db, e)
+	if err != nil {
+		return res, err
+	}
+	start := db.Now()
+	if err := workload.Build(obj, size, 256<<10); err != nil {
+		return res, err
+	}
+	res.buildSeconds = (db.Now() - start).Seconds()
 
+	rng := r.rng("scaling")
+	var total float64
+	const ops = 5
+	for i := 0; i < ops; i++ {
+		off := rng.Int63n(obj.Size())
+		stats, err := db.Measure(func() error { return obj.Insert(off, make([]byte, 10_000)) })
+		if err != nil {
+			return res, err
+		}
+		total += stats.Time.Seconds()
+	}
+	res.insertSec = total / ops
+	r.logf("scaling %s size=%s done", e.name, sizeLabel(size))
+	return res, nil
+}
+
+// Scaling shows the object-size dependence claimed in §4.2 (build time
+// linear in size) and §4.4.3 (Starburst updates grow with the object, ESM
+// and EOS stay flat: a 100 MB object pushes Starburst to ~2.5 minutes).
+func (r *Runner) Scaling() ([]*Table, error) {
 	build := &Table{
 		ID:      "scaling-build",
 		Title:   "Object build time (seconds) vs object size, 256K appends (§4.2: linear)",
@@ -331,47 +493,33 @@ func (r *Runner) Scaling() ([]*Table, error) {
 		Note:    "Paper: ESM/EOS flat; Starburst ≈2.5 minutes at 100 MB.",
 		Headers: []string{"object size", "ESM-16 (ms)", "EOS-16 (ms)", "Starburst (s)"},
 	}
-	specs := []engineSpec{{"ESM-16", "esm", 16}, {"EOS-16", "eos", 16}, starburstSpec}
-	for _, size := range sizes {
+	for _, size := range scalingSizes {
 		buildRow := []string{sizeLabel(size)}
 		updateRow := []string{sizeLabel(size)}
-		for _, e := range specs {
-			db, err := r.open(cfg)
+		for _, e := range scalingSpecs {
+			res, err := cellResult[scalingResult](r, scalingCell(size, e))
 			if err != nil {
 				return nil, err
 			}
-			obj, err := r.newObject(db, e)
-			if err != nil {
-				return nil, err
-			}
-			start := db.Now()
-			if err := workload.Build(obj, size, 256<<10); err != nil {
-				return nil, err
-			}
-			buildRow = append(buildRow, seconds((db.Now() - start).Seconds()))
-
-			rng := rand.New(rand.NewSource(r.Cfg.Seed))
-			var total float64
-			const ops = 5
-			for i := 0; i < ops; i++ {
-				off := rng.Int63n(obj.Size())
-				stats, err := db.Measure(func() error { return obj.Insert(off, make([]byte, 10_000)) })
-				if err != nil {
-					return nil, err
-				}
-				total += stats.Time.Seconds()
-			}
+			buildRow = append(buildRow, seconds(res.buildSeconds))
 			if e.kind == "starburst" {
-				updateRow = append(updateRow, seconds(total/ops))
+				updateRow = append(updateRow, seconds(res.insertSec))
 			} else {
-				updateRow = append(updateRow, millis(1000*total/ops))
+				updateRow = append(updateRow, millis(1000*res.insertSec))
 			}
-			r.logf("scaling %s size=%s done", e.name, sizeLabel(size))
 		}
 		build.AddRow(buildRow...)
 		update.AddRow(updateRow...)
 	}
 	return []*Table{build, update}, nil
+}
+
+func summaryCells() []Cell {
+	return []Cell{
+		mixCell(engineSpec{"EOS-64", "eos", 64}, 10_000),
+		table2Cell(),
+		table3Cell(10_000),
+	}
 }
 
 // Summary regenerates the §4.6 headline comparison: with a 64-block
@@ -383,12 +531,12 @@ func (r *Runner) Summary() ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Starburst numbers from Tables 2 and 3 machinery, at the same mean.
-	t2, err := r.Table2()
+	// Starburst numbers from the Tables 2 and 3 cells, at the same mean.
+	t2, err := cellResult[starReadResult](r, table2Cell())
 	if err != nil {
 		return nil, err
 	}
-	t3, err := r.Table3()
+	t3, err := cellResult[starUpdateResult](r, table3Cell(mean))
 	if err != nil {
 		return nil, err
 	}
@@ -400,11 +548,31 @@ func (r *Runner) Summary() ([]*Table, error) {
 			"with update cost ≈30x lower.",
 		Headers: []string{"metric", "EOS-64", "Starburst"},
 	}
-	t.AddRow("read cost (ms)", millis(eosS.readMs[last]), t2[0].Rows[0][2])
+	t.AddRow("read cost (ms)", millis(eosS.readMs[last]), millis(t2.ms[1]))
 	t.AddRow("utilization (%)", pct(eosS.util[last]), "~100")
-	starIns := t3[0].Rows[0][2]
-	t.AddRow("insert cost", fmt.Sprintf("%s ms", millis(eosS.insertMs[last])), starIns+" s")
+	t.AddRow("insert cost", fmt.Sprintf("%s ms", millis(eosS.insertMs[last])), seconds(t3.insertSec)+" s")
 	return []*Table{t}, nil
+}
+
+var ablationLeaves = []int{1, 4, 16, 64}
+
+func wholeLeafCell(leaf int, whole bool) Cell {
+	return Cell{
+		Key: fmt.Sprintf("ablation-wholeleaf/%d/%t", leaf, whole),
+		Run: cellFn(func(r *Runner) (float64, error) {
+			return r.esmReadCost(leaf, whole, 10_000)
+		}),
+	}
+}
+
+func wholeLeafCells() []Cell {
+	var cells []Cell
+	for _, leaf := range ablationLeaves {
+		for _, whole := range []bool{false, true} {
+			cells = append(cells, wholeLeafCell(leaf, whole))
+		}
+	}
+	return cells
 }
 
 // AblationWholeLeaf re-runs the ESM read measurement with whole leaves as
@@ -418,10 +586,10 @@ func (r *Runner) AblationWholeLeaf() ([]*Table, error) {
 			"hides the advantage of large leaves.",
 		Headers: []string{"leaf pages", "page-granular (ms)", "whole-leaf (ms)"},
 	}
-	for _, leaf := range []int{1, 4, 16, 64} {
+	for _, leaf := range ablationLeaves {
 		var cells []string
 		for _, whole := range []bool{false, true} {
-			ms, err := r.esmReadCost(leaf, whole, 10_000)
+			ms, err := cellResult[float64](r, wholeLeafCell(leaf, whole))
 			if err != nil {
 				return nil, err
 			}
@@ -446,13 +614,13 @@ func (r *Runner) esmReadCost(leaf int, wholeLeaf bool, mean int) (float64, error
 		return 0, err
 	}
 	// Degrade the structure with a warm-up mix, then sample reads alone.
-	mix := &workload.Mix{Obj: obj, Rng: rand.New(rand.NewSource(r.Cfg.Seed)), MeanOpSize: mean}
+	mix := &workload.Mix{Obj: obj, Rng: r.rng("ablation-wholeleaf"), MeanOpSize: mean}
 	if err := mix.Run(r.Cfg.MixOps/5, nil); err != nil {
 		return 0, err
 	}
 	var total float64
 	var count int
-	rng := rand.New(rand.NewSource(r.Cfg.Seed + 7))
+	rng := r.rng("ablation-wholeleaf/read")
 	buf := make([]byte, 2*mean)
 	for i := 0; i < 200; i++ {
 		n := int64(mean/2 + rng.Intn(mean+1))
@@ -467,6 +635,25 @@ func (r *Runner) esmReadCost(leaf int, wholeLeaf bool, mean int) (float64, error
 	return total / float64(count), nil
 }
 
+func noShadowCell(leaf int, noShadow bool) Cell {
+	return Cell{
+		Key: fmt.Sprintf("ablation-noshadow/%d/%t", leaf, noShadow),
+		Run: cellFn(func(r *Runner) (float64, error) {
+			return r.esmInsertCost(leaf, noShadow)
+		}),
+	}
+}
+
+func noShadowCells() []Cell {
+	var cells []Cell
+	for _, leaf := range ablationLeaves {
+		for _, noShadow := range []bool{false, true} {
+			cells = append(cells, noShadowCell(leaf, noShadow))
+		}
+	}
+	return cells
+}
+
 // AblationNoShadow compares ESM insert cost with and without segment
 // shadowing (§3.3: "the cost of shadowing somehow offsets the benefits of
 // partial reads and writes").
@@ -476,10 +663,10 @@ func (r *Runner) AblationNoShadow() ([]*Table, error) {
 		Title:   "ESM 10K-insert cost: shadowed vs in-place updates (§3.3)",
 		Headers: []string{"leaf pages", "shadowed (ms)", "in-place (ms)"},
 	}
-	for _, leaf := range []int{1, 4, 16, 64} {
+	for _, leaf := range ablationLeaves {
 		var cells []string
 		for _, noShadow := range []bool{false, true} {
-			ms, err := r.esmInsertCost(leaf, noShadow)
+			ms, err := cellResult[float64](r, noShadowCell(leaf, noShadow))
 			if err != nil {
 				return nil, err
 			}
@@ -506,11 +693,11 @@ func (r *Runner) esmInsertCost(leaf int, noShadow bool) (float64, error) {
 	// where shadowing granularity matters (§3.3's 2-block vs 64-block
 	// example). On freshly built, full leaves every insert overflows and
 	// both variants shuffle the same bytes.
-	mix := &workload.Mix{Obj: obj, Rng: rand.New(rand.NewSource(r.Cfg.Seed)), MeanOpSize: 10_000}
+	mix := &workload.Mix{Obj: obj, Rng: r.rng("ablation-noshadow"), MeanOpSize: 10_000}
 	if err := mix.Run(r.Cfg.MixOps/5, nil); err != nil {
 		return 0, err
 	}
-	rng := rand.New(rand.NewSource(r.Cfg.Seed))
+	rng := r.rng("ablation-noshadow/insert")
 	data := make([]byte, 2_000)
 	var total float64
 	const ops = 100
@@ -530,6 +717,19 @@ func (r *Runner) esmInsertCost(leaf int, noShadow bool) (float64, error) {
 	return total / ops, nil
 }
 
+func poolRunCell(maxRun int) Cell {
+	return Cell{
+		Key: fmt.Sprintf("ablation-poolrun/%d", maxRun),
+		Run: cellFn(func(r *Runner) (float64, error) {
+			return r.eosScanSeconds(maxRun)
+		}),
+	}
+}
+
+func poolRunCells() []Cell {
+	return []Cell{poolRunCell(4), poolRunCell(1)}
+}
+
 // AblationPoolRun compares small sequential scans with and without
 // multi-page pool runs (§3.2's hybrid buffering).
 func (r *Runner) AblationPoolRun() ([]*Table, error) {
@@ -541,26 +741,53 @@ func (r *Runner) AblationPoolRun() ([]*Table, error) {
 		Headers: []string{"configuration", "scan seconds"},
 	}
 	for _, maxRun := range []int{4, 1} {
-		cfg := r.Cfg.DB
-		cfg.MaxBufferedRun = maxRun
-		db, err := r.open(cfg)
+		sec, err := cellResult[float64](r, poolRunCell(maxRun))
 		if err != nil {
 			return nil, err
 		}
-		obj, err := db.NewEOS(4)
-		if err != nil {
-			return nil, err
-		}
-		if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
-			return nil, err
-		}
-		start := db.Now()
-		if err := workload.Scan(obj, 7000); err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("MaxRun=%d", maxRun), seconds((db.Now() - start).Seconds()))
+		t.AddRow(fmt.Sprintf("MaxRun=%d", maxRun), seconds(sec))
 	}
 	return []*Table{t}, nil
+}
+
+func (r *Runner) eosScanSeconds(maxRun int) (float64, error) {
+	cfg := r.Cfg.DB
+	cfg.MaxBufferedRun = maxRun
+	db, err := r.open(cfg)
+	if err != nil {
+		return 0, err
+	}
+	obj, err := db.NewEOS(4)
+	if err != nil {
+		return 0, err
+	}
+	if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
+		return 0, err
+	}
+	start := db.Now()
+	if err := workload.Scan(obj, 7000); err != nil {
+		return 0, err
+	}
+	return (db.Now() - start).Seconds(), nil
+}
+
+func basicInsertCell(leaf int, basic bool) Cell {
+	return Cell{
+		Key: fmt.Sprintf("ablation-basicinsert/%d/%t", leaf, basic),
+		Run: cellFn(func(r *Runner) (float64, error) {
+			return r.esmMixUtil(leaf, basic)
+		}),
+	}
+}
+
+func basicInsertCells() []Cell {
+	var cells []Cell
+	for _, leaf := range []int{1, 4} {
+		for _, basic := range []bool{false, true} {
+			cells = append(cells, basicInsertCell(leaf, basic))
+		}
+	}
+	return cells
 }
 
 // AblationBasicInsert compares utilization and leaf counts between the
@@ -575,7 +802,7 @@ func (r *Runner) AblationBasicInsert() ([]*Table, error) {
 	for _, leaf := range []int{1, 4} {
 		var cells []string
 		for _, basic := range []bool{false, true} {
-			u, err := r.esmMixUtil(leaf, basic)
+			u, err := cellResult[float64](r, basicInsertCell(leaf, basic))
 			if err != nil {
 				return nil, err
 			}
@@ -598,7 +825,7 @@ func (r *Runner) esmMixUtil(leaf int, basic bool) (float64, error) {
 	if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
 		return 0, err
 	}
-	mix := &workload.Mix{Obj: obj, Rng: rand.New(rand.NewSource(r.Cfg.Seed)), MeanOpSize: 10_000}
+	mix := &workload.Mix{Obj: obj, Rng: r.rng("ablation-basicinsert"), MeanOpSize: 10_000}
 	if err := mix.Run(r.Cfg.MixOps/2, nil); err != nil {
 		return 0, err
 	}

@@ -3,7 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
-	"math/rand"
+	"sync"
 
 	"lobstore"
 	"lobstore/internal/workload"
@@ -28,7 +28,8 @@ type Config struct {
 	// Starburst measurements for Tables 2-3.
 	StarburstUpdateOps int
 	StarburstReadOps   int
-	// Seed drives all workload randomness.
+	// Seed drives all workload randomness. Each cell's generator is
+	// derived from (Seed, workload stream); see seedFor.
 	Seed int64
 }
 
@@ -57,35 +58,45 @@ func QuickConfig() Config {
 	return c
 }
 
-// Runner executes experiments, caching the expensive mix runs so that the
-// utilization, read-cost, insert-cost and delete-cost figures extracted
-// from the same run are computed once.
+// Runner executes experiments. Every expensive computation is a Cell whose
+// result lands in a single-flight cache, so the utilization, read-cost,
+// insert-cost and delete-cost figures extracted from the same §4.4 run are
+// computed once — and so the scheduler can execute cells concurrently
+// (Precompute) before the sequential table assembly.
 type Runner struct {
 	Cfg Config
-	// Log, when non-nil, receives one progress line per run.
+	// Log, when non-nil, receives one progress line per run. Lines are
+	// written atomically; under a parallel schedule their order follows
+	// cell completion, not declaration.
 	Log io.Writer
 	// Observe, when non-nil, is called on every database the runner opens,
 	// before any workload touches it. lobbench uses it to attach trace and
-	// metrics sinks to all the databases behind an experiment.
+	// metrics sinks to all the databases behind an experiment. Under a
+	// parallel schedule it is called from worker goroutines; the observers
+	// it attaches must be goroutine-safe (the obs event layer is).
 	Observe func(*lobstore.DB)
 
-	mixCache   map[string]*mixSeries
-	buildCache map[string]buildResult
+	logMu sync.Mutex
+	cells *cellCache
 }
 
 // NewRunner creates a runner over cfg.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{
-		Cfg:        cfg,
-		mixCache:   make(map[string]*mixSeries),
-		buildCache: make(map[string]buildResult),
-	}
+	return &Runner{Cfg: cfg, cells: newCellCache()}
+}
+
+// cell computes c through the runner's single-flight cache.
+func (r *Runner) cell(c Cell) (any, error) {
+	return r.cells.do(c.Key, func() (any, error) { return c.Run(r) })
 }
 
 func (r *Runner) logf(format string, args ...any) {
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, format+"\n", args...)
+	if r.Log == nil {
+		return
 	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	fmt.Fprintf(r.Log, format+"\n", args...)
 }
 
 // open creates a database and runs the Observe hook, so attached sinks see
@@ -140,19 +151,30 @@ var (
 	starburstSpec = engineSpec{"Starburst", "starburst", 0}
 )
 
-// buildResult caches a Figure 5/6 cell: build an object with chunk-sized
+// buildResult is a Figure 5/6 cell: build an object with chunk-sized
 // appends, then scan it with chunk-sized reads.
 type buildResult struct {
 	buildSeconds float64
 	scanSeconds  float64
 }
 
-// buildAndScan runs one Figure 5/6 cell on a fresh database.
-func (r *Runner) buildAndScan(e engineSpec, chunk int) (buildResult, error) {
-	key := fmt.Sprintf("%s/%s/%d", e.kind, e.name, chunk)
-	if res, ok := r.buildCache[key]; ok {
-		return res, nil
+// buildCell names one Figure 5/6 (engine, chunk) combination.
+func buildCell(e engineSpec, chunk int) Cell {
+	return Cell{
+		Key: fmt.Sprintf("build/%s/%s/%d", e.kind, e.name, chunk),
+		Run: cellFn(func(r *Runner) (buildResult, error) {
+			return r.computeBuildScan(e, chunk)
+		}),
 	}
+}
+
+// buildAndScan returns the cached Figure 5/6 cell result.
+func (r *Runner) buildAndScan(e engineSpec, chunk int) (buildResult, error) {
+	return cellResult[buildResult](r, buildCell(e, chunk))
+}
+
+// computeBuildScan runs one Figure 5/6 cell on a fresh database.
+func (r *Runner) computeBuildScan(e engineSpec, chunk int) (buildResult, error) {
 	db, err := r.open(r.Cfg.DB)
 	if err != nil {
 		return buildResult{}, err
@@ -172,7 +194,6 @@ func (r *Runner) buildAndScan(e engineSpec, chunk int) (buildResult, error) {
 	}
 	scan := (db.Now() - start).Seconds()
 	res := buildResult{buildSeconds: build, scanSeconds: scan}
-	r.buildCache[key] = res
 	r.logf("build+scan %-10s chunk=%-8s build=%7.1fs scan=%7.1fs hit=%s",
 		e.name, sizeLabel(int64(chunk)), build, scan, hitRate(db))
 	return res, nil
@@ -188,12 +209,25 @@ type mixSeries struct {
 	deleteMs []float64
 }
 
-// runMix executes (and caches) one random-mix run: engine × mean op size.
-func (r *Runner) runMix(e engineSpec, meanOp int) (*mixSeries, error) {
-	key := fmt.Sprintf("%s/%d/%d", e.name, e.param, meanOp)
-	if s, ok := r.mixCache[key]; ok {
-		return s, nil
+// mixCell names one §4.4 random-mix run: engine × mean op size. All mix
+// cells share the "mix" workload stream so every engine of a figure faces
+// the same operation sequence (the paper's paired comparison).
+func mixCell(e engineSpec, meanOp int) Cell {
+	return Cell{
+		Key: fmt.Sprintf("mix/%s/%d/%d", e.name, e.param, meanOp),
+		Run: cellFn(func(r *Runner) (*mixSeries, error) {
+			return r.computeMix(e, meanOp)
+		}),
 	}
+}
+
+// runMix returns the cached series of one random-mix run.
+func (r *Runner) runMix(e engineSpec, meanOp int) (*mixSeries, error) {
+	return cellResult[*mixSeries](r, mixCell(e, meanOp))
+}
+
+// computeMix executes one random-mix run on a fresh database.
+func (r *Runner) computeMix(e engineSpec, meanOp int) (*mixSeries, error) {
 	db, err := r.open(r.Cfg.DB)
 	if err != nil {
 		return nil, err
@@ -207,7 +241,7 @@ func (r *Runner) runMix(e engineSpec, meanOp int) (*mixSeries, error) {
 	}
 	mix := &workload.Mix{
 		Obj:        obj,
-		Rng:        rand.New(rand.NewSource(r.Cfg.Seed)),
+		Rng:        r.rng("mix"),
 		MeanOpSize: meanOp,
 	}
 	s := &mixSeries{}
@@ -232,7 +266,6 @@ func (r *Runner) runMix(e engineSpec, meanOp int) (*mixSeries, error) {
 			counts = [3]int{}
 		}
 	}
-	r.mixCache[key] = s
 	last := len(s.ops) - 1
 	r.logf("mix %-6s mean=%-7s util=%5.1f%% read=%6.1fms ins=%8.1fms del=%8.1fms hit=%s",
 		e.name, sizeLabel(int64(meanOp)), 100*s.util[last], s.readMs[last], s.insertMs[last], s.deleteMs[last], hitRate(db))

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel cell scheduler. The paper's evaluation grid is a set of
+// independent simulation cells — (engine, leaf-size or threshold, operation
+// size) combinations, each on a private database, clock and seeded
+// workload — so the cells behind a set of experiments can execute on a
+// bounded worker pool in any order. Determinism is preserved by
+// construction:
+//
+//   - each cell owns its database and derives its RNG from
+//     (Config.Seed, stream) — no cross-cell mutable state;
+//   - results land in a single-flight cache keyed by the cell's name, so a
+//     cell shared by several experiments runs once no matter the schedule;
+//   - tables are assembled sequentially in experiment declaration order
+//     from the cached results, so stdout and CSV output are byte-identical
+//     for every worker count, including the workers == 1 path that never
+//     spawns a goroutine.
+
+// CellPlan returns the distinct cells behind the named experiments, in
+// first-declaration order. Experiments without a cell decomposition
+// (table1) contribute nothing and run entirely during assembly.
+func CellPlan(names []string) ([]Cell, error) {
+	seen := make(map[string]bool)
+	var plan []Cell
+	for _, name := range names {
+		e, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown experiment %q", name)
+		}
+		if e.Cells == nil {
+			continue
+		}
+		for _, c := range e.Cells() {
+			if !seen[c.Key] {
+				seen[c.Key] = true
+				plan = append(plan, c)
+			}
+		}
+	}
+	return plan, nil
+}
+
+// Precompute executes the cells behind the named experiments on a bounded
+// worker pool, filling the runner's cell cache so that assembly finds every
+// result ready. workers <= 0 selects GOMAXPROCS; workers == 1 is a no-op —
+// assembly then computes each cell on demand, which is exactly the
+// sequential path. On a cell error the pool stops dispatching and the
+// error of the earliest-planned failing cell is returned.
+func (r *Runner) Precompute(names []string, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return nil
+	}
+	plan, err := CellPlan(names)
+	if err != nil {
+		return err
+	}
+	if len(plan) == 0 {
+		return nil
+	}
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	var (
+		wg     sync.WaitGroup
+		failed atomic.Bool
+		errs   = make([]error, len(plan))
+		jobs   = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue // drain: one failure aborts the whole run
+				}
+				if _, err := r.cell(plan[i]); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range plan {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("harness: cell %s: %w", plan[i].Key, err)
+		}
+	}
+	return nil
+}
+
+// RunAll precomputes the named experiments' cells with the given
+// parallelism, then assembles and emits each experiment's tables in
+// declaration order. The emitted output is byte-identical for every
+// workers value.
+func (r *Runner) RunAll(names []string, workers int, emit func(Experiment, []*Table) error) error {
+	for _, name := range names {
+		if _, ok := Lookup(name); !ok {
+			return fmt.Errorf("harness: unknown experiment %q", name)
+		}
+	}
+	if err := r.Precompute(names, workers); err != nil {
+		return err
+	}
+	for _, name := range names {
+		e, _ := Lookup(name)
+		tables, err := e.Run(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if emit != nil {
+			if err := emit(e, tables); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -2,10 +2,90 @@ package harness
 
 import (
 	"fmt"
-	"math/rand"
 
 	"lobstore/internal/workload"
 )
+
+// senseResult is one mixsense/hotspot cell: the settled utilization and
+// read cost of one engine under one workload variation.
+type senseResult struct {
+	util   float64
+	readMs float64
+}
+
+// opMixes are the footnote-4 read/insert/delete percentages under test.
+var opMixes = []struct {
+	name              string
+	read, insert, del int
+}{
+	{"40/30/30 (paper)", 40, 30, 30},
+	{"20/40/40", 20, 40, 40},
+	{"60/20/20", 60, 20, 20},
+}
+
+var senseSpecs = []engineSpec{{"ESM-4", "esm", 4}, {"EOS-4", "eos", 4}}
+
+func mixSenseCell(mixName string, read, insert, del int, spec engineSpec) Cell {
+	return Cell{
+		Key: fmt.Sprintf("mixsense/%d-%d-%d/%s", read, insert, del, spec.name),
+		Run: cellFn(func(r *Runner) (senseResult, error) {
+			return r.computeMixSense(mixName, read, insert, del, spec)
+		}),
+	}
+}
+
+func mixSenseCells() []Cell {
+	var cells []Cell
+	for _, mix := range opMixes {
+		for _, spec := range senseSpecs {
+			cells = append(cells, mixSenseCell(mix.name, mix.read, mix.insert, mix.del, spec))
+		}
+	}
+	return cells
+}
+
+func (r *Runner) computeMixSense(mixName string, read, insert, del int, spec engineSpec) (senseResult, error) {
+	var res senseResult
+	db, err := r.open(r.Cfg.DB)
+	if err != nil {
+		return res, err
+	}
+	obj, err := r.newObject(db, spec)
+	if err != nil {
+		return res, err
+	}
+	if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
+		return res, err
+	}
+	m := &workload.Mix{
+		Obj:        obj,
+		Rng:        r.rng("mixsense"),
+		MeanOpSize: 10_000,
+		ReadPct:    read,
+		InsertPct:  insert,
+		DeletePct:  del,
+	}
+	// Scale the run length so each mix performs a comparable number of
+	// updates (the structure-degrading operations).
+	steps := r.Cfg.MixOps * 60 / (insert + del)
+	var readSum float64
+	var readCount int
+	for i := 0; i < steps; i++ {
+		before := db.Stats()
+		kind, err := m.Step()
+		if err != nil {
+			return res, fmt.Errorf("mixsense %s %s: %w", mixName, spec.name, err)
+		}
+		if kind == workload.Read && i > steps/2 {
+			readSum += db.Stats().Sub(before).Time.Seconds() * 1000
+			readCount++
+		}
+	}
+	res.util = obj.Utilization().Ratio()
+	res.readMs = avg(readSum, readCount)
+	r.logf("mixsense %s %s done", mixName, spec.name)
+	return res, nil
+}
 
 // MixSensitivity validates the paper's footnote 4: "the results do not
 // depend on the mix rather on the operation size. A larger search
@@ -13,14 +93,6 @@ import (
 // curves." The experiment runs the utilization measurement under three
 // different read/insert/delete mixes and shows the steady state agrees.
 func (r *Runner) MixSensitivity() ([]*Table, error) {
-	mixes := []struct {
-		name              string
-		read, insert, del int
-	}{
-		{"40/30/30 (paper)", 40, 30, 30},
-		{"20/40/40", 20, 40, 40},
-		{"60/20/20", 60, 20, 20},
-	}
 	t := &Table{
 		ID:    "mixsense",
 		Title: "Steady-state results under different operation mixes (footnote 4)",
@@ -28,50 +100,86 @@ func (r *Runner) MixSensitivity() ([]*Table, error) {
 			"only slows convergence. Utilization and read cost must agree across rows.",
 		Headers: []string{"mix", "ESM-4 util (%)", "ESM-4 read (ms)", "EOS-4 util (%)", "EOS-4 read (ms)"},
 	}
-	for _, mix := range mixes {
+	for _, mix := range opMixes {
 		row := []string{mix.name}
-		for _, spec := range []engineSpec{{"ESM-4", "esm", 4}, {"EOS-4", "eos", 4}} {
-			db, err := r.open(r.Cfg.DB)
+		for _, spec := range senseSpecs {
+			res, err := cellResult[senseResult](r, mixSenseCell(mix.name, mix.read, mix.insert, mix.del, spec))
 			if err != nil {
 				return nil, err
 			}
-			obj, err := r.newObject(db, spec)
-			if err != nil {
-				return nil, err
-			}
-			if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
-				return nil, err
-			}
-			m := &workload.Mix{
-				Obj:        obj,
-				Rng:        rand.New(rand.NewSource(r.Cfg.Seed)),
-				MeanOpSize: 10_000,
-				ReadPct:    mix.read,
-				InsertPct:  mix.insert,
-				DeletePct:  mix.del,
-			}
-			// Scale the run length so each mix performs a comparable number
-			// of updates (the structure-degrading operations).
-			steps := r.Cfg.MixOps * 60 / (mix.insert + mix.del)
-			var readSum float64
-			var readCount int
-			for i := 0; i < steps; i++ {
-				before := db.Stats()
-				kind, err := m.Step()
-				if err != nil {
-					return nil, fmt.Errorf("mixsense %s %s: %w", mix.name, spec.name, err)
-				}
-				if kind == workload.Read && i > steps/2 {
-					readSum += db.Stats().Sub(before).Time.Seconds() * 1000
-					readCount++
-				}
-			}
-			row = append(row, pct(obj.Utilization().Ratio()), millis(avg(readSum, readCount)))
-			r.logf("mixsense %s %s done", mix.name, spec.name)
+			row = append(row, pct(res.util), millis(res.readMs))
 		}
 		t.AddRow(row...)
 	}
 	return []*Table{t}, nil
+}
+
+// hotspotWorkloads are the offset-skew settings under test.
+var hotspotWorkloads = []struct {
+	name    string
+	hotspot float64
+}{
+	{"uniform", 0},
+	{"90% ops on first 10%", 0.9},
+}
+
+var hotspotSpecs = []engineSpec{{"ESM-4", "esm", 4}, {"EOS-16", "eos", 16}}
+
+func hotspotCell(wName string, hotspot float64, spec engineSpec) Cell {
+	return Cell{
+		Key: fmt.Sprintf("hotspot/%.2f/%s", hotspot, spec.name),
+		Run: cellFn(func(r *Runner) (senseResult, error) {
+			return r.computeHotspot(wName, hotspot, spec)
+		}),
+	}
+}
+
+func hotspotCells() []Cell {
+	var cells []Cell
+	for _, w := range hotspotWorkloads {
+		for _, spec := range hotspotSpecs {
+			cells = append(cells, hotspotCell(w.name, w.hotspot, spec))
+		}
+	}
+	return cells
+}
+
+func (r *Runner) computeHotspot(wName string, hotspot float64, spec engineSpec) (senseResult, error) {
+	var res senseResult
+	db, err := r.open(r.Cfg.DB)
+	if err != nil {
+		return res, err
+	}
+	obj, err := r.newObject(db, spec)
+	if err != nil {
+		return res, err
+	}
+	if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
+		return res, err
+	}
+	m := &workload.Mix{
+		Obj:        obj,
+		Rng:        r.rng("hotspot"),
+		MeanOpSize: 10_000,
+		Hotspot:    hotspot,
+	}
+	var readSum float64
+	var readCount int
+	for i := 0; i < r.Cfg.MixOps; i++ {
+		before := db.Stats()
+		kind, err := m.Step()
+		if err != nil {
+			return res, fmt.Errorf("hotspot %s %s: %w", wName, spec.name, err)
+		}
+		if kind == workload.Read && i > r.Cfg.MixOps/2 {
+			readSum += db.Stats().Sub(before).Time.Seconds() * 1000
+			readCount++
+		}
+	}
+	res.util = obj.Utilization().Ratio()
+	res.readMs = avg(readSum, readCount)
+	r.logf("hotspot %s %s done", wName, spec.name)
+	return res, nil
 }
 
 // Hotspot runs the random mix with 90% of operations hitting the first 10%
@@ -85,47 +193,14 @@ func (r *Runner) Hotspot() ([]*Table, error) {
 		Headers: []string{"workload", "ESM-4 util (%)", "ESM-4 read (ms)",
 			"EOS-16 util (%)", "EOS-16 read (ms)"},
 	}
-	for _, w := range []struct {
-		name    string
-		hotspot float64
-	}{
-		{"uniform", 0},
-		{"90% ops on first 10%", 0.9},
-	} {
+	for _, w := range hotspotWorkloads {
 		row := []string{w.name}
-		for _, spec := range []engineSpec{{"ESM-4", "esm", 4}, {"EOS-16", "eos", 16}} {
-			db, err := r.open(r.Cfg.DB)
+		for _, spec := range hotspotSpecs {
+			res, err := cellResult[senseResult](r, hotspotCell(w.name, w.hotspot, spec))
 			if err != nil {
 				return nil, err
 			}
-			obj, err := r.newObject(db, spec)
-			if err != nil {
-				return nil, err
-			}
-			if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
-				return nil, err
-			}
-			m := &workload.Mix{
-				Obj:        obj,
-				Rng:        rand.New(rand.NewSource(r.Cfg.Seed)),
-				MeanOpSize: 10_000,
-				Hotspot:    w.hotspot,
-			}
-			var readSum float64
-			var readCount int
-			for i := 0; i < r.Cfg.MixOps; i++ {
-				before := db.Stats()
-				kind, err := m.Step()
-				if err != nil {
-					return nil, fmt.Errorf("hotspot %s %s: %w", w.name, spec.name, err)
-				}
-				if kind == workload.Read && i > r.Cfg.MixOps/2 {
-					readSum += db.Stats().Sub(before).Time.Seconds() * 1000
-					readCount++
-				}
-			}
-			row = append(row, pct(obj.Utilization().Ratio()), millis(avg(readSum, readCount)))
-			r.logf("hotspot %s %s done", w.name, spec.name)
+			row = append(row, pct(res.util), millis(res.readMs))
 		}
 		t.AddRow(row...)
 	}

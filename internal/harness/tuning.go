@@ -2,10 +2,79 @@ package harness
 
 import (
 	"fmt"
-	"math/rand"
 
 	"lobstore/internal/workload"
 )
+
+// tuningResult is one threshold-sweep cell: the settled mix costs and
+// utilization for one EOS threshold.
+type tuningResult struct {
+	util     float64
+	readMs   float64
+	insertMs float64
+	deleteMs float64
+}
+
+var tuningThresholds = []int{1, 2, 4, 8, 16, 32, 64}
+
+func tuningCell(threshold int) Cell {
+	return Cell{
+		Key: fmt.Sprintf("tuning/%d", threshold),
+		Run: cellFn(func(r *Runner) (tuningResult, error) {
+			return r.computeTuning(threshold)
+		}),
+	}
+}
+
+func tuningCells() []Cell {
+	var cells []Cell
+	for _, threshold := range tuningThresholds {
+		cells = append(cells, tuningCell(threshold))
+	}
+	return cells
+}
+
+func (r *Runner) computeTuning(threshold int) (tuningResult, error) {
+	var res tuningResult
+	const mean = 10_000
+	db, err := r.open(r.Cfg.DB)
+	if err != nil {
+		return res, err
+	}
+	obj, err := db.NewEOS(threshold)
+	if err != nil {
+		return res, err
+	}
+	if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
+		return res, err
+	}
+	mix := &workload.Mix{
+		Obj:        obj,
+		Rng:        r.rng("tuning"),
+		MeanOpSize: mean,
+	}
+	var sums [3]float64
+	var counts [3]int
+	for i := 0; i < r.Cfg.MixOps/2; i++ {
+		before := db.Stats()
+		kind, err := mix.Step()
+		if err != nil {
+			return res, err
+		}
+		cost := db.Stats().Sub(before).Time.Seconds() * 1000
+		// Average over the second half, once the structure settles.
+		if i >= r.Cfg.MixOps/4 {
+			sums[kind] += cost
+			counts[kind]++
+		}
+	}
+	res.util = obj.Utilization().Ratio()
+	res.readMs = avg(sums[workload.Read], counts[workload.Read])
+	res.insertMs = avg(sums[workload.Insert], counts[workload.Insert])
+	res.deleteMs = avg(sums[workload.Delete], counts[workload.Delete])
+	r.logf("tuning T=%d done", threshold)
+	return res, nil
+}
 
 // Tuning regenerates the §4.6 threshold selection process as a concrete
 // sweep: for one operation-size profile it reports, per threshold, the
@@ -19,7 +88,6 @@ import (
 //     than the size of the search operations expected".
 //   - "for more static objects the larger the threshold the better".
 func (r *Runner) Tuning() ([]*Table, error) {
-	const mean = 10_000
 	t := &Table{
 		ID:    "tuning",
 		Title: "EOS threshold selection for a 10K-operation workload (§4.6)",
@@ -27,46 +95,18 @@ func (r *Runner) Tuning() ([]*Table, error) {
 			"T=8 already buys Starburst-level reads; raising T further trades update cost for utilization.",
 		Headers: []string{"T (pages)", "utilization (%)", "read (ms)", "insert (ms)", "delete (ms)"},
 	}
-	for _, threshold := range []int{1, 2, 4, 8, 16, 32, 64} {
-		db, err := r.open(r.Cfg.DB)
+	for _, threshold := range tuningThresholds {
+		res, err := cellResult[tuningResult](r, tuningCell(threshold))
 		if err != nil {
 			return nil, err
-		}
-		obj, err := db.NewEOS(threshold)
-		if err != nil {
-			return nil, err
-		}
-		if err := workload.Build(obj, r.Cfg.ObjectBytes, r.Cfg.BuildChunk); err != nil {
-			return nil, err
-		}
-		mix := &workload.Mix{
-			Obj:        obj,
-			Rng:        rand.New(rand.NewSource(r.Cfg.Seed)),
-			MeanOpSize: mean,
-		}
-		var sums [3]float64
-		var counts [3]int
-		for i := 0; i < r.Cfg.MixOps/2; i++ {
-			before := db.Stats()
-			kind, err := mix.Step()
-			if err != nil {
-				return nil, err
-			}
-			cost := db.Stats().Sub(before).Time.Seconds() * 1000
-			// Average over the second half, once the structure settles.
-			if i >= r.Cfg.MixOps/4 {
-				sums[kind] += cost
-				counts[kind]++
-			}
 		}
 		t.AddRow(
 			fmt.Sprintf("%d", threshold),
-			pct(obj.Utilization().Ratio()),
-			millis(avg(sums[workload.Read], counts[workload.Read])),
-			millis(avg(sums[workload.Insert], counts[workload.Insert])),
-			millis(avg(sums[workload.Delete], counts[workload.Delete])),
+			pct(res.util),
+			millis(res.readMs),
+			millis(res.insertMs),
+			millis(res.deleteMs),
 		)
-		r.logf("tuning T=%d done", threshold)
 	}
 	return []*Table{t}, nil
 }

@@ -263,16 +263,20 @@ func (t *Tree) reparent(es []Entry, parent disk.Addr) {
 }
 
 // markPathDirty records path[0..depth] as modified this operation. Every
-// marked page is made sticky in the pool so buffer replacement can never
-// overwrite its on-disk pre-image before the end-of-operation flush. The
-// pages were fixed moments ago and no I/O has intervened, so they are
-// still resident; a SetSticky failure means the shadow protocol is broken
-// and must surface, not be swallowed.
+// marked page still resident is made sticky in the pool so buffer
+// replacement cannot overwrite its on-disk pre-image before the
+// end-of-operation flush. A page can legitimately be gone already: fixes
+// between its unfix and this mark (path ancestors, rebalance siblings, the
+// buddy directory behind FreeMetaPage) may have evicted it from the
+// 12-frame pool. The flush tolerates that — shadowPage re-reads evicted
+// pages before relocating them — so the mark is simply skipped.
 func (t *Tree) markPathDirty(path Path, depth int) error {
 	for d := depth; d >= 0; d-- {
 		addr := path[d].Addr
-		if err := t.st.Pool.SetSticky(addr, true); err != nil {
-			return err
+		if t.st.Pool.Contains(addr) {
+			if err := t.st.Pool.SetSticky(addr, true); err != nil {
+				return err
+			}
 		}
 		if addr == t.root {
 			t.rootDirty = true
@@ -404,10 +408,13 @@ func (t *Tree) rebalance(path Path, depth int) error {
 }
 
 // markLoneDirty records a node not on the current path (a sibling touched
-// by rebalancing) as modified.
+// by rebalancing) as modified. As in markPathDirty, a page already evicted
+// by intervening fixes is left unpinned; the flush re-reads it.
 func (t *Tree) markLoneDirty(addr disk.Addr, level int, parent disk.Addr) error {
-	if err := t.st.Pool.SetSticky(addr, true); err != nil {
-		return err
+	if t.st.Pool.Contains(addr) {
+		if err := t.st.Pool.SetSticky(addr, true); err != nil {
+			return err
+		}
 	}
 	if addr == t.root {
 		t.rootDirty = true
