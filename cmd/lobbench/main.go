@@ -11,6 +11,7 @@
 //	lobbench -exp table3 -csv out/     # also write CSV files
 //	lobbench -exp all -parallel 1      # force the fully sequential path
 //	lobbench -exp all -benchjson b.json -cpuprofile cpu.pprof
+//	lobbench -volbenchjson BENCH_volume.json   # backend micro-benchmarks only
 //
 // Experiments decompose into independent simulation cells that run on a
 // worker pool (-parallel, default GOMAXPROCS); tables are assembled
@@ -33,6 +34,7 @@ import (
 
 	"lobstore"
 	"lobstore/internal/harness"
+	"lobstore/internal/sim"
 )
 
 func main() {
@@ -51,12 +53,24 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 		benchOut = flag.String("benchjson", "", "write per-experiment wall/alloc/simulated-time measurements to this JSON file")
+		volOut   = flag.String("volbenchjson", "", "run the volume backend micro-benchmarks, write them to this JSON file, and exit")
 	)
 	flag.Parse()
 
 	if *expFlag == "list" {
 		for _, e := range harness.Experiments {
 			fmt.Printf("%-22s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	if *volOut != "" {
+		rep, err := volumeBenchmarks(sim.DefaultModel().PageSize)
+		if err != nil {
+			fatalf("volume benchmarks: %v", err)
+		}
+		if err := writeVolBenchJSON(*volOut, rep); err != nil {
+			fatalf("writing volbenchjson: %v", err)
 		}
 		return
 	}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+
+	"lobstore/internal/disk"
+	"lobstore/internal/filevol"
+)
+
+// Volume micro-benchmarks (BENCH_volume.json): raw throughput of the two
+// byte-storage backends under the disk decorator's access pattern —
+// 4-page runs, sequential and random, read and write, with the file
+// backend measured both without fsync and with fsync-per-write. These pin
+// the real-I/O cost of the durable volume against the in-memory baseline,
+// so a regression in the pread/pwrite path or an accidental extra fsync
+// shows up in CI.
+const (
+	volBenchPages    = 1024 // area size: 4 MB at 4 KB pages
+	volBenchRunPages = 4    // run length per I/O call, the pool's MaxRun
+)
+
+// volBenchReport is the BENCH_volume.json schema.
+type volBenchReport struct {
+	PageSize int            `json:"page_size"`
+	RunPages int            `json:"run_pages"`
+	Cases    []volBenchCase `json:"cases"`
+}
+
+type volBenchCase struct {
+	// Name is backend-pattern-op[-sync], e.g. "file-rand-write-sync".
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// volBenchAddrs returns the per-iteration run start pages: sequential
+// wrap-around or a fixed-seed random sequence, so every backend measures
+// the identical access pattern.
+func volBenchAddrs(random bool) []disk.PageID {
+	const n = 512
+	out := make([]disk.PageID, n)
+	if random {
+		rng := rand.New(rand.NewSource(42))
+		for i := range out {
+			out[i] = disk.PageID(rng.Intn(volBenchPages - volBenchRunPages))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = disk.PageID((i * volBenchRunPages) % (volBenchPages - volBenchRunPages))
+	}
+	return out
+}
+
+// benchVolume measures one (volume, pattern, op) cell. The area is fully
+// written first so reads hit real bytes and writes never grow the file
+// inside the timed loop.
+func benchVolume(v disk.Volume, random, write bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		pageSize := v.PageSize()
+		if _, err := v.AddArea(volBenchPages); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, volBenchRunPages*pageSize)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		for p := 0; p+volBenchRunPages <= volBenchPages; p += volBenchRunPages {
+			if err := v.WriteRun(disk.Addr{Page: disk.PageID(p)}, volBenchRunPages, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := v.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		addrs := volBenchAddrs(random)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			addr := disk.Addr{Page: addrs[i%len(addrs)]}
+			var err error
+			if write {
+				err = v.WriteRun(addr, volBenchRunPages, buf)
+			} else {
+				err = v.ReadRun(addr, volBenchRunPages, buf)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// volumeBenchmarks runs the full backend × pattern × op × sync matrix.
+func volumeBenchmarks(pageSize int) (*volBenchReport, error) {
+	type cell struct {
+		name   string
+		open   func(dir string) (disk.Volume, error)
+		random bool
+		write  bool
+	}
+	memOpen := func(string) (disk.Volume, error) { return disk.NewMemVolume(pageSize), nil }
+	fileOpen := func(policy filevol.Policy) func(dir string) (disk.Volume, error) {
+		return func(dir string) (disk.Volume, error) {
+			return filevol.Open(dir, pageSize, filevol.WithPolicy(policy))
+		}
+	}
+	cells := []cell{
+		{"mem-seq-read", memOpen, false, false},
+		{"mem-rand-read", memOpen, true, false},
+		{"mem-seq-write", memOpen, false, true},
+		{"mem-rand-write", memOpen, true, true},
+		// SyncNever isolates the pread/pwrite cost; -sync adds an fsync per
+		// write (the SyncAlways policy), the durability tax ceiling.
+		{"file-seq-read", fileOpen(filevol.SyncNever), false, false},
+		{"file-rand-read", fileOpen(filevol.SyncNever), true, false},
+		{"file-seq-write", fileOpen(filevol.SyncNever), false, true},
+		{"file-rand-write", fileOpen(filevol.SyncNever), true, true},
+		{"file-seq-write-sync", fileOpen(filevol.SyncAlways), false, true},
+		{"file-rand-write-sync", fileOpen(filevol.SyncAlways), true, true},
+	}
+	rep := &volBenchReport{PageSize: pageSize, RunPages: volBenchRunPages}
+	for _, c := range cells {
+		dir, err := os.MkdirTemp("", "lobbench-vol-*")
+		if err != nil {
+			return nil, err
+		}
+		v, err := c.open(dir)
+		if err != nil {
+			return nil, err
+		}
+		res := testing.Benchmark(benchVolume(v, c.random, c.write))
+		cerr := v.Close()
+		rerr := os.RemoveAll(dir)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		bytesPerOp := float64(volBenchRunPages * pageSize)
+		ns := float64(res.NsPerOp())
+		mbps := 0.0
+		if ns > 0 {
+			mbps = bytesPerOp / ns * 1e9 / (1 << 20)
+		}
+		rep.Cases = append(rep.Cases, volBenchCase{
+			Name:        c.name,
+			NsPerOp:     ns,
+			MBPerS:      mbps,
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	return rep, nil
+}
+
+func writeVolBenchJSON(path string, rep *volBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

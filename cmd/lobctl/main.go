@@ -24,6 +24,20 @@
 //	help              this list
 //
 // Sizes accept K/M suffixes.
+//
+// By default the object lives in a fresh in-memory simulated database and
+// vanishes on exit. With -backend file -dir PATH the database is durable:
+// the object (named "lobctl") is created on first use and reopened — after
+// crash-consistent recovery — on later runs. -sync selects the fsync
+// policy (always, commit, never).
+//
+// The read-only subcommand
+//
+//	lobctl fsck -dir PATH
+//
+// cross-checks a durable database's on-disk allocation directories against
+// the set of pages reachable from its catalog, reporting leaked
+// (allocated-but-unowned) and doubly-owned pages.
 package main
 
 import (
@@ -40,6 +54,16 @@ import (
 )
 
 func main() {
+	// Subcommands come first on the command line, before any flags.
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+		dir := fs.String("dir", "", "directory of the file-backed database")
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			fatalf("fsck: %v", err)
+		}
+		runFsck(*dir)
+		return
+	}
 	var (
 		engine    = flag.String("engine", "eos", "storage structure: esm, starburst or eos")
 		leaf      = flag.Int("leaf", 4, "ESM leaf size in pages")
@@ -48,10 +72,15 @@ func main() {
 		script    = flag.String("c", "", "semicolon-separated commands instead of stdin")
 		trace     = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics   = flag.Bool("metrics", false, "print a metrics report to stderr on exit")
+		backend   = flag.String("backend", "mem", "byte-storage backend: mem or file")
+		dir       = flag.String("dir", "", "directory of the file-backed database (backend file)")
+		sync      = flag.String("sync", "commit", "file-backend fsync policy: always, commit or never")
 	)
 	flag.Parse()
 
-	db, err := lobstore.Open(lobstore.DefaultConfig())
+	cfg := lobstore.DefaultConfig()
+	cfg.Backend, cfg.Dir, cfg.SyncPolicy = *backend, *dir, *sync
+	db, err := lobstore.Open(cfg)
 	if err != nil {
 		fatalf("open: %v", err)
 	}
@@ -67,15 +96,21 @@ func main() {
 		db.EnableMetrics(nil)
 	}
 	var obj lobstore.Object
-	switch *engine {
-	case "esm":
-		obj, err = db.NewESM(*leaf)
-	case "starburst":
-		obj, err = db.NewStarburst(*maxSeg)
-	case "eos":
-		obj, err = db.NewEOS(*threshold)
-	default:
-		fatalf("unknown engine %q (esm, starburst, eos)", *engine)
+	if *backend == "file" {
+		// Durable databases keep the object across runs: reattach when a
+		// previous session already created it.
+		obj, err = openOrCreate(db, *engine, *leaf, *threshold, *maxSeg)
+	} else {
+		switch *engine {
+		case "esm":
+			obj, err = db.NewESM(*leaf)
+		case "starburst":
+			obj, err = db.NewStarburst(*maxSeg)
+		case "eos":
+			obj, err = db.NewEOS(*threshold)
+		default:
+			fatalf("unknown engine %q (esm, starburst, eos)", *engine)
+		}
 	}
 	if err != nil {
 		fatalf("create object: %v", err)
@@ -101,6 +136,55 @@ func main() {
 			fatalf("writing metrics: %v", err)
 		}
 	}
+	if *backend == "file" {
+		if err := db.Close(); err != nil {
+			fatalf("close: %v", err)
+		}
+	}
+}
+
+// objectName is the fixed catalog name of lobctl's object in a durable
+// database.
+const objectName = "lobctl"
+
+// openOrCreate reattaches to the named object of a durable database, or
+// creates it on first use with the engine flags.
+func openOrCreate(db *lobstore.DB, engine string, leaf, threshold, maxSeg int) (lobstore.Object, error) {
+	if obj, err := db.OpenObject(objectName); err == nil {
+		return obj, nil
+	}
+	return db.Create(objectName, lobstore.ObjectSpec{
+		Engine:          engine,
+		LeafPages:       leaf,
+		Threshold:       threshold,
+		MaxSegmentPages: maxSeg,
+	})
+}
+
+// runFsck checks a durable database directory read-only and reports
+// leaked and doubly-owned pages. Exit status 1 signals an unclean store.
+func runFsck(dir string) {
+	if dir == "" {
+		fatalf("fsck needs -dir")
+	}
+	rep, err := lobstore.Fsck(dir)
+	if err != nil {
+		fatalf("fsck: %v", err)
+	}
+	fmt.Printf("fsck %s: %d object(s), %d reachable page(s), %d allocated page(s)\n",
+		dir, rep.Objects, rep.ReachablePages, rep.AllocatedPages)
+	for _, r := range rep.Leaked {
+		fmt.Printf("  leaked: %v\n", r)
+	}
+	for _, c := range rep.DoublyOwned {
+		fmt.Printf("  doubly-owned: %v\n", c)
+	}
+	if !rep.Clean() {
+		fmt.Printf("fsck %s: UNCLEAN — %d leaked range(s), %d ownership conflict(s)\n",
+			dir, len(rep.Leaked), len(rep.DoublyOwned))
+		os.Exit(1)
+	}
+	fmt.Printf("fsck %s: clean\n", dir)
 }
 
 func run(db *lobstore.DB, obj lobstore.Object, in io.Reader, out io.Writer) error {

@@ -76,6 +76,53 @@ func TestRunSurfacesObjectErrors(t *testing.T) {
 	}
 }
 
+// TestFileBackendSessions drives two lobctl-style sessions against one
+// durable directory: the second run must reattach to the object the first
+// created, with its bytes intact.
+func TestFileBackendSessions(t *testing.T) {
+	dir := t.TempDir()
+	cfg := lobstore.DefaultConfig()
+	cfg.LeafAreaPages = 1 << 14
+	cfg.MetaAreaPages = 1 << 12
+	cfg.MaxSegmentPages = 512
+	cfg.Backend, cfg.Dir, cfg.SyncPolicy = "file", dir, "commit"
+
+	session := func(script string) string {
+		t.Helper()
+		db, err := lobstore.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := openOrCreate(db, "eos", 4, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := run(db, obj, strings.NewReader(script), &out); err != nil {
+			t.Fatalf("script failed: %v\noutput:\n%s", err, out.String())
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+
+	session("append 100K\ninsert 5000 4K")
+	text := session("stat\nread 0 64")
+	if !strings.Contains(text, "size=106496 bytes") {
+		t.Errorf("reopened object lost bytes:\n%s", text)
+	}
+
+	rep, err := lobstore.Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Objects != 1 {
+		t.Errorf("fsck after two sessions: objects=%d leaked=%v doubly-owned=%v",
+			rep.Objects, rep.Leaked, rep.DoublyOwned)
+	}
+}
+
 func TestParseSize(t *testing.T) {
 	if n, err := parseSize("64K"); err != nil || n != 65536 {
 		t.Errorf("parseSize(64K) = %d, %v", n, err)

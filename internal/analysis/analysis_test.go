@@ -116,6 +116,13 @@ func TestErrDiscard(t *testing.T) {
 	checkTestdata(t, ErrDiscard, "lobvettest/errtest", "errdiscard")
 }
 
+// TestErrDiscardSyncClose pins the durable-volume contract: a dropped
+// Sync or Close is flagged, because those errors are the only proof the
+// bytes reached stable storage.
+func TestErrDiscardSyncClose(t *testing.T) {
+	checkTestdata(t, ErrDiscard, "lobvettest/synctest", "errdiscardsync")
+}
+
 // TestDeterminism checks the testdata under a restricted import path,
 // where every want comment must fire.
 func TestDeterminism(t *testing.T) {
@@ -156,6 +163,27 @@ func TestDeterminismUnrestricted(t *testing.T) {
 	}
 	if diags := Run(pkg, []*Analyzer{Determinism}); len(diags) != 0 {
 		t.Fatalf("determinism fired outside the restricted packages: %v", diags)
+	}
+}
+
+// TestDeterminismFileRestricted checks the filevol-shaped testdata under
+// a simulation package path, where every want comment must fire: the
+// durable-backend exemption is per-package, not per-shape.
+func TestDeterminismFileRestricted(t *testing.T) {
+	checkTestdata(t, Determinism, "lobstore/internal/disk", "determinismfile")
+}
+
+// TestDeterminismFileExempt re-checks the same file under the filevol
+// path: real file I/O is explicitly outside the determinism contract, so
+// nothing may fire even though the package sits in internal/.
+func TestDeterminismFileExempt(t *testing.T) {
+	file := filepath.Join("testdata", "determinismfile", "determinismfile.go")
+	pkg, err := testLoader(t).CheckFiles("lobstore/internal/filevol", filepath.Dir(file), []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkg, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Fatalf("determinism fired in the exempt filevol package: %v", diags)
 	}
 }
 

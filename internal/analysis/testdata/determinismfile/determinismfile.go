@@ -1,0 +1,30 @@
+// Testdata for the durable-backend exemption of the determinism
+// analyzer. The shapes below mirror internal/filevol: real file I/O that
+// measures fsync latency with the wall clock. The test checks this file
+// twice: under lobstore/internal/filevol, where the explicit exemption
+// silences everything, and under lobstore/internal/disk, where every
+// annotation below must fire — the exemption is surgical, not a hole in
+// the simulation packages.
+package filetest
+
+import (
+	"os"
+	"time"
+)
+
+func timedSync(f *os.File) (time.Duration, error) {
+	start := time.Now() // want `wall-clock read time\.Now in a simulation package`
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil // want `wall-clock read time\.Since in a simulation package`
+}
+
+func retryUntil(deadline time.Time, probe func() bool) bool {
+	for !time.Now().After(deadline) { // want `wall-clock read time\.Now in a simulation package`
+		if probe() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+// Testdata for the errdiscard analyzer over the durable-volume shapes:
+// Sync and Close carry the only proof that bytes reached stable storage,
+// so dropping either turns a failed fsync into silent data loss. The
+// volume type below stands in for filevol.Volume / *os.File.
+package synctest
+
+type volume struct{}
+
+func (volume) Sync() error  { return nil }
+func (volume) Close() error { return nil }
+
+func open() (volume, error) { return volume{}, nil }
+
+// --- violations ---
+
+func droppedSync(v volume) {
+	v.Sync() // want `unchecked error from Sync`
+}
+
+func droppedCloseOnDefer() error {
+	v, err := open()
+	if err != nil {
+		return err
+	}
+	defer v.Close() // want `unchecked error from Close`
+	return v.Sync()
+}
+
+func blankSync(v volume) {
+	_ = v.Sync() // want `error result of Sync discarded with _`
+}
+
+// --- clean ---
+
+func barrier(v volume) error {
+	if err := v.Sync(); err != nil {
+		return err
+	}
+	return v.Close()
+}
+
+func closeKeepingFirstError(v volume) (err error) {
+	defer func() {
+		if cerr := v.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return v.Sync()
+}

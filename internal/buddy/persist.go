@@ -144,6 +144,32 @@ type Range struct {
 	Pages int
 }
 
+// AllocatedRanges reports every maximal run of data blocks the allocator
+// currently considers handed out, in address order. Directory blocks are
+// allocator overhead, not client allocations, and are excluded. fsck
+// compares this against the reachable set to find leaked pages.
+func (a *Allocator) AllocatedRanges() []Range {
+	var out []Range
+	for _, s := range a.spaces {
+		run := -1
+		n := 1 << a.maxOrder
+		for i := 0; i <= n; i++ {
+			used := i < n && s.allocated[i/64]&(1<<(i%64)) != 0
+			if used && run < 0 {
+				run = i
+			}
+			if !used && run >= 0 {
+				out = append(out, Range{
+					Addr:  disk.Addr{Area: a.areaID, Page: s.base + 1 + disk.PageID(run)},
+					Pages: i - run,
+				})
+				run = -1
+			}
+		}
+	}
+	return out
+}
+
 // FromReachable rebuilds an allocator's state from a set of reachable page
 // ranges — the shadow-paging recovery algorithm: after a crash the on-disk
 // directories may be stale, but every live page is reachable from the

@@ -178,6 +178,11 @@ func (c *Catalog) Put(e Entry) error {
 			if !slotUsed(s) {
 				encodeSlot(s, e)
 				h.Unfix(true)
+				// The entry write commits the object's creation: the object's
+				// own pages must be durable before its name appears.
+				if err := c.st.SyncBarrier(); err != nil {
+					return err
+				}
 				return c.st.Pool.FlushPage(addr)
 			}
 		}
@@ -203,6 +208,12 @@ func (c *Catalog) Put(e Entry) error {
 		encodeSlot(slot(nh.Data, 0), e)
 		nh.Unfix(true)
 		if err := c.st.Pool.FlushPage(newAddr); err != nil {
+			h.Unfix(false)
+			return err
+		}
+		// The new chain page (and the object it names) must be durable
+		// before the predecessor's pointer makes it reachable.
+		if err := c.st.SyncBarrier(); err != nil {
 			h.Unfix(false)
 			return err
 		}
@@ -282,6 +293,11 @@ func (c *Catalog) Delete(name string) error {
 	}
 	clear(slot(h.Data, slotIdx))
 	h.Unfix(true)
+	// Clearing the slot commits the drop; order it after everything the
+	// operation wrote so far.
+	if err := c.st.SyncBarrier(); err != nil {
+		return err
+	}
 	return c.st.Pool.FlushPage(*where)
 }
 

@@ -1,5 +1,14 @@
-// Package disk implements the simulated disk volume underneath the storage
-// system.
+// Package disk implements the disk volume underneath the storage system,
+// split into two layers:
+//
+//   - a narrow Volume interface that carries bytes: fixed-geometry database
+//     areas moved in runs of physically adjacent pages (the in-memory
+//     MemVolume here is the default backend; internal/filevol provides a
+//     durable file-backed one);
+//   - the Disk decorator in this file, which owns everything simulated and
+//     observable — the shared clock, the seek+transfer cost model, stats,
+//     event tracing and fault injection — so any backend gets identical
+//     instrumentation.
 //
 // The disk is organised into database areas (the paper used two: one for the
 // leaf segments of large objects and one for everything else, §4.1). Each
@@ -40,14 +49,17 @@ func (a Addr) Add(n int) Addr {
 	return Addr{Area: a.Area, Page: PageID(int64(a.Page) + int64(n))}
 }
 
-// Disk is a simulated multi-area disk volume. It is not safe for concurrent
-// use; the simulation is single-threaded by design so that cost accounting
-// is deterministic.
+// Disk decorates a Volume with the simulated cost model: every I/O call is
+// charged to the clock, counted in the stats, traced, and subject to fault
+// injection, regardless of which backend carries the bytes. It is not safe
+// for concurrent use; the simulation is single-threaded by design so that
+// cost accounting is deterministic.
 type Disk struct {
+	vol         Volume
 	model       sim.CostModel
 	clock       *sim.Clock
 	stats       sim.Stats
-	areas       []*area
+	areas       []areaGeom
 	materialize bool
 	obs         *obs.Tracer
 
@@ -62,42 +74,28 @@ type Disk struct {
 	failErr   error
 }
 
-type area struct {
-	npages      int
-	base        int64 // linear page offset of the area's first page
-	materialize bool
-	data        []byte // grows lazily up to npages*PageSize when materialized
-}
-
-// ensure grows the backing store to cover n bytes. Capacity doubles so a
-// sequentially growing area costs amortized O(1) allocations per write
-// rather than one temporary slice per growth step. Spare capacity is only
-// ever created zeroed (make) and the store never shrinks, so extending the
-// length exposes zero bytes without re-clearing.
-func (a *area) ensure(n int) {
-	if n <= len(a.data) {
-		return
-	}
-	if n <= cap(a.data) {
-		a.data = a.data[:n]
-		return
-	}
-	newCap := 2 * cap(a.data)
-	if newCap < n {
-		newCap = n
-	}
-	grown := make([]byte, n, newCap)
-	copy(grown, a.data)
-	a.data = grown
+// areaGeom mirrors one area's geometry for range checks and seek-distance
+// accounting, so the hot paths never call through the Volume interface for
+// bookkeeping.
+type areaGeom struct {
+	npages int
+	base   int64 // linear page offset of the area's first page
 }
 
 // Option configures a Disk.
 type Option func(*Disk)
 
 // WithoutMaterialization disables byte storage: reads return zeros and
-// writes only account cost. Used by very large scaling experiments.
+// writes only account cost. Used by very large scaling experiments. It is
+// meaningless (and rejected) with a non-memory volume.
 func WithoutMaterialization() Option {
 	return func(d *Disk) { d.materialize = false }
+}
+
+// WithVolume selects the byte-storage backend. The default is a fresh
+// MemVolume. The volume's page size must match the cost model's.
+func WithVolume(v Volume) Option {
+	return func(d *Disk) { d.vol = v }
 }
 
 // New creates a disk with the given cost model, charging all I/O to clock.
@@ -112,8 +110,22 @@ func New(model sim.CostModel, clock *sim.Clock, opts ...Option) (*Disk, error) {
 	for _, o := range opts {
 		o(d)
 	}
+	if d.vol == nil {
+		d.vol = NewMemVolume(model.PageSize)
+	}
+	if ps := d.vol.PageSize(); ps != model.PageSize {
+		return nil, fmt.Errorf("disk: volume page size %d, cost model page size %d", ps, model.PageSize)
+	}
+	if !d.materialize {
+		if _, ok := d.vol.(*MemVolume); !ok {
+			return nil, fmt.Errorf("disk: a non-memory volume always materializes")
+		}
+	}
 	return d, nil
 }
+
+// Volume returns the byte-storage backend under this disk.
+func (d *Disk) Volume() Volume { return d.vol }
 
 // FailAfter arms fault injection: the next calls I/O operations succeed,
 // after which every operation fails with err until FailAfter is re-armed
@@ -170,19 +182,19 @@ func (d *Disk) PageSize() int { return d.model.PageSize }
 
 // AddArea creates a new database area of npages pages and returns its id.
 func (d *Disk) AddArea(npages int) (AreaID, error) {
-	if npages <= 0 {
-		return 0, fmt.Errorf("disk: area size %d must be positive", npages)
-	}
-	if len(d.areas) >= 255 {
-		return 0, fmt.Errorf("disk: too many areas")
+	id, err := d.vol.AddArea(npages)
+	if err != nil {
+		return 0, err
 	}
 	var base int64
 	for _, prev := range d.areas {
 		base += int64(prev.npages)
 	}
-	a := &area{npages: npages, base: base, materialize: d.materialize}
-	d.areas = append(d.areas, a)
-	return AreaID(len(d.areas) - 1), nil
+	d.areas = append(d.areas, areaGeom{npages: npages, base: base})
+	if int(id) != len(d.areas)-1 {
+		return 0, fmt.Errorf("disk: volume assigned area %d, expected %d", id, len(d.areas)-1)
+	}
+	return id, nil
 }
 
 // AreaPages returns the capacity, in pages, of area id.
@@ -194,14 +206,14 @@ func (d *Disk) AreaPages(id AreaID) (int, error) {
 	return a.npages, nil
 }
 
-func (d *Disk) area(id AreaID) (*area, error) {
+func (d *Disk) area(id AreaID) (*areaGeom, error) {
 	if int(id) >= len(d.areas) {
 		return nil, fmt.Errorf("disk: unknown area %d", id)
 	}
-	return d.areas[id], nil
+	return &d.areas[id], nil
 }
 
-func (d *Disk) checkRange(a *area, addr Addr, npages int) error {
+func (d *Disk) checkRange(a *areaGeom, addr Addr, npages int) error {
 	if npages <= 0 {
 		return fmt.Errorf("disk: page count %d must be positive", npages)
 	}
@@ -230,16 +242,13 @@ func (d *Disk) Read(addr Addr, npages int, dst []byte) error {
 	if err := d.checkInjected(addr, npages, false); err != nil {
 		return fmt.Errorf("disk: read %v: %w", addr, err)
 	}
-	// Copy what is materialized, then zero only the tail — clearing bytes
-	// that are about to be overwritten is pure waste on the hottest path.
-	m := 0
-	if a.materialize {
-		off := int(addr.Page) * d.model.PageSize
-		if off < len(a.data) {
-			m = copy(dst[:n], a.data[off:min(off+n, len(a.data))])
+	if d.materialize {
+		if err := d.vol.ReadRun(addr, npages, dst); err != nil {
+			return fmt.Errorf("disk: read %v: %w", addr, err)
 		}
+	} else {
+		clear(dst[:n])
 	}
-	clear(dst[m:n])
 	d.charge(a, addr, npages, false)
 	return nil
 }
@@ -261,16 +270,31 @@ func (d *Disk) Write(addr Addr, npages int, src []byte) error {
 	if err := d.checkInjected(addr, npages, true); err != nil {
 		return fmt.Errorf("disk: write %v: %w", addr, err)
 	}
-	if a.materialize {
-		off := int(addr.Page) * d.model.PageSize
-		a.ensure(off + n)
-		copy(a.data[off:off+n], src[:n])
+	if d.materialize {
+		if err := d.vol.WriteRun(addr, npages, src); err != nil {
+			return fmt.Errorf("disk: write %v: %w", addr, err)
+		}
 	}
 	d.charge(a, addr, npages, true)
 	return nil
 }
 
-func (d *Disk) charge(a *area, addr Addr, npages int, write bool) {
+// Barrier is the durability barrier of the shadow-commit protocol: it
+// returns only when every previously written byte is stable, subject to
+// the volume's sync policy. On the in-memory backend it is free, costs no
+// simulated time and emits no events, so mem-backend cost output is
+// unaffected by the barrier placement.
+func (d *Disk) Barrier() error {
+	if err := d.vol.Sync(); err != nil {
+		return fmt.Errorf("disk: sync barrier: %w", err)
+	}
+	return nil
+}
+
+// Close releases the volume. The disk is unusable afterwards.
+func (d *Disk) Close() error { return d.vol.Close() }
+
+func (d *Disk) charge(a *areaGeom, addr Addr, npages int, write bool) {
 	cost := d.model.IOCost(npages)
 	d.clock.Advance(cost)
 	d.stats.Time += cost
@@ -314,7 +338,7 @@ func (d *Disk) Peek(addr Addr, npages int, dst []byte) error {
 	if err != nil {
 		return err
 	}
-	if !a.materialize {
+	if !d.materialize {
 		return fmt.Errorf("disk: area %d is not materialized", addr.Area)
 	}
 	if err := d.checkRange(a, addr, npages); err != nil {
@@ -324,11 +348,5 @@ func (d *Disk) Peek(addr Addr, npages int, dst []byte) error {
 	if len(dst) < n {
 		return fmt.Errorf("disk: peek buffer %d bytes, need %d", len(dst), n)
 	}
-	m := 0
-	off := int(addr.Page) * d.model.PageSize
-	if off < len(a.data) {
-		m = copy(dst[:n], a.data[off:min(off+n, len(a.data))])
-	}
-	clear(dst[m:n])
-	return nil
+	return d.vol.ReadRun(addr, npages, dst)
 }

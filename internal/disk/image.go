@@ -24,7 +24,14 @@ const (
 // materialized byte — so the database can be reopened later with ReadImage.
 // Callers must flush any write-back caches (buffer pool, space-manager
 // directories) first or the image will miss their dirty state.
+//
+// Images snapshot the in-memory backend only: a file-backed volume is
+// already durable in place and needs no image.
 func (d *Disk) WriteImage(w io.Writer) error {
+	mv, ok := d.vol.(*MemVolume)
+	if !ok {
+		return fmt.Errorf("disk: images snapshot the memory backend; this volume is durable in place")
+	}
 	bw := bufio.NewWriter(w)
 	var hdr [28]byte
 	binary.LittleEndian.PutUint32(hdr[0:], imageMagic)
@@ -35,13 +42,13 @@ func (d *Disk) WriteImage(w io.Writer) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(d.areas))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(mv.areas))); err != nil {
 		return err
 	}
-	for _, a := range d.areas {
+	for _, a := range mv.areas {
 		var ah [16]byte
 		binary.LittleEndian.PutUint32(ah[0:], uint32(a.npages))
-		if a.materialize {
+		if d.materialize {
 			ah[4] = 1
 		}
 		binary.LittleEndian.PutUint64(ah[8:], uint64(len(a.data)))
@@ -78,6 +85,7 @@ func ReadImage(r io.Reader, clock *sim.Clock) (*Disk, error) {
 	if err != nil {
 		return nil, err
 	}
+	mv := d.vol.(*MemVolume)
 	var nareas uint32
 	if err := binary.Read(br, binary.LittleEndian, &nareas); err != nil {
 		return nil, err
@@ -96,14 +104,24 @@ func ReadImage(r io.Reader, clock *sim.Clock) (*Disk, error) {
 		if npages <= 0 || dataLen < 0 || dataLen > int64(npages)*int64(model.PageSize) {
 			return nil, fmt.Errorf("disk: area %d header inconsistent", i)
 		}
-		a := &area{npages: npages, materialize: materialize}
+		a := &memArea{npages: npages}
 		if dataLen > 0 {
 			a.data = make([]byte, dataLen)
 			if _, err := io.ReadFull(br, a.data); err != nil {
 				return nil, fmt.Errorf("disk: reading area %d data: %w", i, err)
 			}
 		}
-		d.areas = append(d.areas, a)
+		if !materialize {
+			// The image was taken from a cost-only disk: the reopened disk
+			// keeps accounting cost without storing bytes.
+			d.materialize = false
+		}
+		mv.areas = append(mv.areas, a)
+		var base int64
+		for _, prev := range d.areas {
+			base += int64(prev.npages)
+		}
+		d.areas = append(d.areas, areaGeom{npages: npages, base: base})
 	}
 	return d, nil
 }

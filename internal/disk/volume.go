@@ -1,0 +1,47 @@
+package disk
+
+// Volume is the byte-carrying backend underneath the Disk decorator: a set
+// of fixed-geometry database areas addressed by (area, page) that moves runs
+// of physically adjacent pages. A Volume carries bytes only — it knows
+// nothing about the simulated clock, the seek/transfer cost model, stats,
+// tracing or fault injection, all of which live in the Disk decorator — so
+// every backend (the in-memory default, the durable file-backed volume in
+// internal/filevol) gets identical instrumentation.
+//
+// Implementations are not required to be safe for concurrent use; the
+// storage system above is single-threaded by design.
+type Volume interface {
+	// PageSize returns the page size in bytes. All runs are multiples of it.
+	PageSize() int
+
+	// AddArea creates (or, for durable backends, attaches to) the next
+	// database area of npages pages and returns its id. Areas are created
+	// in a fixed order, so ids are stable across reopenings.
+	AddArea(npages int) (AreaID, error)
+
+	// AreaPages returns the capacity, in pages, of area id.
+	AreaPages(id AreaID) (int, error)
+
+	// ReadRun copies npages adjacent pages starting at addr into dst.
+	// Pages never written before read as zeros. dst holds at least
+	// npages*PageSize bytes (the decorator validates).
+	ReadRun(addr Addr, npages int, dst []byte) error
+
+	// WriteRun stores npages adjacent pages from src starting at addr,
+	// growing the backing store as needed. src holds at least
+	// npages*PageSize bytes (the decorator validates).
+	WriteRun(addr Addr, npages int, src []byte) error
+
+	// Grow extends the backing store of area id so that at least npages
+	// pages are materialized without further growth (a preallocation hint;
+	// WriteRun grows implicitly regardless).
+	Grow(id AreaID, npages int) error
+
+	// Sync is the durability barrier: when it returns, every previously
+	// written byte has reached stable storage, subject to the backend's
+	// sync policy. The in-memory volume has no durability and returns nil.
+	Sync() error
+
+	// Close releases backend resources. The volume is unusable afterwards.
+	Close() error
+}

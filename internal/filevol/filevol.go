@@ -1,0 +1,383 @@
+// Package filevol implements a durable, file-backed disk.Volume: one file
+// per database area, page-granular pread/pwrite, and a configurable sync
+// policy. It is the real-I/O counterpart of the in-memory simulation
+// backend — the cost model, stats and tracing all stay in the disk
+// decorator above, which treats both backends identically.
+//
+// Durability model. Sync is the commit barrier of the shadow protocol: the
+// storage layer calls it immediately before a commit-point write (tree
+// root / descriptor) and again after it, so on policy "commit" the on-disk
+// file always holds a consistent pre- or post-operation version of every
+// object and the reachability recovery in the root package makes a reopened
+// database crash-consistent. Policy "always" fsyncs after every write;
+// policy "never" trades crash consistency for speed and only syncs on
+// Close.
+//
+// Crash testing. With the crash log enabled the volume records the
+// pre-image of every page written since the last completed barrier, and an
+// armed power cut (FailAtBarrier) fires at a chosen barrier: all un-synced
+// writes are rolled back — exactly what a kernel that never flushed its
+// page cache would leave behind — and the volume goes dead, failing every
+// later operation with ErrPowerCut.
+package filevol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lobstore/internal/disk"
+)
+
+// Policy selects when writes are forced to stable storage.
+type Policy int
+
+const (
+	// SyncCommit fsyncs at sync barriers (the shadow-commit points) only —
+	// the default: crash-consistent with one fsync per barrier.
+	SyncCommit Policy = iota
+	// SyncAlways fsyncs after every write call; barriers are then no-ops.
+	SyncAlways
+	// SyncNever fsyncs only on Close. A crash may lose or tear recent
+	// operations; reopen-time recovery still restores some consistent
+	// earlier state of whatever the kernel happened to flush.
+	SyncNever
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SyncCommit:
+		return "commit"
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps the -sync flag spellings to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "commit", "":
+		return SyncCommit, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("filevol: unknown sync policy %q (always, commit, never)", s)
+}
+
+// ErrPowerCut is the terminal error of an injected power cut: returned by
+// the barrier that fired it and by every operation after it.
+var ErrPowerCut = errors.New("filevol: simulated power cut")
+
+// ErrReadOnly is returned by writes on a volume opened read-only.
+var ErrReadOnly = errors.New("filevol: volume is read-only")
+
+var _ disk.Volume = (*Volume)(nil)
+
+// Volume is a file-backed disk.Volume. Not safe for concurrent use.
+type Volume struct {
+	dir      string
+	pageSize int
+	policy   Policy
+	readOnly bool
+	areas    []*areaFile
+
+	// crash-injection state (nil / disabled in production use)
+	log      *crashLog
+	barriers int64 // completed Sync calls
+	failAt   int64 // barrier number that power-cuts; 0 = disarmed
+	dead     bool
+}
+
+type areaFile struct {
+	f      *os.File
+	npages int
+	dirty  bool // written since the last fsync
+}
+
+// Option configures a Volume.
+type Option func(*Volume)
+
+// WithPolicy selects the sync policy (default SyncCommit).
+func WithPolicy(p Policy) Option {
+	return func(v *Volume) { v.policy = p }
+}
+
+// WithCrashLog enables pre-image logging so a power cut can be injected
+// with FailAtBarrier. Testing aid: every write pays one extra pread.
+func WithCrashLog() Option {
+	return func(v *Volume) { v.log = newCrashLog() }
+}
+
+// ReadOnly opens the area files read-only and fails every write. Used by
+// fsck so a diagnostic scan cannot mutate the store.
+func ReadOnly() Option {
+	return func(v *Volume) { v.readOnly = true }
+}
+
+// Open creates (or attaches to) a file-backed volume rooted at dir. Area
+// files are created lazily by AddArea.
+func Open(dir string, pageSize int, opts ...Option) (*Volume, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("filevol: page size %d must be positive", pageSize)
+	}
+	v := &Volume{dir: dir, pageSize: pageSize}
+	for _, o := range opts {
+		o(v)
+	}
+	if !v.readOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("filevol: creating %s: %w", dir, err)
+		}
+	}
+	return v, nil
+}
+
+// Dir returns the directory holding the area files.
+func (v *Volume) Dir() string { return v.dir }
+
+// Policy returns the volume's sync policy.
+func (v *Volume) Policy() Policy { return v.policy }
+
+// areaPath names the backing file of one area.
+func (v *Volume) areaPath(id int) string {
+	return filepath.Join(v.dir, fmt.Sprintf("area-%d.lob", id))
+}
+
+// PageSize returns the page size in bytes.
+func (v *Volume) PageSize() int { return v.pageSize }
+
+// AddArea opens the next area's backing file, creating it when absent.
+// Areas must be added in the same fixed order on every opening, so the
+// file names are stable.
+func (v *Volume) AddArea(npages int) (disk.AreaID, error) {
+	if npages <= 0 {
+		return 0, fmt.Errorf("filevol: area size %d must be positive", npages)
+	}
+	if len(v.areas) >= 255 {
+		return 0, fmt.Errorf("filevol: too many areas")
+	}
+	id := len(v.areas)
+	flags := os.O_RDWR | os.O_CREATE
+	if v.readOnly {
+		flags = os.O_RDONLY
+	}
+	f, err := os.OpenFile(v.areaPath(id), flags, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("filevol: area %d: %w", id, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		cerr := f.Close()
+		return 0, errors.Join(fmt.Errorf("filevol: area %d: %w", id, err), cerr)
+	}
+	if max := int64(npages) * int64(v.pageSize); st.Size() > max {
+		cerr := f.Close()
+		return 0, errors.Join(
+			fmt.Errorf("filevol: area %d holds %d bytes, geometry allows %d", id, st.Size(), max), cerr)
+	}
+	v.areas = append(v.areas, &areaFile{f: f, npages: npages})
+	return disk.AreaID(id), nil
+}
+
+// AreaPages returns the capacity of area id in pages.
+func (v *Volume) AreaPages(id disk.AreaID) (int, error) {
+	a, err := v.area(id)
+	if err != nil {
+		return 0, err
+	}
+	return a.npages, nil
+}
+
+func (v *Volume) area(id disk.AreaID) (*areaFile, error) {
+	if int(id) >= len(v.areas) {
+		return nil, fmt.Errorf("filevol: unknown area %d", id)
+	}
+	return v.areas[id], nil
+}
+
+// ReadRun preads npages adjacent pages into dst; the range past the file's
+// current end reads as zeros (pages never written hold no bytes yet).
+func (v *Volume) ReadRun(addr disk.Addr, npages int, dst []byte) error {
+	if v.dead {
+		return ErrPowerCut
+	}
+	a, err := v.area(addr.Area)
+	if err != nil {
+		return err
+	}
+	n := npages * v.pageSize
+	off := int64(addr.Page) * int64(v.pageSize)
+	m, err := a.f.ReadAt(dst[:n], off)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("filevol: read %v: %w", addr, err)
+	}
+	clear(dst[m:n])
+	return nil
+}
+
+// WriteRun pwrites npages adjacent pages from src, growing the file as
+// needed. Under SyncAlways the write is forced to stable storage before
+// returning.
+func (v *Volume) WriteRun(addr disk.Addr, npages int, src []byte) error {
+	if v.dead {
+		return ErrPowerCut
+	}
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	a, err := v.area(addr.Area)
+	if err != nil {
+		return err
+	}
+	n := npages * v.pageSize
+	off := int64(addr.Page) * int64(v.pageSize)
+	if v.log != nil {
+		if err := v.log.beforeWrite(addr.Area, a, off, n, v.pageSize); err != nil {
+			return err
+		}
+	}
+	if _, err := a.f.WriteAt(src[:n], off); err != nil {
+		return fmt.Errorf("filevol: write %v: %w", addr, err)
+	}
+	if v.policy == SyncAlways {
+		if err := a.f.Sync(); err != nil {
+			return fmt.Errorf("filevol: sync after write %v: %w", addr, err)
+		}
+		if v.log != nil {
+			v.log.clear()
+		}
+		return nil
+	}
+	a.dirty = true
+	return nil
+}
+
+// Grow extends area id's backing file to cover at least npages pages
+// without writing data (the extension is a sparse hole reading as zeros).
+func (v *Volume) Grow(id disk.AreaID, npages int) error {
+	if v.dead {
+		return ErrPowerCut
+	}
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	a, err := v.area(id)
+	if err != nil {
+		return err
+	}
+	if npages > a.npages {
+		npages = a.npages
+	}
+	want := int64(npages) * int64(v.pageSize)
+	st, err := a.f.Stat()
+	if err != nil {
+		return fmt.Errorf("filevol: grow area %d: %w", id, err)
+	}
+	if st.Size() >= want {
+		return nil
+	}
+	if err := a.f.Truncate(want); err != nil {
+		return fmt.Errorf("filevol: grow area %d: %w", id, err)
+	}
+	a.dirty = true
+	return nil
+}
+
+// Sync is the durability barrier. Under SyncCommit it fsyncs every file
+// written since the last barrier; under SyncAlways and SyncNever it is a
+// no-op (the former is already durable, the latter opts out). An armed
+// power cut fires here: un-synced writes are rolled back and the volume
+// dies.
+func (v *Volume) Sync() error {
+	if v.dead {
+		return ErrPowerCut
+	}
+	v.barriers++
+	if v.failAt > 0 && v.barriers >= v.failAt {
+		return v.powerCut()
+	}
+	if v.policy != SyncCommit {
+		return nil
+	}
+	return v.syncDirty()
+}
+
+// syncDirty fsyncs every file written since its last fsync.
+func (v *Volume) syncDirty() error {
+	for id, a := range v.areas {
+		if !a.dirty {
+			continue
+		}
+		if err := a.f.Sync(); err != nil {
+			return fmt.Errorf("filevol: sync area %d: %w", id, err)
+		}
+		a.dirty = false
+	}
+	if v.log != nil {
+		v.log.clear()
+	}
+	return nil
+}
+
+// SyncAll forces everything to stable storage regardless of policy: the
+// clean-shutdown flush used by Close and checkpoints.
+func (v *Volume) SyncAll() error {
+	if v.dead {
+		return ErrPowerCut
+	}
+	return v.syncDirty()
+}
+
+// Close flushes (policy-independently, unless the volume is dead or
+// read-only) and closes every area file.
+func (v *Volume) Close() error {
+	var errs []error
+	if !v.dead && !v.readOnly {
+		errs = append(errs, v.syncDirty())
+	}
+	for id, a := range v.areas {
+		if a.f == nil {
+			continue
+		}
+		if err := a.f.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("filevol: close area %d: %w", id, err))
+		}
+		a.f = nil
+	}
+	return errors.Join(errs...)
+}
+
+// Barriers returns the number of Sync calls so far. The crash matrix uses
+// it to enumerate an operation's barrier points.
+func (v *Volume) Barriers() int64 { return v.barriers }
+
+// FailAtBarrier arms a power cut at the n-th Sync call from now (n ≥ 1):
+// that barrier rolls back all un-synced writes and returns ErrPowerCut, as
+// does every operation afterwards. Requires the crash log. n ≤ 0 disarms.
+func (v *Volume) FailAtBarrier(n int64) error {
+	if v.log == nil {
+		return fmt.Errorf("filevol: power-cut injection needs WithCrashLog")
+	}
+	if n <= 0 {
+		v.failAt = 0
+		return nil
+	}
+	v.failAt = v.barriers + n
+	return nil
+}
+
+// powerCut rolls back every un-synced write and marks the volume dead.
+func (v *Volume) powerCut() error {
+	if err := v.log.rollback(v); err != nil {
+		return fmt.Errorf("filevol: power cut rollback: %w", err)
+	}
+	v.dead = true
+	return ErrPowerCut
+}

@@ -56,6 +56,13 @@ func (t *Tree) FlushOp() error {
 		}
 	}
 	if t.rootDirty {
+		// The root write is the operation's commit point: every shadow page
+		// and leaf segment written above must be durable before the root can
+		// point at them, or a crash could commit an operation whose pages
+		// never reached the disk.
+		if err := t.st.SyncBarrier(); err != nil {
+			return err
+		}
 		if err := t.st.Pool.FlushPage(t.root); err != nil {
 			return err
 		}

@@ -351,6 +351,11 @@ func (o *Object) writeDescriptor() error {
 		binary.LittleEndian.PutUint32(buf[base:], uint32(s.seg.Addr.Page))
 		binary.LittleEndian.PutUint32(buf[base+4:], uint32(s.seg.Pages))
 	}
+	// The descriptor write is the operation's commit point: the segments it
+	// points at must be durable first.
+	if err := o.st.SyncBarrier(); err != nil {
+		return err
+	}
 	return o.st.WritePages(o.desc, 1, buf)
 }
 

@@ -140,6 +140,29 @@ func (s *Store) CrashCopy() (*Store, error) {
 	}, nil
 }
 
+// LoadAllocators replaces both allocators with ones decoded from the
+// on-disk buddy space directories, trusting them as written. Recovery
+// ignores the directories (they may be stale after a crash) and uses
+// RebuildAllocators instead; LoadAllocators is for diagnostics such as
+// fsck, which wants exactly the recorded allocation state so it can be
+// cross-checked against reachability.
+func (s *Store) LoadAllocators() error {
+	metaOrder := s.maxOrder
+	if metaOrder > 10 {
+		metaOrder = 10
+	}
+	m, err := buddy.Open(s.Disk, s.MetaArea(), buddy.WithMaxOrder(metaOrder))
+	if err != nil {
+		return fmt.Errorf("store: loading meta allocator: %w", err)
+	}
+	l, err := buddy.Open(s.Disk, s.leafArea, buddy.WithMaxOrder(s.maxOrder))
+	if err != nil {
+		return fmt.Errorf("store: loading leaf allocator: %w", err)
+	}
+	s.Meta, s.Leaf = m, l
+	return nil
+}
+
 // RebuildAllocators installs allocation state recovered from reachability:
 // the union of the given page ranges is allocated, everything else is
 // free. This is the recovery step of shadow paging — stale on-disk space

@@ -40,6 +40,10 @@ type Params struct {
 	MaxOrder uint
 	// Materialize stores every byte written so reads can be verified.
 	Materialize bool
+	// Volume selects the byte-storage backend under the cost-accounting
+	// disk. Nil means a fresh in-memory volume (the simulation default); a
+	// filevol.Volume makes the database durable on real files.
+	Volume disk.Volume
 }
 
 // DefaultParams returns the paper's system parameters (Table 1) with area
@@ -97,6 +101,9 @@ func Open(p Params) (*Store, error) {
 	var opts []disk.Option
 	if !p.Materialize {
 		opts = append(opts, disk.WithoutMaterialization())
+	}
+	if p.Volume != nil {
+		opts = append(opts, disk.WithVolume(p.Volume))
 	}
 	d, err := disk.New(p.Model, clock, opts...)
 	if err != nil {
@@ -190,7 +197,10 @@ func (s *Store) BeginOp() { s.opDepth++ }
 
 // EndOp closes a shadow epoch. When the outermost epoch ends — after the
 // manager has written its commit point (tree root or descriptor) — the
-// deferred frees are applied.
+// deferred frees are applied. A durability barrier separates the commit
+// point from the frees: on a durable volume the commit write must be
+// stable before any page of the old version may be reused, or a crash
+// could leave the still-referenced old version partially overwritten.
 func (s *Store) EndOp() error {
 	if s.opDepth == 0 {
 		return fmt.Errorf("store: EndOp without BeginOp")
@@ -198,6 +208,9 @@ func (s *Store) EndOp() error {
 	s.opDepth--
 	if s.opDepth > 0 {
 		return nil
+	}
+	if err := s.Disk.Barrier(); err != nil {
+		return err
 	}
 	leaf, meta := s.pendingLeaf, s.pendingMeta
 	s.pendingLeaf, s.pendingMeta = nil, nil
@@ -444,6 +457,37 @@ func (s *Store) readPageInto(a disk.Addr, dst []byte) error {
 		return err
 	}
 	return s.readDirect(a, 1, dst)
+}
+
+// SyncBarrier forces every byte written so far to stable storage, subject
+// to the volume's sync policy. Free (and event-silent) on the in-memory
+// backend, so barrier placement never changes mem-backend cost output.
+func (s *Store) SyncBarrier() error { return s.Disk.Barrier() }
+
+// Flush writes back everything the store holds only in memory: dirty
+// buffer pool frames and the two space-manager directories. After Flush
+// (plus a SyncBarrier on durable volumes) the on-disk state is complete.
+func (s *Store) Flush() error {
+	if err := s.Pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := s.Meta.Flush(); err != nil {
+		return err
+	}
+	return s.Leaf.Flush()
+}
+
+// Close flushes the store and releases the underlying volume. The store is
+// unusable afterwards.
+func (s *Store) Close() error {
+	if err := s.Flush(); err != nil {
+		// Still release the files; report the flush failure first.
+		return errors.Join(err, s.Disk.Close())
+	}
+	if err := s.Disk.Barrier(); err != nil {
+		return errors.Join(err, s.Disk.Close())
+	}
+	return s.Disk.Close()
 }
 
 // MeasureOp runs f and returns the disk activity it caused.

@@ -37,6 +37,7 @@ import (
 	"lobstore/internal/core"
 	"lobstore/internal/eos"
 	"lobstore/internal/esm"
+	"lobstore/internal/filevol"
 	"lobstore/internal/obs"
 	"lobstore/internal/sim"
 	"lobstore/internal/starburst"
@@ -92,6 +93,27 @@ type Config struct {
 	// Materialize stores every byte written so that reads return real
 	// data. Disable only for very large cost-only experiments.
 	Materialize bool
+	// Backend selects the byte-storage volume: "mem" (or empty — the
+	// simulation default, identical output for identical seeds) or "file"
+	// (a durable store of real files under Dir, crash-consistent on
+	// reopen). The cost model, stats and tracing behave the same on both.
+	Backend string
+	// Dir is the directory holding a file-backed database (Backend
+	// "file"): one file per database area plus a superblock. Opening an
+	// existing directory reopens the database, running reachability
+	// recovery, so a store that was killed mid-operation comes back with
+	// every object intact.
+	Dir string
+	// SyncPolicy selects when file-backed writes are forced to stable
+	// storage: "commit" (default — fsync at shadow-commit barriers, the
+	// cheapest crash-consistent policy), "always" (fsync every write) or
+	// "never" (fsync only on Close; a crash may lose recent operations).
+	// Ignored by the mem backend.
+	SyncPolicy string
+	// CrashInjection enables power-cut injection on a file-backed store
+	// (see DB.InjectPowerCut). Testing aid: every write then pays an extra
+	// read to log its pre-image.
+	CrashInjection bool
 }
 
 // DefaultConfig returns the paper's fixed system parameters with database
@@ -162,14 +184,14 @@ type DB struct {
 	cat     *catalog.Catalog
 	trace   *obs.JSONL
 	metrics *obs.Metrics
+	// vol is non-nil on a file-backed database: the durable volume under
+	// the cost-accounting disk.
+	vol *filevol.Volume
 }
 
-// Open creates a fresh simulated database.
-func Open(cfg Config) (*DB, error) {
-	if cfg.MaxSegmentPages < 1 || bits.OnesCount(uint(cfg.MaxSegmentPages)) != 1 {
-		return nil, fmt.Errorf("lobstore: MaxSegmentPages %d must be a power of two", cfg.MaxSegmentPages)
-	}
-	params := store.Params{
+// storeParams translates the public configuration into store parameters.
+func storeParams(cfg Config) store.Params {
+	return store.Params{
 		Model: sim.CostModel{
 			PageSize:      cfg.PageSize,
 			SeekTime:      sim.Duration(cfg.SeekTime.Microseconds()),
@@ -181,7 +203,28 @@ func Open(cfg Config) (*DB, error) {
 		MaxOrder:      uint(bits.TrailingZeros(uint(cfg.MaxSegmentPages))),
 		Materialize:   cfg.Materialize,
 	}
-	st, err := store.Open(params)
+}
+
+// Open creates a fresh simulated database (Backend "mem", the default), or
+// creates/reopens a durable file-backed one (Backend "file", rooted at
+// Dir). Reopening runs reachability recovery, so a file-backed database
+// that was killed mid-operation comes back crash-consistent.
+func Open(cfg Config) (*DB, error) {
+	if cfg.MaxSegmentPages < 1 || bits.OnesCount(uint(cfg.MaxSegmentPages)) != 1 {
+		return nil, fmt.Errorf("lobstore: MaxSegmentPages %d must be a power of two", cfg.MaxSegmentPages)
+	}
+	switch cfg.Backend {
+	case "", "mem":
+		return openMem(cfg)
+	case "file":
+		return openFile(cfg)
+	}
+	return nil, fmt.Errorf("lobstore: unknown backend %q (mem, file)", cfg.Backend)
+}
+
+// openMem creates a fresh in-memory simulated database.
+func openMem(cfg Config) (*DB, error) {
+	st, err := store.Open(storeParams(cfg))
 	if err != nil {
 		return nil, err
 	}

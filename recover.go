@@ -11,7 +11,106 @@ import (
 	"lobstore/internal/esm"
 	"lobstore/internal/record"
 	"lobstore/internal/starburst"
+	"lobstore/internal/store"
 )
+
+// scanReachable enumerates every page reachable from the catalog root set:
+// the catalog chain itself, every cataloged object, and every long field
+// referenced from a record file. Each range is reported with the name of
+// its owner, so callers can rebuild allocation state (recovery, where the
+// owner is irrelevant) or cross-check ownership (fsck, where a page with
+// two owners is corruption).
+//
+// This is the heart of shadow-paging recovery (§3.3): the on-disk space
+// directories may be stale after a crash, but the reachable set — and
+// nothing else — is live.
+func scanReachable(st *store.Store, cat *catalog.Catalog,
+	mark func(owner string, addr disk.Addr, pages int) error) error {
+
+	markFor := func(owner string) func(a disk.Addr, pages int) error {
+		return func(a disk.Addr, pages int) error { return mark(owner, a, pages) }
+	}
+	if err := cat.MarkPages(markFor("catalog")); err != nil {
+		return fmt.Errorf("catalog pages: %w", err)
+	}
+	entries, err := cat.List()
+	if err != nil {
+		return err
+	}
+	markObject := func(owner string, kind catalog.Kind, root disk.Addr) error {
+		var m core.PageMarker
+		switch kind {
+		case catalog.KindESM:
+			o, err := esm.Open(st, root)
+			if err != nil {
+				return err
+			}
+			m = o
+		case catalog.KindStarburst:
+			o, err := starburst.Open(st, root)
+			if err != nil {
+				return err
+			}
+			m = o
+		case catalog.KindEOS:
+			o, err := eos.Open(st, root)
+			if err != nil {
+				return err
+			}
+			m = o
+		default:
+			return fmt.Errorf("unknown kind %v", kind)
+		}
+		return m.MarkPages(markFor(owner))
+	}
+	for _, e := range entries {
+		switch e.Kind {
+		case catalog.KindRecord:
+			f, err := record.OpenFile(st, e.Root)
+			if err != nil {
+				return fmt.Errorf("record file %q: %w", e.Name, err)
+			}
+			if err := f.MarkPages(markFor(e.Name)); err != nil {
+				return err
+			}
+			refs, err := f.LongRefs()
+			if err != nil {
+				return err
+			}
+			for _, ref := range refs {
+				owner := fmt.Sprintf("%s@%v", e.Name, ref.Root)
+				if err := markObject(owner, ref.Kind, ref.Root); err != nil {
+					return fmt.Errorf("long field of %q: %w", e.Name, err)
+				}
+			}
+		default:
+			if err := markObject(e.Name, e.Kind, e.Root); err != nil {
+				return fmt.Errorf("object %q: %w", e.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// recoverAllocators runs the reachability scan and rebuilds both buddy
+// allocators as exactly the reachable set. Orphaned pages of an
+// interrupted operation become free implicitly.
+func recoverAllocators(st *store.Store, cat *catalog.Catalog) error {
+	var metaRanges, leafRanges []buddy.Range
+	err := scanReachable(st, cat, func(_ string, a disk.Addr, pages int) error {
+		r := buddy.Range{Addr: a, Pages: pages}
+		if a.Area == st.LeafArea() {
+			leafRanges = append(leafRanges, r)
+		} else {
+			metaRanges = append(metaRanges, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return st.RebuildAllocators(metaRanges, leafRanges)
+}
 
 // Crash simulates a system failure followed by shadow-paging recovery and
 // returns a fresh handle on the recovered database.
@@ -41,78 +140,8 @@ func (db *DB) Crash() (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lobstore: recovery: %w", err)
 	}
-
-	var metaRanges, leafRanges []buddy.Range
-	mark := func(a disk.Addr, pages int) error {
-		r := buddy.Range{Addr: a, Pages: pages}
-		if a.Area == st.LeafArea() {
-			leafRanges = append(leafRanges, r)
-		} else {
-			metaRanges = append(metaRanges, r)
-		}
-		return nil
-	}
-
-	if err := cat.MarkPages(mark); err != nil {
-		return nil, fmt.Errorf("lobstore: recovery: catalog pages: %w", err)
-	}
-	entries, err := cat.List()
-	if err != nil {
-		return nil, err
-	}
-	markObject := func(kind catalog.Kind, root disk.Addr) error {
-		var m core.PageMarker
-		switch kind {
-		case catalog.KindESM:
-			o, err := esm.Open(st, root)
-			if err != nil {
-				return err
-			}
-			m = o
-		case catalog.KindStarburst:
-			o, err := starburst.Open(st, root)
-			if err != nil {
-				return err
-			}
-			m = o
-		case catalog.KindEOS:
-			o, err := eos.Open(st, root)
-			if err != nil {
-				return err
-			}
-			m = o
-		default:
-			return fmt.Errorf("unknown kind %v", kind)
-		}
-		return m.MarkPages(mark)
-	}
-	for _, e := range entries {
-		switch e.Kind {
-		case catalog.KindRecord:
-			f, err := record.OpenFile(st, e.Root)
-			if err != nil {
-				return nil, fmt.Errorf("lobstore: recovery: record file %q: %w", e.Name, err)
-			}
-			if err := f.MarkPages(mark); err != nil {
-				return nil, err
-			}
-			refs, err := f.LongRefs()
-			if err != nil {
-				return nil, err
-			}
-			for _, ref := range refs {
-				if err := markObject(ref.Kind, ref.Root); err != nil {
-					return nil, fmt.Errorf("lobstore: recovery: long field of %q: %w", e.Name, err)
-				}
-			}
-		default:
-			if err := markObject(e.Kind, e.Root); err != nil {
-				return nil, fmt.Errorf("lobstore: recovery: object %q: %w", e.Name, err)
-			}
-		}
-	}
-	if err := st.RebuildAllocators(metaRanges, leafRanges); err != nil {
-		return nil, err
+	if err := recoverAllocators(st, cat); err != nil {
+		return nil, fmt.Errorf("lobstore: recovery: %w", err)
 	}
 	return &DB{st: st, cfg: db.cfg, cat: cat}, nil
 }
