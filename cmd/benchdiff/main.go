@@ -1,0 +1,176 @@
+// Command benchdiff compares two benchmark reports produced by lobbench
+// (-benchjson or -volbenchjson) and reports wall-clock regressions. It is
+// the CI guard around the committed BENCH_harness.json and
+// BENCH_volume.json baselines: a fresh run that is more than -threshold
+// slower on any comparable metric prints a warning per regression — in
+// GitHub Actions ::warning:: form so it annotates the run — but exits 0,
+// because shared CI runners are too noisy for a hard gate.
+//
+// Usage:
+//
+//	benchdiff baseline.json fresh.json
+//	benchdiff -threshold 0.5 -min-wall-ms 25 old.json new.json
+//
+// Both schemas are recognized by their fields: harness reports contribute
+// prepass/experiment wall milliseconds and micro-benchmark ns/op, volume
+// reports contribute per-case ns/op. Metrics below -min-wall-ms (or the
+// ns/op equivalent) in the baseline are skipped: relative comparison of
+// sub-noise cells produces only false alarms.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// phase and micro mirror lobbench's benchjson schema; volCase mirrors the
+// volbenchjson one. A report may hold any mix: absent sections decode
+// empty.
+type phase struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+type micro struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type volCase struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	Prepass     *phase    `json:"prepass"`
+	Experiments []phase   `json:"experiments"`
+	Micro       []micro   `json:"micro"`
+	TotalWallMs float64   `json:"total_wall_ms"`
+	Cases       []volCase `json:"cases"`
+}
+
+// metrics flattens a report into named wall-clock numbers, all in
+// milliseconds-equivalent units per metric family (the two sides of a diff
+// always carry the same unit, so only the ratio matters).
+func metrics(r *report) map[string]float64 {
+	out := map[string]float64{}
+	if r.Prepass != nil {
+		out["prepass wall_ms"] = r.Prepass.WallMs
+	}
+	for _, p := range r.Experiments {
+		out["experiment "+p.Name+" wall_ms"] = p.WallMs
+	}
+	if r.TotalWallMs > 0 {
+		out["total wall_ms"] = r.TotalWallMs
+	}
+	for _, m := range r.Micro {
+		out["micro "+m.Name+" ns/op"] = m.NsPerOp
+	}
+	for _, c := range r.Cases {
+		out["case "+c.Name+" ns/op"] = c.NsPerOp
+	}
+	return out
+}
+
+// regression is one metric whose fresh value exceeds the threshold.
+type regression struct {
+	name       string
+	base, cur  float64
+	ratio      float64
+	isWallFine bool // below the noise floor: reported but not warned
+}
+
+// compare returns the regressions of cur against base. Metrics missing on
+// either side are ignored (experiments come and go); baseline values under
+// floorMs (for wall metrics) or floorMs*1e6 ns (for ns/op metrics) are
+// skipped as noise.
+func compare(base, cur map[string]float64, threshold, floorMs float64) []regression {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var regs []regression
+	for _, n := range names {
+		b, c := base[n], cur[n]
+		if _, ok := cur[n]; !ok || b <= 0 {
+			continue
+		}
+		floor := floorMs
+		if isNsMetric(n) {
+			floor = floorMs * 1e6 // same wall time expressed in ns
+		}
+		if b < floor {
+			continue
+		}
+		if c > b*(1+threshold) {
+			regs = append(regs, regression{name: n, base: b, cur: c, ratio: c / b})
+		}
+	}
+	return regs
+}
+
+func isNsMetric(name string) bool {
+	return len(name) > 5 && name[len(name)-5:] == "ns/op"
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := metrics(&r)
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no comparable metrics (neither harness nor volume schema?)", path)
+	}
+	return m, nil
+}
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
+		floorMs   = flag.Float64("min-wall-ms", 10, "skip metrics whose baseline is below this wall time in ms (ns/op metrics use the equivalent)")
+		github    = flag.Bool("github", false, "emit GitHub Actions ::warning:: annotations")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold R] [-min-wall-ms MS] [-github] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	regs := compare(base, cur, *threshold, *floorMs)
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: no regressions beyond %.0f%% (%d metrics compared)\n",
+			*threshold*100, len(base))
+		return
+	}
+	for _, r := range regs {
+		msg := fmt.Sprintf("%s regressed %.1fx: %.3g -> %.3g", r.name, r.ratio, r.base, r.cur)
+		if *github {
+			fmt.Printf("::warning title=bench regression::%s\n", msg)
+		} else {
+			fmt.Printf("benchdiff: WARNING %s\n", msg)
+		}
+	}
+	// Fail-soft by design: annotate, never break the build on shared-runner
+	// timing noise.
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	base := map[string]float64{
+		"experiment fig5 wall_ms":  100,
+		"experiment fig7 wall_ms":  200,
+		"experiment tiny wall_ms":  0.5, // below the noise floor
+		"micro append ns/op":       5e7, // 50 ms-equivalent
+		"micro mix ns/op":          1e6, // 1 ms-equivalent: below floor
+		"case file-seq-read ns/op": 2e7, // 20 ms-equivalent
+		"gone wall_ms":             50,  // absent from cur
+	}
+	cur := map[string]float64{
+		"experiment fig5 wall_ms":  180, // +80%: regression
+		"experiment fig7 wall_ms":  210, // +5%: fine
+		"experiment tiny wall_ms":  50,  // huge ratio but noise-floored
+		"micro append ns/op":       9e7, // +80%: regression
+		"micro mix ns/op":          9e6, // floored
+		"case file-seq-read ns/op": 2e7,
+		"new wall_ms":              999, // absent from base
+	}
+	regs := compare(base, cur, 0.20, 10)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %v, want 2", len(regs), regs)
+	}
+	if regs[0].name != "experiment fig5 wall_ms" || regs[1].name != "micro append ns/op" {
+		t.Fatalf("wrong regressions: %v", regs)
+	}
+	if regs[0].ratio < 1.79 || regs[0].ratio > 1.81 {
+		t.Fatalf("fig5 ratio %.2f, want 1.80", regs[0].ratio)
+	}
+}
+
+func TestMetricsFlattensBothSchemas(t *testing.T) {
+	r := &report{
+		Prepass:     &phase{Name: "prepass", WallMs: 3},
+		Experiments: []phase{{Name: "fig5", WallMs: 7}},
+		Micro:       []micro{{Name: "append", NsPerOp: 11}},
+		TotalWallMs: 10,
+		Cases:       []volCase{{Name: "mem-seq-read", NsPerOp: 13}},
+	}
+	m := metrics(r)
+	want := map[string]float64{
+		"prepass wall_ms":         3,
+		"experiment fig5 wall_ms": 7,
+		"micro append ns/op":      11,
+		"total wall_ms":           10,
+		"case mem-seq-read ns/op": 13,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("got %d metrics %v, want %d", len(m), m, len(want))
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Fatalf("metric %q = %v, want %v", k, m[k], v)
+		}
+	}
+}

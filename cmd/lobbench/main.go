@@ -53,6 +53,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 		benchOut = flag.String("benchjson", "", "write per-experiment wall/alloc/simulated-time measurements to this JSON file")
+		coalesce = flag.Bool("coalesce", false, "enable elevator write coalescing and read-ahead (changes I/O counts: paper tables need it off)")
 		volOut   = flag.String("volbenchjson", "", "run the volume backend micro-benchmarks, write them to this JSON file, and exit")
 	)
 	flag.Parse()
@@ -95,6 +96,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.DB.Coalesce = *coalesce
 
 	var names []string
 	if *expFlag == "all" {

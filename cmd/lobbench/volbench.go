@@ -6,8 +6,10 @@ import (
 	"os"
 	"testing"
 
+	"lobstore/internal/buffer"
 	"lobstore/internal/disk"
 	"lobstore/internal/filevol"
+	"lobstore/internal/sim"
 )
 
 // Volume micro-benchmarks (BENCH_volume.json): raw throughput of the two
@@ -30,11 +32,17 @@ type volBenchReport struct {
 }
 
 type volBenchCase struct {
-	// Name is backend-pattern-op[-sync], e.g. "file-rand-write-sync".
+	// Name is backend-pattern-op[-sync], e.g. "file-rand-write-sync", or
+	// pool-backend-writeback[-coalesce] for the buffer-pool cells.
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerS      float64 `json:"mb_per_s"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// WriteCalls and SimMs are reported by the pool write-back cells only:
+	// disk write calls and simulated milliseconds per operation. The
+	// coalesce variant must show both at a fraction of the plain one.
+	WriteCalls float64 `json:"write_calls_per_op,omitempty"`
+	SimMs      float64 `json:"sim_ms_per_op,omitempty"`
 }
 
 // volBenchAddrs returns the per-iteration run start pages: sequential
@@ -92,6 +100,72 @@ func benchVolume(v disk.Volume, random, write bool) func(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// poolBenchWindow is the dirty-run width of the pool write-back cells:
+// wider than MaxRun so coalescing has something to merge, narrower than
+// the frame count so the window fits the pool.
+const poolBenchWindow = 8
+
+// newPoolBench wraps a backend in the simulated disk and a 12-frame pool
+// and materializes every page, so the timed loop never grows the file.
+// Setup happens once per cell: the benchmark closure reruns with growing
+// b.N against the same pool.
+func newPoolBench(v disk.Volume, coalesce bool) (*buffer.Pool, *disk.Disk, error) {
+	d, err := disk.New(sim.DefaultModel(), sim.NewClock(), disk.WithVolume(v))
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := d.AddArea(volBenchPages); err != nil {
+		return nil, nil, err
+	}
+	p, err := buffer.New(d, buffer.Config{
+		Frames:   12,
+		MaxRun:   volBenchRunPages,
+		Coalesce: coalesce,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := make([]byte, volBenchRunPages*d.PageSize())
+	for pg := 0; pg+volBenchRunPages <= volBenchPages; pg += volBenchRunPages {
+		if err := d.Write(disk.Addr{Page: disk.PageID(pg)}, volBenchRunPages, buf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, d, nil
+}
+
+// benchPoolWriteback measures the buffer pool's dirty write-back through a
+// backend: each op dirties an ascending poolBenchWindow-page run and
+// flushes it. With coalescing off that is one disk write per page; the
+// elevator scheduler merges the run into MaxRun-sized writes, and its
+// read-ahead batches the demand misses too. writeCalls and simMs receive
+// the per-op disk write calls and simulated milliseconds.
+func benchPoolWriteback(p *buffer.Pool, d *disk.Disk, writeCalls, simMs *float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		before := d.Stats()
+		for i := 0; i < b.N; i++ {
+			start := disk.PageID((i * poolBenchWindow) % (volBenchPages - poolBenchWindow))
+			for k := disk.PageID(0); k < poolBenchWindow; k++ {
+				h, err := p.FixPage(disk.Addr{Page: start + k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h.Data[0] = byte(i)
+				h.Unfix(true)
+			}
+			if err := p.FlushAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		delta := d.Stats().Sub(before)
+		*writeCalls = float64(delta.WriteCalls) / float64(b.N)
+		*simMs = delta.Time.Seconds() * 1e3 / float64(b.N)
 	}
 }
 
@@ -153,6 +227,59 @@ func volumeBenchmarks(pageSize int) (*volBenchReport, error) {
 			NsPerOp:     ns,
 			MBPerS:      mbps,
 			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+
+	// Pool write-back cells: the same backends driven through the buffer
+	// pool, with and without the elevator scheduler. The coalesce variants
+	// document the win BENCH CI guards: fewer write calls and less
+	// simulated time for identical page traffic.
+	poolCells := []struct {
+		name     string
+		open     func(dir string) (disk.Volume, error)
+		coalesce bool
+	}{
+		{"pool-mem-writeback", memOpen, false},
+		{"pool-mem-writeback-coalesce", memOpen, true},
+		{"pool-file-writeback", fileOpen(filevol.SyncNever), false},
+		{"pool-file-writeback-coalesce", fileOpen(filevol.SyncNever), true},
+	}
+	for _, c := range poolCells {
+		dir, err := os.MkdirTemp("", "lobbench-vol-*")
+		if err != nil {
+			return nil, err
+		}
+		v, err := c.open(dir)
+		if err != nil {
+			return nil, err
+		}
+		p, d, err := newPoolBench(v, c.coalesce)
+		if err != nil {
+			return nil, err
+		}
+		var writeCalls, simMs float64
+		res := testing.Benchmark(benchPoolWriteback(p, d, &writeCalls, &simMs))
+		cerr := v.Close()
+		rerr := os.RemoveAll(dir)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		bytesPerOp := float64(poolBenchWindow * pageSize)
+		ns := float64(res.NsPerOp())
+		mbps := 0.0
+		if ns > 0 {
+			mbps = bytesPerOp / ns * 1e9 / (1 << 20)
+		}
+		rep.Cases = append(rep.Cases, volBenchCase{
+			Name:        c.name,
+			NsPerOp:     ns,
+			MBPerS:      mbps,
+			AllocsPerOp: res.AllocsPerOp(),
+			WriteCalls:  writeCalls,
+			SimMs:       simMs,
 		})
 	}
 	return rep, nil

@@ -75,11 +75,13 @@ func main() {
 		backend   = flag.String("backend", "mem", "byte-storage backend: mem or file")
 		dir       = flag.String("dir", "", "directory of the file-backed database (backend file)")
 		sync      = flag.String("sync", "commit", "file-backend fsync policy: always, commit or never")
+		coalesce  = flag.Bool("coalesce", false, "enable elevator write coalescing and sequential read-ahead")
 	)
 	flag.Parse()
 
 	cfg := lobstore.DefaultConfig()
 	cfg.Backend, cfg.Dir, cfg.SyncPolicy = *backend, *dir, *sync
+	cfg.Coalesce = *coalesce
 	db, err := lobstore.Open(cfg)
 	if err != nil {
 		fatalf("open: %v", err)

@@ -125,6 +125,7 @@ func diff(args []string) error {
 		{ma.IOSize, mb.IOSize},
 		{ma.Seek, mb.Seek},
 		{ma.Depth, mb.Depth},
+		{ma.WriteRun, mb.WriteRun},
 	} {
 		a, b := pair[0], pair[1]
 		if a.N == 0 && b.N == 0 {

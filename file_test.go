@@ -172,109 +172,122 @@ func TestFileCrashMatrix(t *testing.T) {
 		return obj, before
 	}
 
-	for _, sc := range specs {
-		for _, op := range ops {
-			t.Run(sc.name+"-"+op.name, func(t *testing.T) {
-				// Dry run: count the operation's sync barriers.
-				cfg := fileConfig(t.TempDir())
-				cfg.CrashInjection = true
-				db, err := lobstore.Open(cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				obj, before := setup(t, db, sc.spec)
-				b0, err := db.SyncBarriers()
-				if err != nil {
-					t.Fatal(err)
-				}
-				after, err := op.fn(obj, before)
-				if err != nil {
-					t.Fatalf("dry run op: %v", err)
-				}
-				b1, err := db.SyncBarriers()
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := db.Close(); err != nil {
-					t.Fatal(err)
-				}
-				barriers := b1 - b0
-				if barriers < 2 {
-					t.Fatalf("operation crossed %d barriers, expected pre- and post-commit", barriers)
-				}
+	// The whole matrix runs twice: once with the paper's one-write-per-page
+	// write-back and once with the elevator scheduler. Recovery always
+	// reopens with coalescing OFF, so the on-mode leg also proves the two
+	// modes agree on the durable state: same recovered bytes, same fsck.
+	modes := []struct {
+		name     string
+		coalesce bool
+	}{{"", false}, {"-coalesce", true}}
 
-				// The injected cut fires at the START of barrier k, before
-				// its fsync, so even at the post-commit barrier the commit
-				// write is still volatile and gets dropped. Sweep one
-				// barrier further (forced by a checkpoint) to cover the
-				// machine dying right after the operation became durable.
-				postSeen := false
-				for k := int64(1); k <= barriers+1; k++ {
+	for _, mode := range modes {
+		for _, sc := range specs {
+			for _, op := range ops {
+				t.Run(sc.name+"-"+op.name+mode.name, func(t *testing.T) {
+					// Dry run: count the operation's sync barriers.
 					cfg := fileConfig(t.TempDir())
 					cfg.CrashInjection = true
+					cfg.Coalesce = mode.coalesce
 					db, err := lobstore.Open(cfg)
 					if err != nil {
 						t.Fatal(err)
 					}
-					obj, _ := setup(t, db, sc.spec)
-					if err := db.InjectPowerCut(k); err != nil {
+					obj, before := setup(t, db, sc.spec)
+					b0, err := db.SyncBarriers()
+					if err != nil {
 						t.Fatal(err)
 					}
-					_, opErr := op.fn(obj, before)
-					if opErr == nil {
-						// The operation survived all its own barriers; the
-						// checkpoint provides barrier B+1.
-						if cerr := db.Checkpoint(); cerr == nil {
-							t.Fatalf("cut@%d: no barrier fired the cut", k)
-						}
+					after, err := op.fn(obj, before)
+					if err != nil {
+						t.Fatalf("dry run op: %v", err)
 					}
-					// The dead volume keeps every later I/O from touching
-					// the files; the directory now looks exactly like the
-					// machine lost power at barrier k.
+					b1, err := db.SyncBarriers()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := db.Close(); err != nil {
+						t.Fatal(err)
+					}
+					barriers := b1 - b0
+					if barriers < 2 {
+						t.Fatalf("operation crossed %d barriers, expected pre- and post-commit", barriers)
+					}
 
-					rec, err := lobstore.Open(fileConfig(cfg.Dir))
-					if err != nil {
-						t.Fatalf("cut@%d: reopen failed: %v", k, err)
-					}
-					robj, err := rec.OpenObject("x")
-					if err != nil {
-						t.Fatalf("cut@%d: open after recovery: %v", k, err)
-					}
-					got := make([]byte, robj.Size())
-					if err := robj.Read(0, got); err != nil {
-						t.Fatalf("cut@%d: read: %v", k, err)
-					}
-					switch {
-					case bytes.Equal(got, before):
+					// The injected cut fires at the START of barrier k, before
+					// its fsync, so even at the post-commit barrier the commit
+					// write is still volatile and gets dropped. Sweep one
+					// barrier further (forced by a checkpoint) to cover the
+					// machine dying right after the operation became durable.
+					postSeen := false
+					for k := int64(1); k <= barriers+1; k++ {
+						cfg := fileConfig(t.TempDir())
+						cfg.CrashInjection = true
+						cfg.Coalesce = mode.coalesce
+						db, err := lobstore.Open(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						obj, _ := setup(t, db, sc.spec)
+						if err := db.InjectPowerCut(k); err != nil {
+							t.Fatal(err)
+						}
+						_, opErr := op.fn(obj, before)
 						if opErr == nil {
-							t.Fatalf("cut@%d: op reported success but pre-op bytes recovered", k)
+							// The operation survived all its own barriers; the
+							// checkpoint provides barrier B+1.
+							if cerr := db.Checkpoint(); cerr == nil {
+								t.Fatalf("cut@%d: no barrier fired the cut", k)
+							}
 						}
-					case bytes.Equal(got, after):
-						postSeen = true
-					default:
-						t.Fatalf("cut@%d: recovered %d bytes matching neither pre-op (%d) nor post-op (%d) version (op err: %v)",
-							k, len(got), len(before), len(after), opErr)
-					}
+						// The dead volume keeps every later I/O from touching
+						// the files; the directory now looks exactly like the
+						// machine lost power at barrier k.
 
-					if err := rec.Close(); err != nil {
-						t.Fatalf("cut@%d: close recovered db: %v", k, err)
+						rec, err := lobstore.Open(fileConfig(cfg.Dir))
+						if err != nil {
+							t.Fatalf("cut@%d: reopen failed: %v", k, err)
+						}
+						robj, err := rec.OpenObject("x")
+						if err != nil {
+							t.Fatalf("cut@%d: open after recovery: %v", k, err)
+						}
+						got := make([]byte, robj.Size())
+						if err := robj.Read(0, got); err != nil {
+							t.Fatalf("cut@%d: read: %v", k, err)
+						}
+						switch {
+						case bytes.Equal(got, before):
+							if opErr == nil {
+								t.Fatalf("cut@%d: op reported success but pre-op bytes recovered", k)
+							}
+						case bytes.Equal(got, after):
+							postSeen = true
+						default:
+							t.Fatalf("cut@%d: recovered %d bytes matching neither pre-op (%d) nor post-op (%d) version (op err: %v)",
+								k, len(got), len(before), len(after), opErr)
+						}
+
+						if err := rec.Close(); err != nil {
+							t.Fatalf("cut@%d: close recovered db: %v", k, err)
+						}
+						rep, err := lobstore.Fsck(cfg.Dir)
+						if err != nil {
+							t.Fatalf("cut@%d: fsck: %v", k, err)
+						}
+						if !rep.Clean() {
+							t.Fatalf("cut@%d: fsck after recovery: %d leaked, %d doubly-owned: %v %v",
+								k, len(rep.Leaked), len(rep.DoublyOwned), rep.Leaked, rep.DoublyOwned)
+						}
 					}
-					rep, err := lobstore.Fsck(cfg.Dir)
-					if err != nil {
-						t.Fatalf("cut@%d: fsck: %v", k, err)
+					// The cut at the very last barrier lands after the commit
+					// write is durable, so the post-op version must show up at
+					// least once.
+					if !postSeen {
+						t.Fatal("no cut position recovered the post-operation version")
 					}
-					if !rep.Clean() {
-						t.Fatalf("cut@%d: fsck after recovery: %d leaked, %d doubly-owned: %v %v",
-							k, len(rep.Leaked), len(rep.DoublyOwned), rep.Leaked, rep.DoublyOwned)
-					}
-				}
-				// The cut at the very last barrier lands after the commit
-				// write is durable, so the post-op version must show up at
-				// least once.
-				if !postSeen {
-					t.Fatal("no cut position recovered the post-operation version")
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -310,9 +323,23 @@ func TestOpenWriteKillReopen(t *testing.T) {
 		killChildMain(t)
 		return
 	}
+	// The child writes with and without the elevator scheduler; the parent
+	// always recovers with it off, so the coalesce leg doubles as a
+	// cross-mode check on the durable state.
+	for _, mode := range []struct {
+		name     string
+		coalesce string
+	}{{"plain", ""}, {"coalesce", "1"}} {
+		t.Run(mode.name, func(t *testing.T) { runKillReopen(t, mode.coalesce) })
+	}
+}
+
+func runKillReopen(t *testing.T, coalesce string) {
 	dir := t.TempDir()
 	cmd := exec.Command(os.Args[0], "-test.run=TestOpenWriteKillReopen", "-test.v")
-	cmd.Env = append(os.Environ(), "LOBSTORE_KILL_CHILD="+dir)
+	cmd.Env = append(os.Environ(),
+		"LOBSTORE_KILL_CHILD="+dir,
+		"LOBSTORE_KILL_COALESCE="+coalesce)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -389,7 +416,9 @@ func TestOpenWriteKillReopen(t *testing.T) {
 // chunks forever, reporting each committed one on stdout.
 func killChildMain(t *testing.T) {
 	dir := os.Getenv("LOBSTORE_KILL_CHILD")
-	db, err := lobstore.Open(fileConfig(dir))
+	cfg := fileConfig(dir)
+	cfg.Coalesce = os.Getenv("LOBSTORE_KILL_COALESCE") != ""
+	db, err := lobstore.Open(cfg)
 	if err != nil {
 		t.Fatalf("child open: %v", err)
 	}

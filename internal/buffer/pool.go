@@ -15,9 +15,9 @@ package buffer
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"lobstore/internal/disk"
+	"lobstore/internal/iosched"
 	"lobstore/internal/obs"
 )
 
@@ -41,17 +41,31 @@ type Pool struct {
 	// calls so the multi-block hit path allocates nothing for the probe.
 	runIdx []int
 
+	// deque is freeWindow's scratch: a monotonic deque of frame indices
+	// used to maintain the sliding-window recency maximum.
+	deque []int
+
+	// Write-back scheduler and read-ahead state (flush.go). All of it is
+	// inert when coalesce is false: the paper configuration writes every
+	// dirty page back individually so I/O-call accounting matches §4.1.
+	coalesce   bool
+	wbuf       []byte // run assembly buffer, maxRun pages
+	flushAddrs []disk.Addr
+	flushRuns  []iosched.Run
+	raNext     map[disk.AreaID]disk.PageID // per-area expected next page
+
 	hits   int64
 	misses int64
 }
 
 type frame struct {
-	addr    disk.Addr
-	valid   bool
-	dirty   bool
-	sticky  bool // no-steal: never evicted; shadowing pins pre-images
-	pins    int
-	lastUse int64
+	addr       disk.Addr
+	valid      bool
+	dirty      bool
+	sticky     bool // no-steal: never evicted; shadowing pins pre-images
+	prefetched bool // loaded by read-ahead, not yet demanded
+	pins       int
+	lastUse    int64
 }
 
 // Config sizes a pool.
@@ -61,6 +75,13 @@ type Config struct {
 	// MaxRun is the largest segment, in pages, that may be read into the
 	// pool with one I/O call (paper: 4).
 	MaxRun int
+	// Coalesce enables the elevator write-back scheduler and sequential
+	// read-ahead (flush.go): dirty write-back merges physically adjacent
+	// pages into single multi-page I/O calls in ascending-address order,
+	// and ascending access patterns prefetch the next run into free
+	// frames. Off by default — the paper charges one I/O call per dirty
+	// page written back, so reproduction runs must not coalesce.
+	Coalesce bool
 }
 
 // DefaultConfig returns the paper's pool parameters.
@@ -75,7 +96,7 @@ func New(d *disk.Disk, cfg Config) (*Pool, error) {
 		return nil, fmt.Errorf("buffer: max run %d must be in [1,%d]", cfg.MaxRun, cfg.Frames)
 	}
 	ps := d.PageSize()
-	return &Pool{
+	p := &Pool{
 		d:        d,
 		obs:      d.Tracer(),
 		arena:    make([]byte, cfg.Frames*ps),
@@ -84,8 +105,18 @@ func New(d *disk.Disk, cfg Config) (*Pool, error) {
 		maxRun:   cfg.MaxRun,
 		pageSize: ps,
 		runIdx:   make([]int, cfg.MaxRun),
-	}, nil
+		deque:    make([]int, cfg.Frames),
+		coalesce: cfg.Coalesce,
+	}
+	if cfg.Coalesce {
+		p.wbuf = make([]byte, cfg.MaxRun*ps)
+		p.raNext = make(map[disk.AreaID]disk.PageID)
+	}
+	return p, nil
 }
+
+// Coalescing reports whether the write-back scheduler is enabled.
+func (p *Pool) Coalescing() bool { return p.coalesce }
 
 // MaxRun returns the largest segment, in pages, the pool will buffer.
 func (p *Pool) MaxRun() int { return p.maxRun }
@@ -137,12 +168,20 @@ func (p *Pool) FixPage(addr disk.Addr) (*Handle, error) {
 		}
 		p.frames[i].pins++
 		p.frames[i].lastUse = p.tick
+		if p.coalesce {
+			p.runIdx[0] = i
+			if err := p.noteHit(addr, 1, p.runIdx[:1]); err != nil {
+				p.frames[i].pins--
+				return nil, err
+			}
+		}
 		return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
 	}
 	p.misses++
 	if p.obs.Enabled() {
 		p.emit(obs.KindBufMiss, addr, 1)
 	}
+	seq := p.coalesce && p.noteAccess(addr, 1)
 	i, err := p.freeWindow(1)
 	if err != nil {
 		return nil, err
@@ -152,6 +191,12 @@ func (p *Pool) FixPage(addr disk.Addr) (*Handle, error) {
 	}
 	p.install(i, addr)
 	p.frames[i].pins = 1
+	if seq {
+		if err := p.maybePrefetch(addr.Add(1)); err != nil {
+			p.frames[i].pins--
+			return nil, err
+		}
+	}
 	return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
 }
 
@@ -222,6 +267,12 @@ func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 			hbuf[k] = Handle{p: p, frame: i, Data: p.data(i), Addr: addr.Add(k)}
 			hs[k] = &hbuf[k]
 		}
+		if p.coalesce {
+			if err := p.noteHit(addr, npages, idx); err != nil {
+				UnfixAll(hs, false)
+				return nil, err
+			}
+		}
 		return hs, nil
 	}
 	p.misses += int64(npages)
@@ -229,6 +280,7 @@ func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 		p.emit(obs.KindBufMiss, addr, npages)
 		p.emit(obs.KindBufFetchRun, addr, npages)
 	}
+	seq := p.coalesce && p.noteAccess(addr, npages)
 	// Flush-and-drop any stale resident copies (a dirty resident page would
 	// otherwise be lost when we re-read the run from disk).
 	for k := 0; k < npages; k++ {
@@ -250,6 +302,12 @@ func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 		p.frames[i].pins = 1
 		hbuf[k] = Handle{p: p, frame: i, Data: p.data(i), Addr: addr.Add(k)}
 		hs[k] = &hbuf[k]
+	}
+	if seq {
+		if err := p.maybePrefetch(addr.Add(npages)); err != nil {
+			UnfixAll(hs, false)
+			return nil, err
+		}
 	}
 	return hs, nil
 }
@@ -276,7 +334,9 @@ func (p *Pool) residentRun(addr disk.Addr, npages int) ([]int, bool) {
 	return idx, true
 }
 
-// evictAddr removes a resident page, writing it back first when dirty.
+// evictAddr removes a resident page, writing it back first when dirty —
+// individually in the paper configuration, as a coalesced run under the
+// write-back scheduler.
 func (p *Pool) evictAddr(addr disk.Addr) error {
 	i, ok := p.index[addr]
 	if !ok {
@@ -287,7 +347,11 @@ func (p *Pool) evictAddr(addr disk.Addr) error {
 		return fmt.Errorf("buffer: cannot evict pinned page %v", addr)
 	}
 	if f.dirty {
-		if err := p.d.Write(addr, 1, p.data(i)); err != nil {
+		if p.coalesce {
+			if err := p.flushRunAround(addr); err != nil {
+				return err
+			}
+		} else if err := p.d.Write(addr, 1, p.data(i)); err != nil {
 			return err
 		}
 	}
@@ -297,6 +361,7 @@ func (p *Pool) evictAddr(addr disk.Addr) error {
 	delete(p.index, addr)
 	f.valid = false
 	f.dirty = false
+	f.prefetched = false
 	return nil
 }
 
@@ -309,44 +374,17 @@ func (p *Pool) install(i int, addr disk.Addr) {
 // returns the first frame number. Clean LRU victims are preferred over
 // dirty ones (paper §3.2).
 func (p *Pool) freeWindow(npages int) (int, error) {
-	type cand struct {
-		start, dirty int
-		recency      int64
-	}
-	var best cand
-	found := false
-	for s := 0; s+npages <= len(p.frames); s++ {
-		c := cand{start: s}
-		ok := true
-		for i := s; i < s+npages; i++ {
-			f := &p.frames[i]
-			if f.pins > 0 || (f.valid && f.sticky) {
-				ok = false
-				break
-			}
-			if !f.valid {
-				continue
-			}
-			if f.dirty {
-				c.dirty++
-			}
-			if f.lastUse > c.recency {
-				c.recency = f.lastUse
-			}
-		}
-		if !ok {
-			continue
-		}
-		if !found || c.dirty < best.dirty ||
-			(c.dirty == best.dirty && c.recency < best.recency) {
-			best = c
-			found = true
-		}
-	}
-	if !found {
+	start, ok := p.scanWindow(npages, false)
+	if !ok {
 		return 0, ErrNoRun
 	}
-	for i := best.start; i < best.start+npages; i++ {
+	if p.coalesce {
+		if err := p.evictWindow(start, npages); err != nil {
+			return 0, err
+		}
+		return start, nil
+	}
+	for i := start; i < start+npages; i++ {
 		f := &p.frames[i]
 		if f.valid {
 			if err := p.evictAddr(f.addr); err != nil {
@@ -354,7 +392,68 @@ func (p *Pool) freeWindow(npages int) (int, error) {
 			}
 		}
 	}
-	return best.start, nil
+	return start, nil
+}
+
+// scanWindow selects the cheapest window of npages adjacent evictable
+// frames in one pass: windows holding a pinned or sticky frame (or, with
+// cleanOnly, a dirty one) are ineligible; among the rest the window with
+// the fewest dirty pages wins, ties broken by the lowest recency (the
+// maximum lastUse of its valid frames), then by the lowest start. The
+// window aggregates — blocked count, dirty count, and a monotonic deque
+// for the sliding recency maximum — are maintained incrementally, so one
+// miss costs O(frames) instead of the former O(frames × npages) rescan.
+func (p *Pool) scanWindow(npages int, cleanOnly bool) (int, bool) {
+	use := func(i int) int64 {
+		f := &p.frames[i]
+		if !f.valid {
+			return 0
+		}
+		return f.lastUse
+	}
+	var (
+		bestStart, bestDirty int
+		bestRec              int64
+		found                bool
+		blocked, dirtyCnt    int
+	)
+	dq := p.deque // dq[head:tail]: frame indices with strictly decreasing use
+	head, tail := 0, 0
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.pins > 0 || (f.valid && f.sticky) || (cleanOnly && f.valid && f.dirty) {
+			blocked++
+		}
+		if f.valid && f.dirty {
+			dirtyCnt++
+		}
+		u := use(i)
+		for tail > head && use(dq[tail-1]) <= u {
+			tail--
+		}
+		dq[tail] = i
+		tail++
+		if j := i - npages; j >= 0 {
+			g := &p.frames[j]
+			if g.pins > 0 || (g.valid && g.sticky) || (cleanOnly && g.valid && g.dirty) {
+				blocked--
+			}
+			if g.valid && g.dirty {
+				dirtyCnt--
+			}
+			if dq[head] == j {
+				head++
+			}
+		}
+		if i >= npages-1 && blocked == 0 {
+			rec := use(dq[head])
+			if !found || dirtyCnt < bestDirty ||
+				(dirtyCnt == bestDirty && rec < bestRec) {
+				bestStart, bestDirty, bestRec, found = i-npages+1, dirtyCnt, rec, true
+			}
+		}
+	}
+	return bestStart, found
 }
 
 // SetSticky marks or unmarks a resident page as no-steal: sticky pages are
@@ -375,8 +474,10 @@ func (p *Pool) SetSticky(addr disk.Addr, sticky bool) error {
 	return nil
 }
 
-// FlushPage writes page addr back to disk if it is resident and dirty
-// (one single-page I/O) and marks it clean.
+// FlushPage writes page addr back to disk if it is resident and dirty and
+// marks it clean: one single-page I/O in the paper configuration, a
+// coalesced run covering eligible dirty neighbours under the write-back
+// scheduler.
 func (p *Pool) FlushPage(addr disk.Addr) error {
 	i, ok := p.index[addr]
 	if !ok {
@@ -386,13 +487,19 @@ func (p *Pool) FlushPage(addr disk.Addr) error {
 	if !f.dirty {
 		return nil
 	}
-	if err := p.d.Write(addr, 1, p.data(i)); err != nil {
-		return err
+	if p.coalesce {
+		if err := p.flushRunAround(addr); err != nil {
+			return err
+		}
+	} else {
+		if err := p.d.Write(addr, 1, p.data(i)); err != nil {
+			return err
+		}
+		f.dirty = false
 	}
 	if p.obs.Enabled() {
 		p.emit(obs.KindBufFlush, addr, 1)
 	}
-	f.dirty = false
 	return nil
 }
 
@@ -410,6 +517,7 @@ func (p *Pool) DropRange(addr disk.Addr, npages int) error {
 			p.frames[i].valid = false
 			p.frames[i].dirty = false
 			p.frames[i].sticky = false
+			p.frames[i].prefetched = false
 		}
 	}
 	return nil
@@ -431,25 +539,32 @@ func (p *Pool) Relocate(old, new disk.Addr) error {
 	p.index[new] = i
 	p.frames[i].addr = new
 	p.frames[i].dirty = true
+	p.frames[i].prefetched = false
 	return nil
 }
 
-// FlushAll writes every dirty page back to disk, one I/O per page, in
-// address order for determinism.
+// FlushAll writes every dirty page back to disk in ascending-address order
+// regardless of index map iteration, so checkpoint I/O is deterministic:
+// one I/O per page in the paper configuration, elevator-ordered coalesced
+// runs under the write-back scheduler.
 func (p *Pool) FlushAll() error {
-	var addrs []disk.Addr
+	p.flushAddrs = p.flushAddrs[:0]
 	for a, i := range p.index {
 		if p.frames[i].dirty {
-			addrs = append(addrs, a)
+			p.flushAddrs = append(p.flushAddrs, a)
 		}
 	}
-	sort.Slice(addrs, func(i, j int) bool {
-		if addrs[i].Area != addrs[j].Area {
-			return addrs[i].Area < addrs[j].Area
+	if p.coalesce {
+		p.flushRuns = iosched.Plan(p.flushAddrs, p.maxRun, p.flushRuns[:0])
+		for _, r := range p.flushRuns {
+			if err := p.flushPlanned(r); err != nil {
+				return err
+			}
 		}
-		return addrs[i].Page < addrs[j].Page
-	})
-	for _, a := range addrs {
+		return nil
+	}
+	iosched.SortAddrs(p.flushAddrs)
+	for _, a := range p.flushAddrs {
 		if err := p.FlushPage(a); err != nil {
 			return err
 		}

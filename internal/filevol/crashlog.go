@@ -101,6 +101,7 @@ func (l *crashLog) rollback(v *Volume) error {
 		if err := e.a.f.Truncate(e.size); err != nil {
 			return fmt.Errorf("filevol: truncating area %d to %d: %w", area, e.size, err)
 		}
+		e.a.size = e.size
 		// The rolled-back state must survive process death in a real crash
 		// test, and a dirty flag would otherwise let Close fsync dropped
 		// writes back in.

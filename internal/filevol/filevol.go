@@ -99,6 +99,11 @@ type areaFile struct {
 	f      *os.File
 	npages int
 	dirty  bool // written since the last fsync
+	// size caches the backing file's materialized length so the hot paths
+	// (Grow on every allocation-driven extension) never stat the file. It
+	// is set from the one Stat in AddArea and maintained by WriteRun, Grow
+	// and the crash log's rollback truncate.
+	size int64
 }
 
 // Option configures a Volume.
@@ -182,7 +187,7 @@ func (v *Volume) AddArea(npages int) (disk.AreaID, error) {
 		return 0, errors.Join(
 			fmt.Errorf("filevol: area %d holds %d bytes, geometry allows %d", id, st.Size(), max), cerr)
 	}
-	v.areas = append(v.areas, &areaFile{f: f, npages: npages})
+	v.areas = append(v.areas, &areaFile{f: f, npages: npages, size: st.Size()})
 	return disk.AreaID(id), nil
 }
 
@@ -246,6 +251,9 @@ func (v *Volume) WriteRun(addr disk.Addr, npages int, src []byte) error {
 	if _, err := a.f.WriteAt(src[:n], off); err != nil {
 		return fmt.Errorf("filevol: write %v: %w", addr, err)
 	}
+	if end := off + int64(n); end > a.size {
+		a.size = end
+	}
 	if v.policy == SyncAlways {
 		if err := a.f.Sync(); err != nil {
 			return fmt.Errorf("filevol: sync after write %v: %w", addr, err)
@@ -276,16 +284,13 @@ func (v *Volume) Grow(id disk.AreaID, npages int) error {
 		npages = a.npages
 	}
 	want := int64(npages) * int64(v.pageSize)
-	st, err := a.f.Stat()
-	if err != nil {
-		return fmt.Errorf("filevol: grow area %d: %w", id, err)
-	}
-	if st.Size() >= want {
+	if a.size >= want {
 		return nil
 	}
 	if err := a.f.Truncate(want); err != nil {
 		return fmt.Errorf("filevol: grow area %d: %w", id, err)
 	}
+	a.size = want
 	a.dirty = true
 	return nil
 }

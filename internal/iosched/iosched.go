@@ -1,0 +1,60 @@
+// Package iosched plans elevator-ordered write-back I/O.
+//
+// The paper's cost model (§4.1) charges every I/O call a full seek, so a
+// write-back of k physically adjacent dirty pages costs k seeks when issued
+// page-at-a-time but only one when issued as a single run. The planner here
+// turns an unordered set of dirty page addresses into the ascending-address
+// ("elevator") sequence of maximal adjacent runs, capped at the buffer
+// pool's run length. It is shared by the buffer pool's write-back scheduler
+// and by store checkpoints, and is pure: no clock, no randomness, no I/O.
+package iosched
+
+import (
+	"sort"
+
+	"lobstore/internal/disk"
+)
+
+// Run is one planned I/O call: Pages physically adjacent pages starting at
+// Addr.
+type Run struct {
+	Addr  disk.Addr
+	Pages int
+}
+
+// End returns the address one past the last page of the run.
+func (r Run) End() disk.Addr { return r.Addr.Add(r.Pages) }
+
+// SortAddrs orders addrs ascending by (area, page) — one elevator sweep
+// across the disk with all areas laid out consecutively, the order that
+// minimizes head travel for a batch of independent writes.
+func SortAddrs(addrs []disk.Addr) {
+	sort.Slice(addrs, func(i, j int) bool {
+		if addrs[i].Area != addrs[j].Area {
+			return addrs[i].Area < addrs[j].Area
+		}
+		return addrs[i].Page < addrs[j].Page
+	})
+}
+
+// Plan sorts addrs into elevator order (in place) and merges physically
+// adjacent pages of the same area into runs of at most maxRun pages;
+// maxRun <= 0 leaves run length unbounded. Addresses must be distinct.
+// The planned runs are appended to dst, which may be nil; the extended
+// slice is returned, so callers can reuse scratch across calls.
+func Plan(addrs []disk.Addr, maxRun int, dst []Run) []Run {
+	SortAddrs(addrs)
+	for _, a := range addrs {
+		if n := len(dst); n > 0 {
+			last := &dst[n-1]
+			if last.Addr.Area == a.Area &&
+				int64(last.Addr.Page)+int64(last.Pages) == int64(a.Page) &&
+				(maxRun <= 0 || last.Pages < maxRun) {
+				last.Pages++
+				continue
+			}
+		}
+		dst = append(dst, Run{Addr: a, Pages: 1})
+	}
+	return dst
+}

@@ -78,11 +78,12 @@ type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]int64
 
-	IOSize  *Histogram // pages moved per I/O call
-	Seek    *Histogram // pages of head movement per I/O call
-	Depth   *Histogram // index pages touched per tree descent
-	OpLat   [numOps]*Histogram
-	created [numOps]bool
+	IOSize   *Histogram // pages moved per I/O call
+	Seek     *Histogram // pages of head movement per I/O call
+	Depth    *Histogram // index pages touched per tree descent
+	WriteRun *Histogram // pages per coalesced write-back call
+	OpLat    [numOps]*Histogram
+	created  [numOps]bool
 }
 
 // NewMetrics returns an empty registry.
@@ -92,6 +93,7 @@ func NewMetrics() *Metrics {
 		IOSize:   NewHistogram("io.size", "pages", ioSizeBounds),
 		Seek:     NewHistogram("io.seek", "pages", seekBounds),
 		Depth:    NewHistogram("tree.descend.depth", "pages", depthBounds),
+		WriteRun: NewHistogram("buf.writerun.pages", "pages", ioSizeBounds),
 	}
 }
 
@@ -165,6 +167,15 @@ func (m *Metrics) Record(e Event) {
 		m.add("buf.flushes", 1)
 	case KindBufFetchRun:
 		m.add("buf.runfetches", 1)
+	case KindBufWriteRun:
+		m.add("buf.writeruns", 1)
+		m.add("buf.writerun.pages", int64(e.Pages))
+		m.WriteRun.Observe(int64(e.Pages))
+	case KindBufPrefetch:
+		m.add("buf.prefetches", 1)
+		m.add("buf.prefetch.pages", int64(e.Pages))
+	case KindBufPrefetchHit:
+		m.add("buf.prefetch.hits", pagesOr1(e))
 	case KindAlloc:
 		m.add("buddy.allocs", 1)
 		m.add("buddy.alloc.pages", int64(e.Pages))
@@ -225,7 +236,7 @@ func (m *Metrics) sortedCounters() []string {
 }
 
 func (m *Metrics) histograms() []*Histogram {
-	hs := []*Histogram{m.IOSize, m.Seek, m.Depth}
+	hs := []*Histogram{m.IOSize, m.Seek, m.Depth, m.WriteRun}
 	for op := Op(0); op < numOps; op++ {
 		if m.created[op] {
 			hs = append(hs, m.OpLat[op])

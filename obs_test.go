@@ -138,6 +138,71 @@ func TestTraceFidelity(t *testing.T) {
 	}
 }
 
+// TestOffModeTraceUnchanged pins the coalescing flag gate at the trace
+// level: with Coalesce off (the default, and the paper's configuration),
+// identical workloads on fresh databases produce byte-identical JSONL
+// traces containing zero elevator-scheduler events, and the metrics
+// registry shows none of its counters. Any write-run or prefetch leaking
+// into the default path would silently change the paper's I/O accounting.
+func TestOffModeTraceUnchanged(t *testing.T) {
+	run := func() ([]byte, *lobstore.Metrics) {
+		db, err := lobstore.Open(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace bytes.Buffer
+		db.EnableTrace(&trace)
+		m := db.EnableMetrics(nil)
+		obj, err := db.NewEOS(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 200<<10)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if err := obj.Append(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := obj.Insert(1000, data[:30<<10]); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 64<<10)
+		if err := obj.Read(2000, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := obj.Delete(500, 50<<10); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.FlushTrace(); err != nil {
+			t.Fatal(err)
+		}
+		return trace.Bytes(), m
+	}
+
+	a, m := run()
+	b, _ := run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same workload, same config: traces differ with coalescing off")
+	}
+	err := obs.ReadJSONL(bytes.NewReader(a), func(e obs.Event) error {
+		switch e.Kind {
+		case obs.KindBufWriteRun, obs.KindBufPrefetch, obs.KindBufPrefetchHit:
+			return errors.New("scheduler event " + e.Kind.String() + " in an off-mode trace")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"buf.writeruns", "buf.writerun.pages",
+		"buf.prefetches", "buf.prefetch.pages", "buf.prefetch.hits"} {
+		if n := m.Counter(c); n != 0 {
+			t.Fatalf("off-mode metrics: %s = %d, want 0", c, n)
+		}
+	}
+}
+
 // TestSharedMetricsRegistry accumulates two databases into one registry.
 func TestSharedMetricsRegistry(t *testing.T) {
 	shared := lobstore.NewMetrics()
