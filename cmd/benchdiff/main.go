@@ -1,21 +1,26 @@
 // Command benchdiff compares two benchmark reports produced by lobbench
 // (-benchjson or -volbenchjson) and reports wall-clock regressions. It is
 // the CI guard around the committed BENCH_harness.json and
-// BENCH_volume.json baselines: a fresh run that is more than -threshold
-// slower on any comparable metric prints a warning per regression — in
-// GitHub Actions ::warning:: form so it annotates the run — but exits 0,
-// because shared CI runners are too noisy for a hard gate.
+// BENCH_volume.json baselines. The comparison is percentile-aware: besides
+// phase means it gates on each experiment's p99 wall-clock operation
+// latency, the number tail-latency SLOs are judged by. By default a fresh
+// run that is more than -threshold slower on any comparable metric prints a
+// warning per regression — in GitHub Actions ::warning:: form so it
+// annotates the run — but exits 0, because shared CI runners are too noisy
+// for a hard gate; -enforce turns regressions into exit code 1.
 //
 // Usage:
 //
 //	benchdiff baseline.json fresh.json
-//	benchdiff -threshold 0.5 -min-wall-ms 25 old.json new.json
+//	benchdiff -threshold 0.5 -min-wall-ms 25 -min-p99-us 200 old.json new.json
+//	benchdiff -enforce baseline.json fresh.json
 //
 // Both schemas are recognized by their fields: harness reports contribute
-// prepass/experiment wall milliseconds and micro-benchmark ns/op, volume
-// reports contribute per-case ns/op. Metrics below -min-wall-ms (or the
-// ns/op equivalent) in the baseline are skipped: relative comparison of
-// sub-noise cells produces only false alarms.
+// prepass/experiment wall milliseconds, per-experiment p99 µs and
+// micro-benchmark ns/op, volume reports contribute per-case ns/op. Metrics
+// below -min-wall-ms (or the ns/op equivalent) in the baseline are skipped,
+// as are p99 metrics below -min-p99-us: relative comparison of sub-noise
+// cells produces only false alarms.
 package main
 
 import (
@@ -30,8 +35,9 @@ import (
 // volbenchjson one. A report may hold any mix: absent sections decode
 // empty.
 type phase struct {
-	Name   string  `json:"name"`
-	WallMs float64 `json:"wall_ms"`
+	Name        string  `json:"name"`
+	WallMs      float64 `json:"wall_ms"`
+	OpWallP99Us float64 `json:"op_wall_p99_us"`
 }
 
 type micro struct {
@@ -62,6 +68,9 @@ func metrics(r *report) map[string]float64 {
 	}
 	for _, p := range r.Experiments {
 		out["experiment "+p.Name+" wall_ms"] = p.WallMs
+		if p.OpWallP99Us > 0 {
+			out["experiment "+p.Name+" p99_us"] = p.OpWallP99Us
+		}
 	}
 	if r.TotalWallMs > 0 {
 		out["total wall_ms"] = r.TotalWallMs
@@ -86,8 +95,9 @@ type regression struct {
 // compare returns the regressions of cur against base. Metrics missing on
 // either side are ignored (experiments come and go); baseline values under
 // floorMs (for wall metrics) or floorMs*1e6 ns (for ns/op metrics) are
-// skipped as noise.
-func compare(base, cur map[string]float64, threshold, floorMs float64) []regression {
+// skipped as noise, and p99 latency metrics — µs-scale, far below any
+// sensible wall floor — use their own floorUs.
+func compare(base, cur map[string]float64, threshold, floorMs, floorUs float64) []regression {
 	names := make([]string, 0, len(base))
 	for n := range base {
 		names = append(names, n)
@@ -100,8 +110,11 @@ func compare(base, cur map[string]float64, threshold, floorMs float64) []regress
 			continue
 		}
 		floor := floorMs
-		if isNsMetric(n) {
+		switch {
+		case isNsMetric(n):
 			floor = floorMs * 1e6 // same wall time expressed in ns
+		case isUsMetric(n):
+			floor = floorUs
 		}
 		if b < floor {
 			continue
@@ -115,6 +128,10 @@ func compare(base, cur map[string]float64, threshold, floorMs float64) []regress
 
 func isNsMetric(name string) bool {
 	return len(name) > 5 && name[len(name)-5:] == "ns/op"
+}
+
+func isUsMetric(name string) bool {
+	return len(name) > 6 && name[len(name)-6:] == "p99_us"
 }
 
 func load(path string) (map[string]float64, error) {
@@ -137,11 +154,13 @@ func main() {
 	var (
 		threshold = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
 		floorMs   = flag.Float64("min-wall-ms", 10, "skip metrics whose baseline is below this wall time in ms (ns/op metrics use the equivalent)")
+		floorUs   = flag.Float64("min-p99-us", 100, "skip p99 latency metrics whose baseline is below this many µs")
 		github    = flag.Bool("github", false, "emit GitHub Actions ::warning:: annotations")
+		enforce   = flag.Bool("enforce", false, "exit 1 when any regression is found (default: warn only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold R] [-min-wall-ms MS] [-github] baseline.json fresh.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold R] [-min-wall-ms MS] [-min-p99-us US] [-github] [-enforce] baseline.json fresh.json")
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -152,7 +171,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	regs := compare(base, cur, *threshold, *floorMs)
+	regs := compare(base, cur, *threshold, *floorMs, *floorUs)
 	if len(regs) == 0 {
 		fmt.Printf("benchdiff: no regressions beyond %.0f%% (%d metrics compared)\n",
 			*threshold*100, len(base))
@@ -166,8 +185,11 @@ func main() {
 			fmt.Printf("benchdiff: WARNING %s\n", msg)
 		}
 	}
-	// Fail-soft by design: annotate, never break the build on shared-runner
-	// timing noise.
+	// Fail-soft by default: annotate, never break the build on shared-runner
+	// timing noise. -enforce flips that for callers with quiet machines.
+	if *enforce {
+		os.Exit(1)
+	}
 }
 
 func fatalf(format string, args ...any) {

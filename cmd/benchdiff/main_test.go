@@ -21,7 +21,7 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 		"case file-seq-read ns/op": 2e7,
 		"new wall_ms":              999, // absent from base
 	}
-	regs := compare(base, cur, 0.20, 10)
+	regs := compare(base, cur, 0.20, 10, 100)
 	if len(regs) != 2 {
 		t.Fatalf("got %d regressions %v, want 2", len(regs), regs)
 	}
@@ -33,21 +33,68 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareGatesOnP99 pins the percentile-aware gate: a p99 wall-clock
+// regression is flagged even when the phase mean barely moves, and p99
+// metrics use their own µs noise floor instead of the ms wall floor.
+func TestCompareGatesOnP99(t *testing.T) {
+	base := map[string]float64{
+		"experiment fig7 wall_ms": 200,
+		"experiment fig7 p99_us":  500,
+		"experiment fig9 p99_us":  400,
+		"experiment tiny p99_us":  50, // below the 100 µs p99 floor
+	}
+	cur := map[string]float64{
+		"experiment fig7 wall_ms": 205,  // +2.5%: mean looks fine…
+		"experiment fig7 p99_us":  2000, // …but the tail blew up 4x
+		"experiment fig9 p99_us":  440,  // +10%: under threshold
+		"experiment tiny p99_us":  5000, // huge ratio but sub-noise baseline
+	}
+	regs := compare(base, cur, 0.20, 10, 100)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %v, want 1", len(regs), regs)
+	}
+	if regs[0].name != "experiment fig7 p99_us" || regs[0].ratio != 4 {
+		t.Fatalf("wrong regression: %+v", regs[0])
+	}
+	// The µs floor must not inherit the wall-ms floor: with floorUs = 10 the
+	// tiny experiment's 100x jump becomes a real finding.
+	regs = compare(base, cur, 0.20, 10, 10)
+	if len(regs) != 2 {
+		t.Fatalf("lowered p99 floor: got %d regressions %v, want 2", len(regs), regs)
+	}
+}
+
+// TestCompareThresholdBoundary pins the exact gate: a regression requires
+// strictly more than base*(1+threshold).
+func TestCompareThresholdBoundary(t *testing.T) {
+	base := map[string]float64{"experiment fig5 p99_us": 1000}
+	at := map[string]float64{"experiment fig5 p99_us": 1200}
+	if regs := compare(base, at, 0.20, 10, 100); len(regs) != 0 {
+		t.Fatalf("exactly-at-threshold flagged: %v", regs)
+	}
+	over := map[string]float64{"experiment fig5 p99_us": 1201}
+	if regs := compare(base, over, 0.20, 10, 100); len(regs) != 1 {
+		t.Fatalf("just-over-threshold missed: %v", regs)
+	}
+}
+
 func TestMetricsFlattensBothSchemas(t *testing.T) {
 	r := &report{
 		Prepass:     &phase{Name: "prepass", WallMs: 3},
-		Experiments: []phase{{Name: "fig5", WallMs: 7}},
+		Experiments: []phase{{Name: "fig5", WallMs: 7, OpWallP99Us: 450}, {Name: "table1", WallMs: 2}},
 		Micro:       []micro{{Name: "append", NsPerOp: 11}},
 		TotalWallMs: 10,
 		Cases:       []volCase{{Name: "mem-seq-read", NsPerOp: 13}},
 	}
 	m := metrics(r)
 	want := map[string]float64{
-		"prepass wall_ms":         3,
-		"experiment fig5 wall_ms": 7,
-		"micro append ns/op":      11,
-		"total wall_ms":           10,
-		"case mem-seq-read ns/op": 13,
+		"prepass wall_ms":           3,
+		"experiment fig5 wall_ms":   7,
+		"experiment fig5 p99_us":    450,
+		"experiment table1 wall_ms": 2,
+		"micro append ns/op":        11,
+		"total wall_ms":             10,
+		"case mem-seq-read ns/op":   13,
 	}
 	if len(m) != len(want) {
 		t.Fatalf("got %d metrics %v, want %d", len(m), m, len(want))

@@ -15,12 +15,15 @@ import (
 )
 
 // benchReport is the BENCH_harness.json schema: per-experiment wall time,
-// Go allocations and simulated disk time, plus allocation micro-benchmarks
-// of the I/O hot paths. CI regenerates it at quick scale on every push.
+// Go allocations, GC cycles, heap size and simulated disk time, wall-clock
+// operation latency percentiles per experiment and per cell, plus
+// allocation micro-benchmarks of the I/O hot paths. CI regenerates it at
+// quick scale on every push and benchdiff gates on the p99 columns.
 type benchReport struct {
 	Config      benchConfigInfo `json:"config"`
 	Prepass     *benchPhase     `json:"prepass,omitempty"`
 	Experiments []benchPhase    `json:"experiments"`
+	Cells       []benchCell     `json:"cells,omitempty"`
 	Micro       []microResult   `json:"micro"`
 	TotalSimMs  float64         `json:"total_sim_ms"`
 	TotalWallMs float64         `json:"total_wall_ms"`
@@ -35,13 +38,35 @@ type benchConfigInfo struct {
 }
 
 // benchPhase records one experiment's assembly (or the parallel prepass):
-// wall-clock time, heap allocations performed, and the simulated disk time
-// accumulated by the databases opened during the phase.
+// wall-clock time, resource stats, and the simulated disk time accumulated
+// by the databases opened during the phase. The op-wall percentile fields
+// cover every operation span of every cell behind the experiment — merged
+// from the per-cell telemetry HDRs, so they are filled however the cells
+// were scheduled — and stay zero when telemetry is off or the experiment
+// has no cell decomposition.
 type benchPhase struct {
-	Name   string  `json:"name"`
-	WallMs float64 `json:"wall_ms"`
-	Allocs uint64  `json:"allocs"`
-	SimMs  float64 `json:"sim_ms"`
+	Name      string  `json:"name"`
+	WallMs    float64 `json:"wall_ms"`
+	Allocs    uint64  `json:"allocs"`
+	GCCycles  uint32  `json:"gc_cycles"`
+	HeapBytes uint64  `json:"heap_bytes"`
+	SimMs     float64 `json:"sim_ms"`
+
+	OpCount     int64 `json:"op_count,omitempty"`
+	OpWallP50Us int64 `json:"op_wall_p50_us,omitempty"`
+	OpWallP95Us int64 `json:"op_wall_p95_us,omitempty"`
+	OpWallP99Us int64 `json:"op_wall_p99_us,omitempty"`
+}
+
+// benchCell records one simulation cell: its wall-clock computation time and
+// the wall-clock latency percentiles of the operation spans it executed.
+type benchCell struct {
+	Key         string  `json:"key"`
+	WallMs      float64 `json:"wall_ms"`
+	OpCount     int64   `json:"op_count,omitempty"`
+	OpWallP50Us int64   `json:"op_wall_p50_us,omitempty"`
+	OpWallP95Us int64   `json:"op_wall_p95_us,omitempty"`
+	OpWallP99Us int64   `json:"op_wall_p99_us,omitempty"`
 }
 
 type microResult struct {
@@ -93,10 +118,12 @@ func (t *benchTracker) measurePhase(name string, fn func() error) (benchPhase, e
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	return benchPhase{
-		Name:   name,
-		WallMs: float64(wall.Microseconds()) / 1000,
-		Allocs: after.Mallocs - before.Mallocs,
-		SimMs:  t.simSince(from),
+		Name:      name,
+		WallMs:    float64(wall.Microseconds()) / 1000,
+		Allocs:    after.Mallocs - before.Mallocs,
+		GCCycles:  after.NumGC - before.NumGC,
+		HeapBytes: after.HeapAlloc,
+		SimMs:     t.simSince(from),
 	}, err
 }
 

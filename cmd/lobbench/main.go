@@ -11,6 +11,7 @@
 //	lobbench -exp table3 -csv out/     # also write CSV files
 //	lobbench -exp all -parallel 1      # force the fully sequential path
 //	lobbench -exp all -benchjson b.json -cpuprofile cpu.pprof
+//	lobbench -exp fig7 -timeseries ts.json     # per-cell latency trajectories
 //	lobbench -volbenchjson BENCH_volume.json   # backend micro-benchmarks only
 //
 // Experiments decompose into independent simulation cells that run on a
@@ -31,6 +32,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"lobstore"
 	"lobstore/internal/harness"
@@ -55,6 +57,8 @@ func main() {
 		benchOut = flag.String("benchjson", "", "write per-experiment wall/alloc/simulated-time measurements to this JSON file")
 		coalesce = flag.Bool("coalesce", false, "enable elevator write coalescing and read-ahead (changes I/O counts: paper tables need it off)")
 		volOut   = flag.String("volbenchjson", "", "run the volume backend micro-benchmarks, write them to this JSON file, and exit")
+		tsOut    = flag.String("timeseries", "", "write per-cell flight-recorder windows (counters + latency percentiles over simulated time) to this JSON file")
+		tsWindow = flag.Duration("tswindow", 10*time.Second, "flight-recorder window width in simulated time (with -timeseries)")
 	)
 	flag.Parse()
 
@@ -119,6 +123,16 @@ func main() {
 	r := harness.NewRunner(cfg)
 	if *verbose {
 		r.Log = os.Stderr
+	}
+	// Per-cell telemetry feeds the benchjson percentile columns and the
+	// timeseries artifact. It observes simulated time without advancing it,
+	// so the tables stay byte-identical (pinned by a harness test).
+	var tel *harness.Telemetry
+	if *benchOut != "" || *tsOut != "" {
+		tel = r.EnableTelemetry()
+		if *tsOut != "" {
+			tel.RecordTimeSeries(sim.Duration(tsWindow.Microseconds()), 512)
+		}
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -245,6 +259,35 @@ func main() {
 			fatalf("%v", err)
 		}
 		report.Experiments = append(report.Experiments, phase)
+	}
+
+	if report != nil && tel != nil {
+		for i := range report.Experiments {
+			h, err := tel.ExperimentWall(report.Experiments[i].Name)
+			if err != nil || h.N() == 0 {
+				continue
+			}
+			p := &report.Experiments[i]
+			p.OpCount = h.N()
+			p.OpWallP50Us = h.Quantile(0.50)
+			p.OpWallP95Us = h.Quantile(0.95)
+			p.OpWallP99Us = h.Quantile(0.99)
+		}
+		for _, ct := range tel.Cells() {
+			bc := benchCell{Key: ct.Key, WallMs: float64(ct.WallUs()) / 1000}
+			if mw := ct.MergedWall(); mw.N() > 0 {
+				bc.OpCount = mw.N()
+				bc.OpWallP50Us = mw.Quantile(0.50)
+				bc.OpWallP95Us = mw.Quantile(0.95)
+				bc.OpWallP99Us = mw.Quantile(0.99)
+			}
+			report.Cells = append(report.Cells, bc)
+		}
+	}
+	if *tsOut != "" {
+		if err := writeTimeSeriesJSON(*tsOut, tel); err != nil {
+			fatalf("writing timeseries: %v", err)
+		}
 	}
 
 	if report != nil {

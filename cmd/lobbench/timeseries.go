@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"lobstore/internal/harness"
+	"lobstore/internal/obs"
+)
+
+// tsCell is one cell's flight-recorder trajectory in the -timeseries JSON.
+type tsCell struct {
+	Key     string            `json:"key"`
+	WallUs  int64             `json:"wall_us"`
+	Dropped int64             `json:"dropped,omitempty"`
+	Windows []obs.WindowStats `json:"windows"`
+}
+
+// tsReport is the -timeseries JSON schema: one flight-recorder trajectory
+// per simulation cell, sorted by cell key so the artifact is deterministic
+// up to wall-clock fields.
+type tsReport struct {
+	WindowUs int64    `json:"window_us"`
+	Cells    []tsCell `json:"cells"`
+}
+
+// writeTimeSeriesJSON renders every cell's sealed windows to path.
+func writeTimeSeriesJSON(path string, tel *harness.Telemetry) error {
+	rep := tsReport{}
+	for _, ct := range tel.Cells() {
+		if ct.Series == nil {
+			continue
+		}
+		if rep.WindowUs == 0 {
+			rep.WindowUs = ct.Series.WindowUs()
+		}
+		rep.Cells = append(rep.Cells, tsCell{
+			Key:     ct.Key,
+			WallUs:  ct.WallUs(),
+			Dropped: ct.Series.Dropped(),
+			Windows: ct.Series.Windows(),
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"lobstore"
+	"lobstore/internal/obs"
 )
 
 // writeTrace runs a small workload with tracing enabled and returns the
@@ -116,6 +117,136 @@ func TestSummaryAndDiff(t *testing.T) {
 	}
 	if err := diff([]string{a}); err == nil {
 		t.Error("diff with one file did not error")
+	}
+}
+
+// writeSyntheticTrace serializes the given events as a JSONL trace file.
+func writeSyntheticTrace(t *testing.T, dir, name string, events []obs.Event) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := obs.NewJSONL(f)
+	for _, e := range events {
+		j.Record(e)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffHandlesOneSidedOpLatency pins the fix for lazily-created latency
+// histograms: an op recorded in only one trace must still produce a row,
+// with "-" standing in for the absent side, instead of being skipped.
+func TestDiffHandlesOneSidedOpLatency(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSyntheticTrace(t, dir, "a.jsonl", []obs.Event{
+		{Time: 10, Kind: obs.KindSpanEnd, Op: obs.OpRead, Aux1: 1500},
+	})
+	b := writeSyntheticTrace(t, dir, "b.jsonl", []obs.Event{
+		{Time: 10, Kind: obs.KindSpanEnd, Op: obs.OpRead, Aux1: 2500},
+		{Time: 20, Kind: obs.KindSpanEnd, Op: obs.OpDestroy, Aux1: 900},
+	})
+	out := captureStdout(t, func() {
+		if err := diff([]string{a, b}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Contains(out, []byte("op.read.latency")) {
+		t.Errorf("diff missing two-sided latency row:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("op.destroy.latency")) {
+		t.Errorf("diff missing one-sided latency row:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("mean - -> 900.0")) {
+		t.Errorf("diff did not render absent side as '-':\n%s", out)
+	}
+	// Reversed order: the absent histogram is on the b side.
+	out = captureStdout(t, func() {
+		if err := diff([]string{b, a}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Contains(out, []byte("mean 900.0 -> -")) {
+		t.Errorf("reversed diff did not render absent side as '-':\n%s", out)
+	}
+}
+
+func TestTimelineSingleTrace(t *testing.T) {
+	dir := t.TempDir()
+	// Three spans across two 1ms windows, with an idle window between them.
+	path := writeSyntheticTrace(t, dir, "tl.jsonl", []obs.Event{
+		{Time: 100, Kind: obs.KindSpanEnd, Op: obs.OpRead, Aux1: 1500},
+		{Time: 900, Kind: obs.KindSpanEnd, Op: obs.OpRead, Aux1: 2500},
+		{Time: 2500, Kind: obs.KindSpanEnd, Op: obs.OpInsert, Aux1: 400},
+	})
+	out := captureStdout(t, func() {
+		if err := timeline([]string{"-window", "1ms", path}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Contains(out, []byte("2 windows")) {
+		t.Errorf("timeline did not seal two windows:\n%s", out)
+	}
+	// Window 0 holds the two read spans; its p50 is the smaller one.
+	if !bytes.Contains(out, []byte("1500")) || !bytes.Contains(out, []byte("400")) {
+		t.Errorf("timeline missing per-window percentiles:\n%s", out)
+	}
+	if err := timeline([]string{}); err == nil {
+		t.Error("timeline with no files did not error")
+	}
+	if err := timeline([]string{filepath.Join(dir, "missing.jsonl")}); err == nil {
+		t.Error("timeline of missing file did not error")
+	}
+}
+
+func TestTimelineDiffAlignsWindows(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSyntheticTrace(t, dir, "a.jsonl", []obs.Event{
+		{Time: 100, Kind: obs.KindSpanEnd, Op: obs.OpRead, Aux1: 1000},
+		{Time: 2100, Kind: obs.KindSpanEnd, Op: obs.OpRead, Aux1: 3000},
+	})
+	// b is active only in window 0: windows 2 of the diff must be one-sided.
+	b := writeSyntheticTrace(t, dir, "b.jsonl", []obs.Event{
+		{Time: 200, Kind: obs.KindSpanEnd, Op: obs.OpRead, Aux1: 2000},
+	})
+	out := captureStdout(t, func() {
+		if err := timeline([]string{"-window", "1ms", a, b}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Contains(out, []byte("1000")) || !bytes.Contains(out, []byte("2000")) {
+		t.Errorf("timeline diff missing aligned window 0:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("3000")) || !bytes.Contains(out, []byte("-")) {
+		t.Errorf("timeline diff missing one-sided window 2:\n%s", out)
+	}
+}
+
+func TestAlignWindows(t *testing.T) {
+	a := []obs.WindowStats{{Index: 0}, {Index: 2}, {Index: 3}}
+	b := []obs.WindowStats{{Index: 1}, {Index: 2}}
+	pairs := alignWindows(a, b)
+	wantIdx := []int64{0, 1, 2, 3}
+	if len(pairs) != len(wantIdx) {
+		t.Fatalf("got %d pairs, want %d", len(pairs), len(wantIdx))
+	}
+	for i, p := range pairs {
+		if windowIndex(p[0], p[1]) != wantIdx[i] {
+			t.Fatalf("pair %d has index %d, want %d", i, windowIndex(p[0], p[1]), wantIdx[i])
+		}
+	}
+	if pairs[0][1] != nil || pairs[1][0] != nil || pairs[3][1] != nil {
+		t.Fatal("one-sided windows not nil on the absent side")
+	}
+	if pairs[2][0] == nil || pairs[2][1] == nil {
+		t.Fatal("shared window 2 not paired")
 	}
 }
 

@@ -187,6 +187,47 @@ func TestDeterminismFileExempt(t *testing.T) {
 	}
 }
 
+// TestDeterminismWallRestricted checks the telemetry-shaped testdata under
+// a plain simulation path, where every want comment must fire: the
+// wall-clock exemption is per-package, not per-shape.
+func TestDeterminismWallRestricted(t *testing.T) {
+	checkTestdata(t, Determinism, "lobstore/internal/sim", "determinismwall")
+}
+
+// TestDeterminismWallTelemetry re-checks the same file under the obs path:
+// wall-clock reads and sync are the telemetry layer's sanctioned tools, so
+// nothing may fire.
+func TestDeterminismWallTelemetry(t *testing.T) {
+	file := filepath.Join("testdata", "determinismwall", "determinismwall.go")
+	pkg, err := testLoader(t).CheckFiles("lobstore/internal/obs", filepath.Dir(file), []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkg, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Fatalf("determinism fired in the telemetry package: %v", diags)
+	}
+}
+
+// TestDeterminismRandPolicedInTelemetry re-checks the shared determinism
+// testdata under the obs path: the telemetry exemption suppresses only the
+// two wall-clock diagnostics, while both math/rand findings survive.
+func TestDeterminismRandPolicedInTelemetry(t *testing.T) {
+	file := filepath.Join("testdata", "determinism", "determinism.go")
+	pkg, err := testLoader(t).CheckFiles("lobstore/internal/obs", filepath.Dir(file), []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkg, []*Analyzer{Determinism})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics under the telemetry path, want 2 (rand only): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "rand") {
+			t.Errorf("surviving diagnostic is not a rand one: %s", d.Message)
+		}
+	}
+}
+
 func TestSuppressions(t *testing.T) {
 	file := filepath.Join("testdata", "suppress", "suppress.go")
 	pkg, err := testLoader(t).CheckFiles("lobvettest/suppresstest", filepath.Dir(file), []string{file})

@@ -7,8 +7,8 @@ import (
 
 // deterministicPkgs lists the packages whose output must be a pure
 // function of the experiment seed: the simulation substrate, the three
-// managers, and the workload/harness layers above them. obs is exempt —
-// its injected SetTimeFunc is the sanctioned time source.
+// managers, the workload/harness layers above them, and the observability
+// layer (which carries a telemetry carve-out, see telemetryPkgs).
 var deterministicPkgs = []string{
 	"lobstore/internal/sim",
 	"lobstore/internal/disk",
@@ -21,6 +21,7 @@ var deterministicPkgs = []string{
 	"lobstore/internal/harness",
 	"lobstore/internal/workload",
 	"lobstore/internal/lobtest",
+	"lobstore/internal/obs",
 }
 
 // exemptPkgs lists packages explicitly outside the determinism contract,
@@ -45,6 +46,18 @@ var schedulerPkgs = []string{
 	"lobstore/internal/harness",
 }
 
+// telemetryPkgs are the deterministic packages additionally allowed to read
+// the wall clock and use sync primitives: the observability layer measures
+// real elapsed time (wall-clock latency percentiles) next to simulated time,
+// and its sinks are shared across scheduler workers. The exemption is
+// deliberately narrow — telemetry observes the wall clock but never feeds it
+// back into simulated cost accounting, so experiment output stays a pure
+// function of the seed. Goroutine spawns and global math/rand remain
+// forbidden here like in every other simulation package.
+var telemetryPkgs = []string{
+	"lobstore/internal/obs",
+}
+
 // Determinism forbids nondeterministic inputs inside the simulation
 // packages: wall-clock reads (time.Now/Since/Until), the global math/rand
 // top-level functions (process-wide shared state, seeded per process),
@@ -53,9 +66,10 @@ var schedulerPkgs = []string{
 // must reproduce identical sim.Stats, byte for byte.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc: "forbid time.Now, global math/rand and (outside the scheduler) " +
-		"goroutines and sync in simulation packages: experiment output " +
-		"must be a pure function of the seed",
+	Doc: "forbid time.Now (outside the telemetry layer), global math/rand " +
+		"and (outside the scheduler and telemetry) goroutines and sync in " +
+		"simulation packages: experiment output must be a pure function " +
+		"of the seed",
 	Run: runDeterminism,
 }
 
@@ -82,8 +96,15 @@ func runDeterminism(pass *Pass) {
 			break
 		}
 	}
+	telemetry := false
+	for _, p := range telemetryPkgs {
+		if pass.PkgPath == p {
+			telemetry = true
+			break
+		}
+	}
 	for _, f := range pass.Files {
-		if !scheduler {
+		if !scheduler && !telemetry {
 			for _, imp := range f.Imports {
 				switch importPath(imp) {
 				case "sync", "sync/atomic":
@@ -112,8 +133,14 @@ func runDeterminism(pass *Pass) {
 			case "time":
 				switch fn.Name() {
 				case "Now", "Since", "Until":
+					// The telemetry layer is the one sanctioned home for
+					// wall-clock reads (obs.WallNow); everyone else routes
+					// through it or the simulated clock.
+					if telemetry {
+						break
+					}
 					pass.Reportf(call.Pos(),
-						"wall-clock read time.%s in a simulation package: use the simulated clock (sim.Clock / obs.SetTimeFunc)",
+						"wall-clock read time.%s in a simulation package: use the simulated clock (sim.Clock / obs.SetTimeFunc) or, for telemetry, obs.WallNow",
 						fn.Name())
 				}
 			case "math/rand", "math/rand/v2":

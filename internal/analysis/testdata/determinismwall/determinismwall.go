@@ -1,0 +1,23 @@
+// Testdata for the determinism analyzer's telemetry exemption. The test
+// checks this file twice: under a plain simulation path
+// (lobstore/internal/sim), where every want comment applies, and under the
+// telemetry path (lobstore/internal/obs), where wall-clock reads and sync
+// are sanctioned and nothing may fire. The file deliberately contains no
+// math/rand use: global rand stays forbidden even in the telemetry layer,
+// which the analyzer test pins against the shared determinism testdata.
+package walltest
+
+import (
+	"sync" // want `import of sync in a simulation package`
+	"time"
+)
+
+var epoch = time.Now() // want `wall-clock read time\.Now in a simulation package`
+
+var mu sync.Mutex
+
+func sinceEpoch() int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return int64(time.Since(epoch) / time.Microsecond) // want `wall-clock read time\.Since in a simulation package`
+}

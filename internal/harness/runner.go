@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"lobstore"
+	"lobstore/internal/obs"
 	"lobstore/internal/workload"
 )
 
@@ -76,18 +77,42 @@ type Runner struct {
 	// it attaches must be goroutine-safe (the obs event layer is).
 	Observe func(*lobstore.DB)
 
-	logMu sync.Mutex
+	// logMu is a pointer because cells with telemetry run on shallow copies
+	// of the runner (see cell); all copies must share one log lock.
+	logMu *sync.Mutex
 	cells *cellCache
+	// tel, when non-nil, collects per-cell telemetry. cellTel is set only on
+	// the per-cell derived runner, pointing at the running cell's slot.
+	tel     *Telemetry
+	cellTel *CellTelemetry
 }
 
 // NewRunner creates a runner over cfg.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{Cfg: cfg, cells: newCellCache()}
+	return &Runner{Cfg: cfg, logMu: &sync.Mutex{}, cells: newCellCache()}
 }
 
-// cell computes c through the runner's single-flight cache.
+// cell computes c through the runner's single-flight cache. With telemetry
+// enabled the computation runs on a shallow copy of the runner carrying the
+// cell's telemetry slot, so open can attach per-cell sinks, and the whole
+// computation is timed on the wall clock.
 func (r *Runner) cell(c Cell) (any, error) {
-	return r.cells.do(c.Key, func() (any, error) { return c.Run(r) })
+	return r.cells.do(c.Key, func() (any, error) {
+		if r.tel == nil {
+			return c.Run(r)
+		}
+		ct := r.tel.cellTelemetry(c.Key)
+		derived := *r
+		derived.cellTel = ct
+		start := obs.WallNow()
+		v, err := c.Run(&derived)
+		ct.setWall(obs.WallNow() - start)
+		if ct.Series != nil {
+			//lobvet:ignore errdiscard sealing the trailing window; the in-memory recorder's Close never fails
+			_ = ct.Series.Close()
+		}
+		return v, err
+	})
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -100,7 +125,8 @@ func (r *Runner) logf(format string, args ...any) {
 }
 
 // open creates a database and runs the Observe hook, so attached sinks see
-// every database an experiment touches.
+// every database an experiment touches. With telemetry enabled the running
+// cell's metrics registry (and flight recorder, if any) are attached too.
 func (r *Runner) open(cfg lobstore.Config) (*lobstore.DB, error) {
 	db, err := lobstore.Open(cfg)
 	if err != nil {
@@ -108,6 +134,12 @@ func (r *Runner) open(cfg lobstore.Config) (*lobstore.DB, error) {
 	}
 	if r.Observe != nil {
 		r.Observe(db)
+	}
+	if r.cellTel != nil {
+		db.EnableMetrics(r.cellTel.Metrics)
+		if r.cellTel.Series != nil {
+			db.AttachTimeSeries(r.cellTel.Series)
+		}
 	}
 	return db, nil
 }

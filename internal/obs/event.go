@@ -16,8 +16,11 @@
 //
 //   - Ring       — fixed-capacity in-memory ring buffer (debugging, tests)
 //   - JSONL      — one JSON object per event on an io.Writer (lobtrace)
-//   - Metrics    — aggregating registry of counters and fixed-bucket
-//     histograms, exportable as text and CSV
+//   - Metrics    — aggregating registry of counters, fixed-bucket
+//     histograms and per-op HDR latency percentiles (simulated and
+//     wall-clock µs), exportable as text, CSV, JSON and Prometheus text
+//   - TimeSeries — flight recorder sealing periodic windows of counters
+//     and latency percentiles over simulated time
 //
 // When no sink is attached the tracer is disabled: every instrumentation
 // site is guarded by Enabled(), which is a nil-safe boolean check, and the
@@ -108,27 +111,27 @@ const (
 )
 
 var kindNames = [numKinds]string{
-	KindSpanBegin:    "span.begin",
-	KindSpanEnd:      "span.end",
-	KindIORead:       "io.read",
-	KindIOWrite:      "io.write",
-	KindIOError:      "io.error",
-	KindBufHit:       "buf.hit",
-	KindBufMiss:      "buf.miss",
-	KindBufEvict:     "buf.evict",
-	KindBufFlush:     "buf.flush",
-	KindBufFetchRun:  "buf.fetchrun",
-	KindBufWriteRun:  "buf.writerun",
-	KindBufPrefetch:  "buf.prefetch",
+	KindSpanBegin:      "span.begin",
+	KindSpanEnd:        "span.end",
+	KindIORead:         "io.read",
+	KindIOWrite:        "io.write",
+	KindIOError:        "io.error",
+	KindBufHit:         "buf.hit",
+	KindBufMiss:        "buf.miss",
+	KindBufEvict:       "buf.evict",
+	KindBufFlush:       "buf.flush",
+	KindBufFetchRun:    "buf.fetchrun",
+	KindBufWriteRun:    "buf.writerun",
+	KindBufPrefetch:    "buf.prefetch",
 	KindBufPrefetchHit: "buf.prefetch.hit",
-	KindAlloc:        "buddy.alloc",
-	KindFree:         "buddy.free",
-	KindSplit:        "buddy.split",
-	KindCoalesce:     "buddy.coalesce",
-	KindDescend:      "tree.descend",
-	KindLeafSplit:    "leaf.split",
-	KindLeafMerge:    "leaf.merge",
-	KindExtentDouble: "extent.double",
+	KindAlloc:          "buddy.alloc",
+	KindFree:           "buddy.free",
+	KindSplit:          "buddy.split",
+	KindCoalesce:       "buddy.coalesce",
+	KindDescend:        "tree.descend",
+	KindLeafSplit:      "leaf.split",
+	KindLeafMerge:      "leaf.merge",
+	KindExtentDouble:   "extent.double",
 }
 
 func (k Kind) String() string {
@@ -168,12 +171,18 @@ func ParseKind(s string) (Kind, bool) {
 //	leaf.merge        —
 //	extent.double     Aux1 = next extent size in pages
 //	span.begin        Op/Span of the new span
-//	span.end          Aux1 = span duration in simulated µs; Err if failed
+//	span.end          Aux1 = span duration in simulated µs, Wall = span
+//	                  duration in wall-clock µs; Err if failed
+//
+// Wall is populated only on span.end and only by live sinks' consumers
+// (Metrics, TimeSeries); the JSONL sink deliberately omits it so traces of
+// identical runs stay byte-identical regardless of host speed.
 type Event struct {
 	Time  int64 // simulated clock, microseconds
 	Span  uint64
 	Aux1  int64
 	Aux2  int64
+	Wall  int64 // wall-clock span duration, microseconds (span.end only)
 	Page  uint32
 	Pages int32
 	Kind  Kind

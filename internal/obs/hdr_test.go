@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// hdrSamples draws a latency-shaped sample set: a log-uniform body with a
+// heavy tail, the distribution percentile telemetry has to get right.
+func hdrSamples(rng *rand.Rand, n int) []int64 {
+	vs := make([]int64, n)
+	for i := range vs {
+		// log-uniform over [1, 2^30) µs ≈ 1 µs .. 18 min
+		e := rng.Float64() * 30
+		vs[i] = int64(math.Pow(2, e))
+	}
+	return vs
+}
+
+// exactQuantile computes the reference quantile the HDR estimate is judged
+// against: the ceil(p·n)-th smallest sample.
+func exactQuantile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	k := int(math.Ceil(p * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[k-1]
+}
+
+func TestHDRIndexRoundTrip(t *testing.T) {
+	// Every bucket's low bound must map back to that bucket, and bucket
+	// boundaries must be monotone.
+	for i := 0; i < 4096; i++ {
+		low := hdrLow(i)
+		if got := hdrIndex(low); got != i {
+			t.Fatalf("hdrIndex(hdrLow(%d)=%d) = %d", i, low, got)
+		}
+		if i > 0 && hdrLow(i) <= hdrLow(i-1) {
+			t.Fatalf("bucket bounds not increasing at %d: %d <= %d", i, hdrLow(i), hdrLow(i-1))
+		}
+	}
+	// Spot-check known edges of the log-linear geometry.
+	for _, tc := range []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {255, 255}, {256, 256}, {511, 383}, {512, 384}, {1 << 20, hdrUnit + 12*hdrSub},
+	} {
+		if got := hdrIndex(tc.v); got != tc.want {
+			t.Errorf("hdrIndex(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	if got := hdrIndex(-5); got != 0 {
+		t.Errorf("negative samples should clamp to bucket 0, got %d", got)
+	}
+}
+
+func TestHDRQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		vs := hdrSamples(rng, 2000)
+		h := NewHDR()
+		for _, v := range vs {
+			h.Observe(v)
+		}
+		sorted := append([]int64(nil), vs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		if h.N() != int64(len(vs)) {
+			t.Fatalf("N = %d, want %d", h.N(), len(vs))
+		}
+		if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+			t.Fatalf("min/max = %d/%d, want %d/%d", h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+		}
+		for _, p := range []float64{0, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+			got := h.Quantile(p)
+			want := exactQuantile(sorted, p)
+			if p == 0 {
+				want = sorted[0]
+			}
+			if p == 1 {
+				want = sorted[len(sorted)-1]
+			}
+			// Log-linear geometry guarantees ≤ 1/128 relative error; allow
+			// 1% plus one count for the exact integer region.
+			tol := math.Max(1, 0.01*float64(want))
+			if math.Abs(float64(got-want)) > tol {
+				t.Errorf("trial %d: Quantile(%g) = %d, want %d ± %g", trial, p, got, want, tol)
+			}
+		}
+	}
+}
+
+func TestHDRQuantileEmptyAndSingle(t *testing.T) {
+	h := NewHDR()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(777)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(p); got != 777 {
+			t.Fatalf("single-sample Quantile(%g) = %d, want 777", p, got)
+		}
+	}
+}
+
+func TestHDRMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([][]int64, 5)
+	for i := range parts {
+		parts[i] = hdrSamples(rng, 300+100*i)
+	}
+	build := func(order []int) *HDR {
+		total := NewHDR()
+		for _, pi := range order {
+			part := NewHDR()
+			for _, v := range parts[pi] {
+				part.Observe(v)
+			}
+			total.Merge(part)
+		}
+		return total
+	}
+	// One histogram fed everything is the reference.
+	ref := NewHDR()
+	for _, part := range parts {
+		for _, v := range part {
+			ref.Observe(v)
+		}
+	}
+	for _, order := range [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}} {
+		got := build(order)
+		if got.N() != ref.N() || got.Sum() != ref.Sum() || got.Min() != ref.Min() || got.Max() != ref.Max() {
+			t.Fatalf("order %v: totals diverge", order)
+		}
+		for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+			if got.Quantile(p) != ref.Quantile(p) {
+				t.Fatalf("order %v: Quantile(%g) = %d, ref %d", order, p, got.Quantile(p), ref.Quantile(p))
+			}
+		}
+	}
+	// Nested merges equal flat merges (associativity).
+	ab := build([]int{0, 1})
+	cde := build([]int{2, 3, 4})
+	ab.Merge(cde)
+	if ab.N() != ref.N() || ab.Quantile(0.99) != ref.Quantile(0.99) {
+		t.Fatal("nested merge diverges from flat merge")
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := ref.Clone()
+	ref.Merge(NewHDR())
+	ref.Merge(nil)
+	if ref.N() != before.N() || ref.Quantile(0.5) != before.Quantile(0.5) {
+		t.Fatal("merging empty/nil changed state")
+	}
+}
+
+func TestHDRClone(t *testing.T) {
+	h := NewHDR()
+	for _, v := range []int64{10, 20, 30} {
+		h.Observe(v)
+	}
+	c := h.Clone()
+	c.Observe(1 << 20)
+	if h.N() != 3 || h.Max() != 30 {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestHDRSummary(t *testing.T) {
+	h := NewHDR()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.Summary()
+	if s.N != 100 || s.P50Us != 50 || s.P99Us != 99 || s.MaxUs != 100 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if s.MeanUs != 50.5 {
+		t.Fatalf("MeanUs = %v, want 50.5", s.MeanUs)
+	}
+}

@@ -62,18 +62,23 @@ func (h *Histogram) bucketLabel(i int) string {
 
 // Default bucket edges.
 var (
-	ioSizeBounds  = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
-	seekBounds    = []int64{0, 1, 8, 64, 512, 4096, 32768}
-	latencyBounds = []int64{1, 5, 10, 50, 100, 500, 1000, 5000, 20000} // ms
-	depthBounds   = []int64{1, 2, 3, 4, 6, 8}
+	ioSizeBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	seekBounds   = []int64{0, 1, 8, 64, 512, 4096, 32768}
+	// latencyBounds is in µs: span durations are recorded at full µs
+	// resolution (an earlier version floored them to whole ms, losing every
+	// sub-millisecond span to bucket 0).
+	latencyBounds = []int64{100, 500, 1000, 5000, 10_000, 50_000, 100_000,
+		500_000, 1_000_000, 5_000_000, 20_000_000} // µs
+	depthBounds = []int64{1, 2, 3, 4, 6, 8}
 )
 
 // Metrics is an aggregating sink: counters plus fixed-bucket histograms of
 // I/O call size, seek distance, tree descent depth and per-operation
-// simulated latency. One registry may be shared by several databases (the
-// harness shares one across an experiment's runs). Recording and the
-// read/report methods are safe for concurrent use; the exported histogram
-// fields must only be read directly once recording has quiesced.
+// simulated latency, and per-operation HDR histograms of both simulated and
+// wall-clock span latency in µs. One registry may be shared by several
+// databases (the harness shares one across an experiment's runs). Recording
+// and the read/report methods are safe for concurrent use; the exported
+// histogram fields must only be read directly once recording has quiesced.
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]int64
@@ -83,7 +88,13 @@ type Metrics struct {
 	Depth    *Histogram // index pages touched per tree descent
 	WriteRun *Histogram // pages per coalesced write-back call
 	OpLat    [numOps]*Histogram
-	created  [numOps]bool
+	// OpSim/OpWall track span latency percentiles per operation: simulated
+	// µs (Event.Aux1) and wall-clock µs (Event.Wall). Created together with
+	// the matching OpLat entry; wall histograms only fill when the span
+	// carried a positive wall duration (sub-µs spans are not recorded).
+	OpSim   [numOps]*HDR
+	OpWall  [numOps]*HDR
+	created [numOps]bool
 }
 
 // NewMetrics returns an empty registry.
@@ -121,10 +132,12 @@ func (m *Metrics) CounterNames() []string {
 	return m.sortedCounters()
 }
 
-// opLatency lazily creates the per-operation latency histogram.
+// opLatency lazily creates the per-operation latency histograms.
 func (m *Metrics) opLatency(op Op) *Histogram {
 	if !m.created[op] {
-		m.OpLat[op] = NewHistogram("op."+op.String()+".latency", "ms", latencyBounds)
+		m.OpLat[op] = NewHistogram("op."+op.String()+".latency", "µs", latencyBounds)
+		m.OpSim[op] = NewHDR()
+		m.OpWall[op] = NewHDR()
 		m.created[op] = true
 	}
 	return m.OpLat[op]
@@ -138,7 +151,11 @@ func (m *Metrics) Record(e Event) {
 	case KindSpanBegin:
 		m.add("op."+e.Op.String()+".count", 1)
 	case KindSpanEnd:
-		m.opLatency(e.Op).Observe(e.Aux1 / 1000) // µs → ms
+		m.opLatency(e.Op).Observe(e.Aux1) // full µs resolution
+		m.OpSim[e.Op].Observe(e.Aux1)
+		if e.Wall > 0 {
+			m.OpWall[e.Op].Observe(e.Wall)
+		}
 		if e.Err != "" {
 			m.add("op."+e.Op.String()+".errors", 1)
 		}
@@ -235,6 +252,39 @@ func (m *Metrics) sortedCounters() []string {
 	return names
 }
 
+// Ops returns every operation that opens spans, in enum order. External
+// packages iterate with it instead of reaching for the unexported bound.
+func Ops() []Op {
+	ops := make([]Op, 0, numOps-1)
+	for op := Op(1); op < numOps; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// SimLatency returns a snapshot of the simulated-latency HDR for op, or nil
+// when the operation never completed a span. The copy is safe to read and
+// merge while recording continues.
+func (m *Metrics) SimLatency(op Op) *HDR {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(op) >= int(numOps) || !m.created[op] {
+		return nil
+	}
+	return m.OpSim[op].Clone()
+}
+
+// WallLatency returns a snapshot of the wall-clock-latency HDR for op, or
+// nil when the operation never completed a span.
+func (m *Metrics) WallLatency(op Op) *HDR {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(op) >= int(numOps) || !m.created[op] {
+		return nil
+	}
+	return m.OpWall[op].Clone()
+}
+
 func (m *Metrics) histograms() []*Histogram {
 	hs := []*Histogram{m.IOSize, m.Seek, m.Depth, m.WriteRun}
 	for op := Op(0); op < numOps; op++ {
@@ -279,6 +329,23 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			}
 		}
 	}
+	for op := Op(0); op < numOps; op++ {
+		if !m.created[op] || m.OpSim[op].N() == 0 {
+			continue
+		}
+		s := m.OpSim[op].Summary()
+		if _, err := fmt.Fprintf(w, "latency op.%s sim[µs]: n=%d p50=%d p90=%d p95=%d p99=%d p999=%d max=%d\n",
+			op.String(), s.N, s.P50Us, s.P90Us, s.P95Us, s.P99Us, s.P999Us, s.MaxUs); err != nil {
+			return err
+		}
+		if m.OpWall[op].N() > 0 {
+			ws := m.OpWall[op].Summary()
+			if _, err := fmt.Fprintf(w, "latency op.%s wall[µs]: n=%d p50=%d p90=%d p95=%d p99=%d p999=%d max=%d\n",
+				op.String(), ws.N, ws.P50Us, ws.P90Us, ws.P95Us, ws.P99Us, ws.P999Us, ws.MaxUs); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -309,6 +376,34 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 		}
 		if err := cw.Write([]string{"hist", h.Name, "count", strconv.FormatInt(h.N, 10)}); err != nil {
 			return err
+		}
+	}
+	for op := Op(0); op < numOps; op++ {
+		if !m.created[op] || m.OpSim[op].N() == 0 {
+			continue
+		}
+		clocks := []struct {
+			name string
+			h    *HDR
+		}{{"sim", m.OpSim[op]}, {"wall", m.OpWall[op]}}
+		for _, c := range clocks {
+			if c.h.N() == 0 {
+				continue
+			}
+			s := c.h.Summary()
+			rows := []struct {
+				q string
+				v int64
+			}{
+				{"n", s.N}, {"p50", s.P50Us}, {"p90", s.P90Us}, {"p95", s.P95Us},
+				{"p99", s.P99Us}, {"p999", s.P999Us}, {"max", s.MaxUs},
+			}
+			name := "op." + op.String() + "." + c.name
+			for _, r := range rows {
+				if err := cw.Write([]string{"latency", name, r.q, strconv.FormatInt(r.v, 10)}); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	cw.Flush()

@@ -203,7 +203,7 @@ func TestMetricsAggregation(t *testing.T) {
 		{Kind: KindBufHit},
 		{Kind: KindBufHit},
 		{Kind: KindBufMiss},
-		{Kind: KindSpanEnd, Op: OpRead, Aux1: 66_000}, // 66 ms
+		{Kind: KindSpanEnd, Op: OpRead, Aux1: 66_000, Wall: 120}, // 66 ms simulated, 120 µs wall
 		{Kind: KindSpanBegin, Op: OpInsert},
 		{Kind: KindIOWrite, Pages: 8, Aux1: 100},
 		{Kind: KindAlloc, Pages: 8},
@@ -242,8 +242,17 @@ func TestMetricsAggregation(t *testing.T) {
 	if m.IOSize.N != 3 || m.IOSize.Sum != 14 || m.IOSize.Max != 8 {
 		t.Errorf("IOSize = n=%d sum=%d max=%d", m.IOSize.N, m.IOSize.Sum, m.IOSize.Max)
 	}
-	if m.OpLat[OpRead] == nil || m.OpLat[OpRead].Sum != 66 {
-		t.Errorf("read latency histogram = %+v", m.OpLat[OpRead])
+	if m.OpLat[OpRead] == nil || m.OpLat[OpRead].Sum != 66_000 {
+		t.Errorf("read latency histogram kept µs? %+v", m.OpLat[OpRead])
+	}
+	if sim := m.SimLatency(OpRead); sim == nil || sim.N() != 1 || sim.Quantile(0.99) != 66_000 {
+		t.Errorf("sim latency HDR = %+v", sim)
+	}
+	if wall := m.WallLatency(OpRead); wall == nil || wall.N() != 1 || wall.Max() != 120 {
+		t.Errorf("wall latency HDR = %+v", wall)
+	}
+	if m.SimLatency(OpDestroy) != nil {
+		t.Error("SimLatency invented a histogram for an unused op")
 	}
 
 	var text bytes.Buffer

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// OpWindow is one operation's activity within a flight-recorder window.
+type OpWindow struct {
+	Op     string          `json:"op"`
+	Count  int64           `json:"count"`
+	Errors int64           `json:"errors,omitempty"`
+	Sim    LatencySummary  `json:"sim"`
+	Wall   *LatencySummary `json:"wall,omitempty"`
+}
+
+// WindowStats is one sealed flight-recorder window: counter totals and
+// latency percentiles for the events whose simulated timestamps fell inside
+// [StartUs, EndUs). Windows with no events are never materialized, so Index
+// may skip values when the simulation is idle.
+type WindowStats struct {
+	Index    int64            `json:"index"` // StartUs / window width
+	StartUs  int64            `json:"start_us"`
+	EndUs    int64            `json:"end_us"`
+	Events   int64            `json:"events"`
+	HitRate  float64          `json:"hit_rate"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Ops      []OpWindow       `json:"ops,omitempty"`
+	// SimAll/WallAll merge every operation's latency HDR for the window,
+	// giving whole-window percentiles that per-op summaries cannot be
+	// recombined into.
+	SimAll  *LatencySummary `json:"sim_all,omitempty"`
+	WallAll *LatencySummary `json:"wall_all,omitempty"`
+}
+
+// TimeSeries is a flight-recorder sink: it buckets incoming events into
+// fixed-width windows of *simulated* time and seals each window into an
+// immutable WindowStats snapshot (counter deltas plus fresh per-window HDR
+// percentiles — deltas by construction, no cumulative subtraction). A
+// bounded ring keeps the most recent windows; older ones are dropped and
+// counted. Safe for concurrent use.
+//
+// Like every sink, a TimeSeries only observes simulated time — it never
+// advances it — so attaching one cannot perturb experiment output.
+type TimeSeries struct {
+	mu         sync.Mutex
+	windowUs   int64
+	maxWindows int
+	started    bool
+	curStart   int64
+	curEvents  int64
+	cur        *Metrics
+	windows    []WindowStats
+	dropped    int64
+	closed     bool
+}
+
+// NewTimeSeries creates a flight recorder with the given window width in
+// simulated µs (values < 1 clamp to 1) keeping at most maxWindows sealed
+// windows (values < 1 clamp to 1).
+func NewTimeSeries(windowUs int64, maxWindows int) *TimeSeries {
+	if windowUs < 1 {
+		windowUs = 1
+	}
+	if maxWindows < 1 {
+		maxWindows = 1
+	}
+	return &TimeSeries{windowUs: windowUs, maxWindows: maxWindows}
+}
+
+// WindowUs returns the configured window width in simulated µs.
+func (ts *TimeSeries) WindowUs() int64 { return ts.windowUs }
+
+// Record implements Sink.
+func (ts *TimeSeries) Record(e Event) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.closed {
+		return
+	}
+	start := e.Time - e.Time%ts.windowUs
+	if e.Time < 0 { // defensive: clamp pathological timestamps
+		start = 0
+	}
+	if !ts.started {
+		ts.started = true
+		ts.curStart = start
+		ts.cur = NewMetrics()
+	} else if start > ts.curStart {
+		ts.sealLocked()
+		ts.curStart = start
+	}
+	// Late events (start < curStart) can only come from unsynchronized
+	// clocks across databases sharing a sink; fold them into the current
+	// window rather than corrupting sealed history.
+	ts.cur.Record(e)
+	ts.curEvents++
+}
+
+// sealLocked snapshots the accumulating window into the ring and resets the
+// accumulator. Called with ts.mu held.
+func (ts *TimeSeries) sealLocked() {
+	if ts.curEvents == 0 {
+		ts.cur = NewMetrics()
+		return
+	}
+	w := ts.cur.windowSnapshot()
+	w.Index = ts.curStart / ts.windowUs
+	w.StartUs = ts.curStart
+	w.EndUs = ts.curStart + ts.windowUs
+	w.Events = ts.curEvents
+	ts.windows = append(ts.windows, w)
+	if len(ts.windows) > ts.maxWindows {
+		over := len(ts.windows) - ts.maxWindows
+		ts.windows = append(ts.windows[:0], ts.windows[over:]...)
+		ts.dropped += int64(over)
+	}
+	ts.cur = NewMetrics()
+	ts.curEvents = 0
+}
+
+// Close implements Sink: it seals the in-progress window. Further events
+// are ignored.
+func (ts *TimeSeries) Close() error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.closed {
+		return nil
+	}
+	if ts.started {
+		ts.sealLocked()
+	}
+	ts.closed = true
+	return nil
+}
+
+// Windows returns the sealed windows, oldest first. The slice is a copy;
+// the WindowStats inside are immutable by convention (counter maps must not
+// be mutated).
+func (ts *TimeSeries) Windows() []WindowStats {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]WindowStats(nil), ts.windows...)
+}
+
+// Dropped returns how many sealed windows the bounded ring has discarded.
+func (ts *TimeSeries) Dropped() int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.dropped
+}
+
+// timeSeriesJSON is the WriteJSON envelope.
+type timeSeriesJSON struct {
+	WindowUs int64         `json:"window_us"`
+	Dropped  int64         `json:"dropped,omitempty"`
+	Windows  []WindowStats `json:"windows"`
+}
+
+// WriteJSON renders the sealed windows as one indented JSON document.
+func (ts *TimeSeries) WriteJSON(w io.Writer) error {
+	doc := timeSeriesJSON{WindowUs: ts.windowUs, Dropped: ts.Dropped(), Windows: ts.Windows()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// windowSnapshot renders the registry's state as one WindowStats (index and
+// bounds left for the caller). Used by TimeSeries when sealing a window.
+func (m *Metrics) windowSnapshot() WindowStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := WindowStats{HitRate: m.hitRate()}
+	if len(m.counters) > 0 {
+		w.Counters = make(map[string]int64, len(m.counters))
+		for k, v := range m.counters {
+			w.Counters[k] = v
+		}
+	}
+	simAll, wallAll := NewHDR(), NewHDR()
+	for op := Op(0); op < numOps; op++ {
+		if !m.created[op] || m.OpSim[op].N() == 0 {
+			continue
+		}
+		ow := OpWindow{
+			Op:     op.String(),
+			Count:  m.OpSim[op].N(),
+			Errors: m.counters["op."+op.String()+".errors"],
+			Sim:    m.OpSim[op].Summary(),
+		}
+		simAll.Merge(m.OpSim[op])
+		if m.OpWall[op].N() > 0 {
+			ws := m.OpWall[op].Summary()
+			ow.Wall = &ws
+			wallAll.Merge(m.OpWall[op])
+		}
+		w.Ops = append(w.Ops, ow)
+	}
+	if simAll.N() > 0 {
+		s := simAll.Summary()
+		w.SimAll = &s
+	}
+	if wallAll.N() > 0 {
+		s := wallAll.Summary()
+		w.WallAll = &s
+	}
+	return w
+}

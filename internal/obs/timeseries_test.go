@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// feedSpan emits a begin/end pair for op at simulated time t with the given
+// simulated and wall durations.
+func feedSpan(ts *TimeSeries, t int64, op Op, simUs, wallUs int64) {
+	ts.Record(Event{Time: t, Kind: KindSpanBegin, Op: op})
+	ts.Record(Event{Time: t + simUs, Kind: KindSpanEnd, Op: op, Aux1: simUs, Wall: wallUs})
+}
+
+func TestTimeSeriesWindows(t *testing.T) {
+	ts := NewTimeSeries(1000, 16) // 1 ms windows
+	feedSpan(ts, 0, OpRead, 100, 7)
+	feedSpan(ts, 200, OpRead, 300, 9)
+	ts.Record(Event{Time: 400, Kind: KindIORead, Pages: 4, Aux1: 10})
+	// Jump two windows ahead: the idle window in between must not appear.
+	feedSpan(ts, 3100, OpInsert, 500, 21)
+	if err := ts.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	ws := ts.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(ws), ws)
+	}
+	w0, w1 := ws[0], ws[1]
+	if w0.Index != 0 || w0.StartUs != 0 || w0.EndUs != 1000 {
+		t.Fatalf("window 0 bounds: %+v", w0)
+	}
+	if w1.Index != 3 || w1.StartUs != 3000 {
+		t.Fatalf("idle windows should be skipped, got index %d", w1.Index)
+	}
+	if w0.Events != 5 || w0.Counters["io.read.calls"] != 1 {
+		t.Fatalf("window 0 contents: %+v", w0)
+	}
+	if len(w0.Ops) != 1 || w0.Ops[0].Op != "read" || w0.Ops[0].Count != 2 {
+		t.Fatalf("window 0 ops: %+v", w0.Ops)
+	}
+	if w0.Ops[0].Wall == nil || w0.Ops[0].Wall.MaxUs != 9 {
+		t.Fatalf("window 0 wall summary: %+v", w0.Ops[0].Wall)
+	}
+	if w0.SimAll == nil || w0.SimAll.N != 2 || w0.SimAll.MaxUs != 300 {
+		t.Fatalf("window 0 sim_all: %+v", w0.SimAll)
+	}
+	if len(w1.Ops) != 1 || w1.Ops[0].Op != "insert" {
+		t.Fatalf("window 1 ops: %+v", w1.Ops)
+	}
+	// Windows are deltas: window 1 must not see window 0's reads.
+	if w1.Counters["io.read.calls"] != 0 {
+		t.Fatal("windows are not deltas")
+	}
+	// Closed recorder ignores further events.
+	feedSpan(ts, 9000, OpRead, 1, 1)
+	if len(ts.Windows()) != 2 {
+		t.Fatal("Record after Close sealed a new window")
+	}
+}
+
+func TestTimeSeriesRingBound(t *testing.T) {
+	ts := NewTimeSeries(100, 3)
+	for i := int64(0); i < 8; i++ {
+		feedSpan(ts, i*100, OpRead, 10, 1)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	ws := ts.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("ring kept %d windows, want 3", len(ws))
+	}
+	if ts.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 5", ts.Dropped())
+	}
+	if ws[0].Index != 5 || ws[2].Index != 7 {
+		t.Fatalf("ring kept wrong windows: %d..%d", ws[0].Index, ws[2].Index)
+	}
+}
+
+func TestTimeSeriesWriteJSON(t *testing.T) {
+	ts := NewTimeSeries(1000, 8)
+	feedSpan(ts, 0, OpRead, 50, 3)
+	if err := ts.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		WindowUs int64         `json:"window_us"`
+		Windows  []WindowStats `json:"windows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if doc.WindowUs != 1000 || len(doc.Windows) != 1 || doc.Windows[0].Ops[0].Op != "read" {
+		t.Fatalf("decoded doc: %+v", doc)
+	}
+}
+
+func TestTimeSeriesAsTracerSink(t *testing.T) {
+	// The recorder must compose with the tracer like any other sink and
+	// observe simulated time only.
+	tr := NewTracer()
+	ts := NewTimeSeries(1000, 8)
+	tr.Attach(ts)
+	clock := int64(0)
+	tr.SetTimeFunc(func() int64 { return clock })
+	id := tr.Begin(OpAppend)
+	clock = 2500
+	tr.End(id, nil)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	ws := ts.Windows()
+	// begin lands in window 0, end in window 2.
+	if len(ws) != 2 || ws[0].Index != 0 || ws[1].Index != 2 {
+		t.Fatalf("windows: %+v", ws)
+	}
+	if ws[1].Ops[0].Sim.MaxUs != 2500 {
+		t.Fatalf("span duration not recorded: %+v", ws[1].Ops[0])
+	}
+}

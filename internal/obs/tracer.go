@@ -12,7 +12,8 @@ type SpanID uint64
 type spanFrame struct {
 	id    SpanID
 	op    Op
-	start int64
+	start int64 // simulated clock at Begin
+	wall  int64 // WallNow() at Begin
 }
 
 // Tracer fans events out to its sinks. A tracer with no sinks is disabled:
@@ -109,13 +110,14 @@ func (t *Tracer) Begin(op Op) SpanID {
 	}
 	t.nextSpan++
 	id := SpanID(t.nextSpan)
-	t.stack = append(t.stack, spanFrame{id: id, op: op, start: t.now()})
+	t.stack = append(t.stack, spanFrame{id: id, op: op, start: t.now(), wall: WallNow()})
 	t.emitLocked(Event{Kind: KindSpanBegin})
 	return id
 }
 
 // End closes the span opened by Begin, emitting a span.end event carrying
-// the span's simulated duration and, when err != nil, its error text.
+// the span's simulated duration (Aux1), its wall-clock duration (Wall) and,
+// when err != nil, its error text.
 // End(0, …) is a no-op, so Begin/End pairs need no disabled-path branching.
 func (t *Tracer) End(id SpanID, err error) {
 	if t == nil || id == 0 {
@@ -129,7 +131,7 @@ func (t *Tracer) End(id SpanID, err error) {
 		if top.id < id {
 			break
 		}
-		e := Event{Kind: KindSpanEnd, Aux1: t.now() - top.start}
+		e := Event{Kind: KindSpanEnd, Aux1: t.now() - top.start, Wall: WallNow() - top.wall}
 		if err != nil && top.id == id {
 			e.Err = err.Error()
 		}

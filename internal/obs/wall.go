@@ -1,0 +1,21 @@
+package obs
+
+import "time"
+
+// wallEpoch anchors wall-clock readings to process start so that WallNow
+// values stay small and monotonic-ish for the life of a run.
+var wallEpoch = time.Now()
+
+// WallNow returns microseconds of wall-clock time since process start.
+//
+// This is the single sanctioned wall-clock read inside the simulator's
+// library packages: the determinism analyzer (cmd/lobvet) forbids time.Now
+// and friends everywhere except internal/obs, so layers that want to measure
+// real elapsed time (the harness, span timing) must go through this helper.
+// Wall time is only ever *observed* — it never feeds back into simulated
+// time, allocation decisions or any other state that affects experiment
+// output, which is what keeps paper tables byte-identical with telemetry
+// enabled.
+func WallNow() int64 {
+	return int64(time.Since(wallEpoch) / time.Microsecond)
+}

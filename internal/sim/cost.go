@@ -13,7 +13,10 @@
 //
 // All durations are tracked as integer microseconds on a simulated clock;
 // nothing in this module (or anywhere else in the simulator) consults wall
-// time, so every experiment is exactly reproducible.
+// time, so every experiment is exactly reproducible. (The one sanctioned
+// wall-clock read lives in internal/obs — obs.WallNow — where telemetry
+// measures real elapsed time without ever feeding it back into simulated
+// state; the lobvet determinism analyzer enforces the boundary.)
 package sim
 
 import (
@@ -33,6 +36,10 @@ const (
 
 // Std converts a simulated duration to a time.Duration for display.
 func (d Duration) Std() time.Duration { return time.Duration(d) * time.Microsecond }
+
+// Microseconds reports d as integer microseconds, the unit the obs latency
+// histograms record.
+func (d Duration) Microseconds() int64 { return int64(d) }
 
 // Milliseconds reports d as fractional milliseconds.
 func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }

@@ -172,10 +172,10 @@ func (s Stats) Pages() int64 { return s.PagesRead + s.PagesWritten }
 // Sub returns the component-wise difference s − o.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		ReadCalls:    s.ReadCalls - o.ReadCalls,
-		WriteCalls:   s.WriteCalls - o.WriteCalls,
-		PagesRead:    s.PagesRead - o.PagesRead,
-		PagesWritten: s.PagesWritten - o.PagesWritten,
+		ReadCalls:     s.ReadCalls - o.ReadCalls,
+		WriteCalls:    s.WriteCalls - o.WriteCalls,
+		PagesRead:     s.PagesRead - o.PagesRead,
+		PagesWritten:  s.PagesWritten - o.PagesWritten,
 		SeekDistance:  s.SeekDistance - o.SeekDistance,
 		Time:          s.Time - o.Time,
 		CoalescedRuns: s.CoalescedRuns - o.CoalescedRuns,
@@ -413,6 +413,27 @@ func (db *DB) EnableMetrics(m *Metrics) *Metrics {
 // Metrics returns the registry attached with EnableMetrics, or nil when
 // metrics are disabled.
 func (db *DB) Metrics() *Metrics { return db.metrics }
+
+// TimeSeries is a flight-recorder event sink: it seals periodic windows of
+// simulated time into counter and latency-percentile snapshots, keeping a
+// bounded ring of the most recent windows. Obtain one with NewTimeSeries and
+// attach it with AttachTimeSeries.
+type TimeSeries = obs.TimeSeries
+
+// NewTimeSeries returns a flight recorder with the given window width in
+// simulated time, keeping at most maxWindows sealed windows.
+func NewTimeSeries(window time.Duration, maxWindows int) *TimeSeries {
+	return obs.NewTimeSeries(window.Microseconds(), maxWindows)
+}
+
+// AttachTimeSeries attaches a flight recorder. Like every sink it observes
+// simulated time without advancing it, so recording cannot perturb the
+// database's behavior. A recorder must not be shared across databases —
+// each database has its own simulated clock, and interleaving unrelated
+// clocks would corrupt the window sequence.
+func (db *DB) AttachTimeSeries(ts *TimeSeries) {
+	db.st.Obs.Attach(ts)
+}
 
 // LeafFragmentation snapshots the free-list state of the data area's buddy
 // allocator. It inspects only the cached directory — no I/O is charged.
