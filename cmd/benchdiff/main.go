@@ -9,11 +9,19 @@
 // annotates the run — but exits 0, because shared CI runners are too noisy
 // for a hard gate; -enforce turns regressions into exit code 1.
 //
+// Simulated-time metrics (per-experiment and total sim_ms) are different:
+// they come from the paper's deterministic cost model under a fixed seed,
+// so they carry no runner noise at all. They are compared exactly, in both
+// directions, with no floor; -enforce-sim makes any drift beyond
+// -sim-threshold (default 0) fail the build. A deliberate cost-model
+// change ships with a regenerated baseline.
+//
 // Usage:
 //
 //	benchdiff baseline.json fresh.json
 //	benchdiff -threshold 0.5 -min-wall-ms 25 -min-p99-us 200 old.json new.json
 //	benchdiff -enforce baseline.json fresh.json
+//	benchdiff -enforce-sim baseline.json fresh.json
 //
 // Both schemas are recognized by their fields: harness reports contribute
 // prepass/experiment wall milliseconds, per-experiment p99 µs and
@@ -37,6 +45,7 @@ import (
 type phase struct {
 	Name        string  `json:"name"`
 	WallMs      float64 `json:"wall_ms"`
+	SimMs       float64 `json:"sim_ms"`
 	OpWallP99Us float64 `json:"op_wall_p99_us"`
 }
 
@@ -54,6 +63,7 @@ type report struct {
 	Prepass     *phase    `json:"prepass"`
 	Experiments []phase   `json:"experiments"`
 	Micro       []micro   `json:"micro"`
+	TotalSimMs  float64   `json:"total_sim_ms"`
 	TotalWallMs float64   `json:"total_wall_ms"`
 	Cases       []volCase `json:"cases"`
 }
@@ -68,12 +78,18 @@ func metrics(r *report) map[string]float64 {
 	}
 	for _, p := range r.Experiments {
 		out["experiment "+p.Name+" wall_ms"] = p.WallMs
+		if p.SimMs > 0 {
+			out["experiment "+p.Name+" sim_ms"] = p.SimMs
+		}
 		if p.OpWallP99Us > 0 {
 			out["experiment "+p.Name+" p99_us"] = p.OpWallP99Us
 		}
 	}
 	if r.TotalWallMs > 0 {
 		out["total wall_ms"] = r.TotalWallMs
+	}
+	if r.TotalSimMs > 0 {
+		out["total sim_ms"] = r.TotalSimMs
 	}
 	for _, m := range r.Micro {
 		out["micro "+m.Name+" ns/op"] = m.NsPerOp
@@ -109,6 +125,9 @@ func compare(base, cur map[string]float64, threshold, floorMs, floorUs float64) 
 		if _, ok := cur[n]; !ok || b <= 0 {
 			continue
 		}
+		if isSimMetric(n) {
+			continue // simulated time is gated exactly, by compareSim
+		}
 		floor := floorMs
 		switch {
 		case isNsMetric(n):
@@ -124,6 +143,41 @@ func compare(base, cur map[string]float64, threshold, floorMs, floorUs float64) 
 		}
 	}
 	return regs
+}
+
+// compareSim diffs the simulated-time metrics. Simulated milliseconds come
+// from the paper's deterministic cost model under a fixed seed: any drift —
+// faster or slower, however small — means the engine's I/O behavior
+// changed, so there is no noise floor and the default tolerance is zero.
+// A deliberate cost change is shipped by regenerating the baseline.
+func compareSim(base, cur map[string]float64, tolerance float64) []regression {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		if isSimMetric(n) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var regs []regression
+	for _, n := range names {
+		b := base[n]
+		c, ok := cur[n]
+		if !ok || b <= 0 {
+			continue
+		}
+		drift := (c - b) / b
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > tolerance {
+			regs = append(regs, regression{name: n, base: b, cur: c, ratio: c / b})
+		}
+	}
+	return regs
+}
+
+func isSimMetric(name string) bool {
+	return len(name) > 6 && name[len(name)-6:] == "sim_ms"
 }
 
 func isNsMetric(name string) bool {
@@ -152,15 +206,17 @@ func load(path string) (map[string]float64, error) {
 
 func main() {
 	var (
-		threshold = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
-		floorMs   = flag.Float64("min-wall-ms", 10, "skip metrics whose baseline is below this wall time in ms (ns/op metrics use the equivalent)")
-		floorUs   = flag.Float64("min-p99-us", 100, "skip p99 latency metrics whose baseline is below this many µs")
-		github    = flag.Bool("github", false, "emit GitHub Actions ::warning:: annotations")
-		enforce   = flag.Bool("enforce", false, "exit 1 when any regression is found (default: warn only)")
+		threshold  = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
+		floorMs    = flag.Float64("min-wall-ms", 10, "skip metrics whose baseline is below this wall time in ms (ns/op metrics use the equivalent)")
+		floorUs    = flag.Float64("min-p99-us", 100, "skip p99 latency metrics whose baseline is below this many µs")
+		github     = flag.Bool("github", false, "emit GitHub Actions ::warning:: annotations")
+		enforce    = flag.Bool("enforce", false, "exit 1 when any wall-clock regression is found (default: warn only)")
+		simTol     = flag.Float64("sim-threshold", 0, "relative drift tolerated on deterministic sim_ms metrics")
+		enforceSim = flag.Bool("enforce-sim", false, "exit 1 when any sim_ms metric drifts beyond -sim-threshold")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold R] [-min-wall-ms MS] [-min-p99-us US] [-github] [-enforce] baseline.json fresh.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold R] [-min-wall-ms MS] [-min-p99-us US] [-sim-threshold R] [-github] [-enforce] [-enforce-sim] baseline.json fresh.json")
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -171,8 +227,21 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	simRegs := compareSim(base, cur, *simTol)
+	for _, r := range simRegs {
+		msg := fmt.Sprintf("%s drifted %.4fx: %.6g -> %.6g (deterministic metric: the I/O cost model behavior changed)",
+			r.name, r.ratio, r.base, r.cur)
+		switch {
+		case *github && *enforceSim:
+			fmt.Printf("::error title=sim drift::%s\n", msg)
+		case *github:
+			fmt.Printf("::warning title=sim drift::%s\n", msg)
+		default:
+			fmt.Printf("benchdiff: SIM DRIFT %s\n", msg)
+		}
+	}
 	regs := compare(base, cur, *threshold, *floorMs, *floorUs)
-	if len(regs) == 0 {
+	if len(regs) == 0 && len(simRegs) == 0 {
 		fmt.Printf("benchdiff: no regressions beyond %.0f%% (%d metrics compared)\n",
 			*threshold*100, len(base))
 		return
@@ -185,9 +254,14 @@ func main() {
 			fmt.Printf("benchdiff: WARNING %s\n", msg)
 		}
 	}
-	// Fail-soft by default: annotate, never break the build on shared-runner
-	// timing noise. -enforce flips that for callers with quiet machines.
-	if *enforce {
+	// Wall-clock gating is fail-soft by default: annotate, never break the
+	// build on shared-runner timing noise; -enforce flips that for callers
+	// with quiet machines. Simulated time carries no noise, so -enforce-sim
+	// turns any drift into a hard failure independently.
+	if *enforceSim && len(simRegs) > 0 {
+		os.Exit(1)
+	}
+	if *enforce && len(regs) > 0 {
 		os.Exit(1)
 	}
 }

@@ -78,11 +78,52 @@ func TestCompareThresholdBoundary(t *testing.T) {
 	}
 }
 
+// TestCompareSimGatesExactly pins the deterministic gate: sim metrics are
+// flagged on any drift in either direction with no noise floor, stay out
+// of the wall-clock comparison, and an exact match passes.
+func TestCompareSimGatesExactly(t *testing.T) {
+	base := map[string]float64{
+		"experiment fig5 sim_ms":  1000,
+		"experiment fig7 sim_ms":  0.25, // far below any wall floor: still gated
+		"total sim_ms":            5000,
+		"experiment fig5 wall_ms": 100,
+	}
+	same := map[string]float64{
+		"experiment fig5 sim_ms":  1000,
+		"experiment fig7 sim_ms":  0.25,
+		"total sim_ms":            5000,
+		"experiment fig5 wall_ms": 500, // wall regression is not sim drift
+	}
+	if regs := compareSim(base, same, 0); len(regs) != 0 {
+		t.Fatalf("exact match flagged: %v", regs)
+	}
+	if regs := compare(base, same, 0.20, 10, 100); len(regs) != 1 || regs[0].name != "experiment fig5 wall_ms" {
+		t.Fatalf("wall compare mishandled sim metrics: %v", regs)
+	}
+	drift := map[string]float64{
+		"experiment fig5 sim_ms": 1000.5, // +0.05%: slower
+		"experiment fig7 sim_ms": 0.24,   // -4%: faster counts too
+		"total sim_ms":           5000,
+	}
+	regs := compareSim(base, drift, 0)
+	if len(regs) != 2 {
+		t.Fatalf("got %d sim drifts %v, want 2", len(regs), regs)
+	}
+	if regs[0].name != "experiment fig5 sim_ms" || regs[1].name != "experiment fig7 sim_ms" {
+		t.Fatalf("wrong sim drifts: %v", regs)
+	}
+	// A tolerance absorbs drift up to its bound, both directions.
+	if regs := compareSim(base, drift, 0.05); len(regs) != 0 {
+		t.Fatalf("5%% tolerance still flagged: %v", regs)
+	}
+}
+
 func TestMetricsFlattensBothSchemas(t *testing.T) {
 	r := &report{
 		Prepass:     &phase{Name: "prepass", WallMs: 3},
-		Experiments: []phase{{Name: "fig5", WallMs: 7, OpWallP99Us: 450}, {Name: "table1", WallMs: 2}},
+		Experiments: []phase{{Name: "fig5", WallMs: 7, SimMs: 40, OpWallP99Us: 450}, {Name: "table1", WallMs: 2}},
 		Micro:       []micro{{Name: "append", NsPerOp: 11}},
+		TotalSimMs:  90,
 		TotalWallMs: 10,
 		Cases:       []volCase{{Name: "mem-seq-read", NsPerOp: 13}},
 	}
@@ -90,9 +131,11 @@ func TestMetricsFlattensBothSchemas(t *testing.T) {
 	want := map[string]float64{
 		"prepass wall_ms":           3,
 		"experiment fig5 wall_ms":   7,
+		"experiment fig5 sim_ms":    40,
 		"experiment fig5 p99_us":    450,
 		"experiment table1 wall_ms": 2,
 		"micro append ns/op":        11,
+		"total sim_ms":              90,
 		"total wall_ms":             10,
 		"case mem-seq-read ns/op":   13,
 	}

@@ -237,7 +237,6 @@ func loadTimeline(path string, windowUs int64) ([]obs.WindowStats, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	//lobvet:ignore errdiscard sealing the trailing window; the in-memory recorder's Close never fails
 	_ = ts.Close()
 	return ts.Windows(), nil
 }

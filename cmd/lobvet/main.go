@@ -6,12 +6,14 @@
 // Analyzers: fixunfix (every buffer pool fix is unfixed on all paths),
 // spanend (every tracing span is ended), determinism (no wall clock or
 // global math/rand inside simulation packages), errdiscard (no silently
-// dropped errors; %w over %v for wrapped errors).
+// dropped errors; %w over %v for wrapped errors), barrierorder (§3.3
+// commit ordering on engine mutation paths), locksafe (unlock on all
+// paths, lock-ordering lattice, no durability work under a latch).
 //
-// A finding is suppressed by an explained comment on the offending line
-// or the one above:
-//
-//	//lobvet:ignore fixunfix handle ownership transfers to the caller
+// All loaded packages share one interprocedural summary program, so a
+// helper releasing a handle in another package still counts at the call
+// site. A finding is suppressed by an explained comment on the offending
+// line or the one above; stale suppressions are themselves reported.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load errors.
 package main
@@ -36,7 +38,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
-	verbose := fs.Bool("v", false, "also print suppressed findings with their justifications")
+	verbose := fs.Bool("v", false, "also print suppressed and baselined findings")
+	sarifPath := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this file")
+	baselinePath := fs.String("baseline", "", "committed baseline file; findings recorded there warn instead of failing")
+	writeBaseline := fs.Bool("write-baseline", false, "regenerate the -baseline file from the current findings and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: lobvet [flags] [packages]\n\npackages default to ./...\n\nflags:\n")
 		fs.PrintDefaults()
@@ -67,6 +72,10 @@ func run(args []string, stdout, stderr *os.File) int {
 			analyzers = append(analyzers, a)
 		}
 	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintf(stderr, "lobvet: -write-baseline requires -baseline\n")
+		return 2
+	}
 
 	root, err := moduleRoot()
 	if err != nil {
@@ -90,28 +99,85 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	findings, suppressed := 0, 0
+	// Load everything first: the interprocedural summaries want the whole
+	// package set before the first analyzer runs.
+	pkgs := make([]*analysis.Package, 0, len(dirs))
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			fmt.Fprintf(stderr, "lobvet: %v\n", err)
 			return 2
 		}
-		for _, d := range analysis.Run(pkg, analyzers) {
-			if d.Suppressed {
-				suppressed++
-				if *verbose {
-					fmt.Fprintf(stdout, "%s [suppressed: %s]\n", d, d.SuppressReason)
-				}
-				continue
+		pkgs = append(pkgs, pkg)
+	}
+	prog := analysis.NewProgram(loader.Packages())
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analysis.RunProgram(prog, pkg, analyzers)...)
+	}
+
+	if *writeBaseline {
+		b := analysis.NewBaseline(root, diags)
+		if err := b.Write(*baselinePath); err != nil {
+			fmt.Fprintf(stderr, "lobvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "lobvet: baseline %s written with %d finding(s)\n",
+			*baselinePath, len(b.Findings))
+		return 0
+	}
+	stale := 0
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "lobvet: %v\n", err)
+			return 2
+		}
+		stale = b.Apply(root, diags)
+	}
+
+	findings, suppressed, baselined := 0, 0, 0
+	for _, d := range diags {
+		switch {
+		case d.Suppressed:
+			suppressed++
+			if *verbose {
+				fmt.Fprintf(stdout, "%s [suppressed: %s]\n", d, d.SuppressReason)
 			}
+		case d.Baselined:
+			baselined++
+			if *verbose {
+				fmt.Fprintf(stdout, "%s [baselined]\n", d)
+			}
+		default:
 			findings++
 			fmt.Fprintln(stdout, d)
 		}
 	}
-	if *verbose || findings > 0 {
-		fmt.Fprintf(stdout, "lobvet: %d finding(s), %d suppressed, %d package(s)\n",
-			findings, suppressed, len(dirs))
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "lobvet: %v\n", err)
+			return 2
+		}
+		werr := analysis.WriteSARIF(f, root, analyzers, diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "lobvet: writing SARIF: %v\n", werr)
+			return 2
+		}
+	}
+
+	if *verbose || findings > 0 || baselined > 0 {
+		fmt.Fprintf(stdout, "lobvet: %d finding(s), %d baselined, %d suppressed, %d package(s)\n",
+			findings, baselined, suppressed, len(dirs))
+	}
+	if stale > 0 {
+		fmt.Fprintf(stdout, "lobvet: %d baseline entr(ies) no longer match any finding: regenerate with -write-baseline\n", stale)
 	}
 	if findings > 0 {
 		return 1

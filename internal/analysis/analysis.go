@@ -46,6 +46,10 @@ type Pass struct {
 	// that apply only to certain packages (determinism) key off it.
 	PkgPath string
 	Info    *types.Info
+	// Prog holds the whole-run package set and its interprocedural
+	// summaries (pair effects, infallibility, barrier events, lock
+	// effects). Never nil when running through Run/RunProgram.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -60,6 +64,10 @@ type Diagnostic struct {
 	Suppressed bool
 	// SuppressReason is the explanation given with the suppression.
 	SuppressReason string
+	// Baselined records that a committed baseline entry absorbs the
+	// finding; baselined diagnostics do not fail the run but stay visible
+	// in SARIF output so the burn-down is auditable.
+	Baselined bool
 }
 
 func (d Diagnostic) String() string {
@@ -77,14 +85,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every registered analyzer in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FixUnfix, SpanEnd, Determinism, ErrDiscard}
+	return []*Analyzer{FixUnfix, SpanEnd, Determinism, ErrDiscard, BarrierOrder, LockSafe}
 }
 
 // Run applies analyzers to pkg and returns the findings, suppressions
-// already resolved, sorted by position.
+// already resolved, sorted by position. The interprocedural summaries see
+// only pkg and its module-internal imports; drivers analyzing many
+// packages should build one shared Program and use RunProgram.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunProgram(NewProgram([]*Package{pkg}), pkg, analyzers)
+}
+
+// RunProgram applies analyzers to pkg with prog supplying the
+// cross-package summaries.
+func RunProgram(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	prog.AddPackage(pkg) // no-op when already indexed
 	var diags []Diagnostic
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -92,11 +111,12 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      pkg.Types,
 			PkgPath:  pkg.Path,
 			Info:     pkg.Info,
+			Prog:     prog,
 			diags:    &diags,
 		}
 		a.Run(pass)
 	}
-	applySuppressions(pkg, diags)
+	diags = applySuppressions(pkg, diags, ran)
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := diags[i].Pos, diags[j].Pos
 		if pi.Filename != pj.Filename {

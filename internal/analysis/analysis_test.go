@@ -123,6 +123,36 @@ func TestErrDiscardSyncClose(t *testing.T) {
 	checkTestdata(t, ErrDiscard, "lobvettest/synctest", "errdiscardsync")
 }
 
+// TestInterprocFixUnfix pins the interprocedural summaries: helpers that
+// release, borrow, or escape a handle are summarized instead of
+// silencing the caller's leak check, and acquire-wrappers propagate.
+func TestInterprocFixUnfix(t *testing.T) {
+	checkTestdata(t, FixUnfix, "lobvettest/interproc", "interproc")
+}
+
+// TestBarrierOrder checks the §3.3 ordering goldens under the
+// lobvettest/barrier path prefix, where the engine rules apply.
+func TestBarrierOrder(t *testing.T) {
+	checkTestdata(t, BarrierOrder, "lobvettest/barrier/engine", "barrierorder")
+}
+
+// TestBarrierOrderUnrestricted re-checks the same file under an
+// unrelated path: the analyzer only polices the engine packages.
+func TestBarrierOrderUnrestricted(t *testing.T) {
+	file := filepath.Join("testdata", "barrierorder", "barrierorder.go")
+	pkg, err := testLoader(t).CheckFiles("lobvettest/anywhere", filepath.Dir(file), []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkg, []*Analyzer{BarrierOrder}); len(diags) != 0 {
+		t.Fatalf("barrierorder fired outside the engine packages: %v", diags)
+	}
+}
+
+func TestLockSafe(t *testing.T) {
+	checkTestdata(t, LockSafe, "lobvettest/locktest", "locksafe")
+}
+
 // TestDeterminism checks the testdata under a restricted import path,
 // where every want comment must fire.
 func TestDeterminism(t *testing.T) {

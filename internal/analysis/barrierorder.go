@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BarrierOrder verifies the §3.3 shadow-commit protocol ordering on every
+// mutation path of the storage engines: the commit-point write of a
+// tree root or object descriptor must be preceded by a durability barrier
+// (shadow pages and data reach stable storage before the atomic switch),
+// and a deferred buddy free must never run before the post-commit barrier
+// (freeing a shadow'd page earlier would let its reuse overwrite state a
+// crash still needs). The walk is interprocedural: calls splice in the
+// callee's barrier/commit/free event summary, so a barrier taken inside
+// store.SyncBarrier or a helper counts at the call site.
+var BarrierOrder = &Analyzer{
+	Name: "barrierorder",
+	Doc: "check §3.3 commit ordering on engine mutation paths: root/descriptor " +
+		"commit writes need a preceding barrier, buddy frees must follow the " +
+		"post-commit barrier",
+	Run: runBarrierOrder,
+}
+
+const (
+	storePkgPath = "lobstore/internal/store"
+	buddyPkgPath = "lobstore/internal/buddy"
+)
+
+// barrierPkgPaths are the engine packages whose mutation paths carry the
+// §3.3 protocol. Testdata goldens run under the lobvettest/barrier prefix.
+var barrierPkgPaths = map[string]bool{
+	storePkgPath:                  true,
+	"lobstore/internal/postree":   true,
+	"lobstore/internal/starburst": true,
+	"lobstore/internal/eos":       true,
+	"lobstore/internal/esm":       true,
+	"lobstore/internal/catalog":   true,
+}
+
+func isBarrierPkg(path string) bool {
+	return barrierPkgPaths[path] || strings.HasPrefix(path, "lobvettest/barrier")
+}
+
+// protoKind classifies one protocol-relevant event.
+type protoKind int
+
+const (
+	evBarrier protoKind = iota // Volume.Barrier / Store.SyncBarrier
+	evCommit                   // flush of a root/descriptor field
+	evFree                     // buddy.Allocator.Free
+)
+
+// protoEvent is one event in a function's linearized protocol trace.
+type protoEvent struct {
+	kind   protoKind
+	pos    token.Pos
+	direct bool   // emitted by this function, not spliced from a callee
+	via    string // call chain for spliced events ("EndOp → SyncBarrier")
+}
+
+// epochAwareFrees are the store wrappers that defer frees to EndOp while
+// an operation is open (opDepth > 0). Their internal direct Free is
+// runtime-guarded in a way the linter cannot see, and calls to them are
+// protocol-safe by construction, so they contribute no events.
+var epochAwareFrees = map[string]bool{
+	"FreeSegment":  true,
+	"FreeMetaPage": true,
+	"TrimSegment":  true,
+}
+
+// maxEvents bounds a single function's event summary; deep splices past
+// the cap are protocol-irrelevant tails (rules only fire on direct
+// events, which always precede the cap in their own function).
+const maxEvents = 64
+
+// protoEvents returns fn's memoized event summary: its direct events plus
+// the spliced summaries of its callees, in source order, with deferred
+// calls appended at the end (they run at return). Recursion is cut by
+// returning an empty summary for in-progress functions.
+func (p *Program) protoEvents(fn *types.Func) []protoEvent {
+	if evs, ok := p.events[fn]; ok {
+		return evs
+	}
+	if p.eventsBusy[fn] {
+		return nil
+	}
+	src := p.source(fn)
+	if src == nil || isEpochAwareFree(fn) {
+		p.events[fn] = nil
+		return nil
+	}
+	p.eventsBusy[fn] = true
+	evs := p.buildEvents(src)
+	delete(p.eventsBusy, fn)
+	if len(evs) > maxEvents {
+		evs = evs[:maxEvents]
+	}
+	p.events[fn] = evs
+	return evs
+}
+
+func isEpochAwareFree(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == storePkgPath && epochAwareFrees[fn.Name()]
+}
+
+// buildEvents linearizes one function body into protocol events.
+func (p *Program) buildEvents(src *funcSource) []protoEvent {
+	var main, deferred []protoEvent
+	var scan func(root ast.Node, sink *[]protoEvent)
+	scan = func(root ast.Node, sink *[]protoEvent) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// Deferred work runs at return: collect it at the end.
+				scan(n.Call, &deferred)
+				return false
+			case *ast.GoStmt:
+				// Concurrent work has no place in a linear order.
+				return false
+			case *ast.CallExpr:
+				if kind, ok := classifyProtoCall(src.pkg.Info, n); ok {
+					*sink = append(*sink, protoEvent{kind: kind, pos: n.Pos(), direct: true})
+					return true // args may hold further calls
+				}
+				if callee := calleeFunc(src.pkg.Info, n); callee != nil {
+					for _, ev := range p.protoEvents(callee) {
+						via := callee.Name()
+						if ev.via != "" {
+							via += " → " + ev.via
+						}
+						*sink = append(*sink, protoEvent{kind: ev.kind, pos: n.Pos(), via: via})
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(src.decl.Body, &main)
+	return append(main, deferred...)
+}
+
+// classifyProtoCall recognizes the direct protocol events.
+func classifyProtoCall(info *types.Info, call *ast.CallExpr) (protoKind, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return 0, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch fn.Name() {
+	case "Barrier", "SyncBarrier":
+		// Volume.Barrier (any implementation or the interface itself) and
+		// the Store.SyncBarrier forwarder.
+		if isMethod {
+			return evBarrier, true
+		}
+	case "FlushPage", "WritePages":
+		// Only the commit-point form counts: flushing a field named root
+		// or desc, the atomic-switch write of §3.3. Data-page flushes
+		// carry no ordering obligation.
+		if !isMethod || fn.Pkg() == nil {
+			return 0, false
+		}
+		if pkg := fn.Pkg().Path(); pkg != bufferPkgPath && pkg != storePkgPath {
+			return 0, false
+		}
+		if len(call.Args) == 0 {
+			return 0, false
+		}
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+			if name := sel.Sel.Name; name == "root" || name == "desc" {
+				return evCommit, true
+			}
+		}
+	case "Free":
+		if isMethod && fn.Pkg() != nil && fn.Pkg().Path() == buddyPkgPath {
+			return evFree, true
+		}
+	}
+	return 0, false
+}
+
+func runBarrierOrder(pass *Pass) {
+	if !isBarrierPkg(pass.PkgPath) || pass.Prog == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok || isEpochAwareFree(fn) {
+				continue
+			}
+			checkProtoOrder(pass, pass.Prog.protoEvents(fn))
+		}
+	}
+}
+
+// checkProtoOrder applies the two ordering rules to one function's event
+// trace. Only direct events are reported: a spliced violation is reported
+// once, in the function that owns it, not at every caller.
+func checkProtoOrder(pass *Pass, evs []protoEvent) {
+	for i, ev := range evs {
+		if !ev.direct {
+			continue
+		}
+		switch ev.kind {
+		case evCommit:
+			if !barrierIn(evs[:i]) {
+				pass.Reportf(ev.pos, "commit-point flush without a preceding durability barrier: "+
+					"§3.3 requires shadow pages and data to reach stable storage (SyncBarrier) before the root/descriptor switch")
+			}
+		case evFree:
+			// A free is safe only once a barrier has made the commit point
+			// durable: flag a free whose last preceding commit is not
+			// separated from it by a barrier, and a free that runs before
+			// the protocol's first barrier while commit work still follows.
+			lastBarrier, lastCommit := -1, -1
+			for j := 0; j < i; j++ {
+				switch evs[j].kind {
+				case evBarrier:
+					lastBarrier = j
+				case evCommit:
+					lastCommit = j
+				}
+			}
+			if lastCommit > lastBarrier || (lastBarrier == -1 && barrierOrCommitIn(evs[i+1:])) {
+				pass.Reportf(ev.pos, "free applied before the post-commit barrier: "+
+					"§3.3 frees shadow'd pages only after the commit write is durable, or reuse can overwrite crash-needed state")
+			}
+		}
+	}
+}
+
+func barrierIn(evs []protoEvent) bool {
+	for _, ev := range evs {
+		if ev.kind == evBarrier {
+			return true
+		}
+	}
+	return false
+}
+
+func barrierOrCommitIn(evs []protoEvent) bool {
+	for _, ev := range evs {
+		if ev.kind == evBarrier || ev.kind == evCommit {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the committed ledger of accepted legacy findings. New code
+// must come up clean; findings recorded here are reported but do not fail
+// the run, so the debt burns down without blocking unrelated work.
+//
+// A finding is identified by analyzer, module-relative file and message —
+// deliberately NOT by line number, so unrelated edits shifting a file do
+// not invalidate the ledger. Identical findings in one file are absorbed
+// up to the recorded count: adding one more instance of a baselined
+// mistake still fails.
+type Baseline struct {
+	// Findings maps "analyzer|relative/file.go|message" to the number of
+	// accepted occurrences.
+	Findings map[string]int `json:"findings"`
+}
+
+// NewBaseline records every unsuppressed finding in diags.
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	b := &Baseline{Findings: make(map[string]int)}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		b.Findings[fingerprint(root, d)]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file written by Write.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if b.Findings == nil {
+		b.Findings = make(map[string]int)
+	}
+	return &b, nil
+}
+
+// Write stores the baseline as stable, diff-friendly JSON (keys sorted by
+// encoding/json's map ordering).
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply marks diagnostics absorbed by the baseline, consuming each
+// fingerprint's budget in position order. It returns how many entries of
+// the baseline matched nothing — stale debt that has been paid off and
+// should be removed by regenerating the file.
+func (b *Baseline) Apply(root string, diags []Diagnostic) int {
+	budget := make(map[string]int, len(b.Findings))
+	for fp, n := range b.Findings {
+		budget[fp] = n
+	}
+	for i := range diags {
+		if diags[i].Suppressed {
+			continue
+		}
+		fp := fingerprint(root, diags[i])
+		if budget[fp] > 0 {
+			budget[fp]--
+			diags[i].Baselined = true
+		}
+	}
+	stale := 0
+	for fp, n := range b.Findings {
+		if n > 0 && budget[fp] == n {
+			stale++
+		}
+	}
+	return stale
+}
+
+// fingerprint builds the stable identity of one finding.
+func fingerprint(root string, d Diagnostic) string {
+	return d.Analyzer + "|" + relPath(root, d.Pos.Filename) + "|" + d.Message
+}
+
+// relPath normalizes a diagnostic path to module-relative, slash form.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// sortedFingerprints is a test helper exposing the ledger in stable order.
+func (b *Baseline) sortedFingerprints() []string {
+	fps := make([]string, 0, len(b.Findings))
+	for fp := range b.Findings {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	return fps
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diag(file string, line int, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	f := filepath.Join(root, "internal", "x", "x.go")
+	diags := []Diagnostic{
+		diag(f, 10, "locksafe", "latch leak"),
+		diag(f, 20, "barrierorder", "commit without barrier"),
+		{Pos: token.Position{Filename: f, Line: 30}, Analyzer: "errdiscard",
+			Message: "dropped", Suppressed: true}, // suppressed: never recorded
+	}
+	b := NewBaseline(root, diags)
+	if len(b.Findings) != 2 {
+		t.Fatalf("recorded %d findings %v, want 2", len(b.Findings), b.sortedFingerprints())
+	}
+	for _, fp := range b.sortedFingerprints() {
+		if !strings.HasPrefix(fp, "barrierorder|internal/x/x.go|") &&
+			!strings.HasPrefix(fp, "locksafe|internal/x/x.go|") {
+			t.Errorf("fingerprint not module-relative: %q", fp)
+		}
+	}
+
+	path := filepath.Join(root, "baseline.json")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same findings (at different lines: fingerprints are line-free)
+	// are absorbed; a new finding is not.
+	fresh := []Diagnostic{
+		diag(f, 11, "locksafe", "latch leak"),
+		diag(f, 99, "barrierorder", "commit without barrier"),
+		diag(f, 50, "locksafe", "brand new inversion"),
+	}
+	if stale := loaded.Apply(root, fresh); stale != 0 {
+		t.Fatalf("stale = %d, want 0", stale)
+	}
+	if !fresh[0].Baselined || !fresh[1].Baselined {
+		t.Errorf("recorded findings not absorbed: %+v", fresh[:2])
+	}
+	if fresh[2].Baselined {
+		t.Errorf("new finding absorbed by the baseline: %+v", fresh[2])
+	}
+}
+
+// TestBaselineCountBudget pins the per-fingerprint count: n recorded
+// occurrences absorb at most n findings, so adding one more instance of a
+// baselined mistake still fails.
+func TestBaselineCountBudget(t *testing.T) {
+	root := t.TempDir()
+	f := filepath.Join(root, "a.go")
+	two := []Diagnostic{
+		diag(f, 1, "errdiscard", "dropped"),
+		diag(f, 2, "errdiscard", "dropped"),
+	}
+	b := NewBaseline(root, two)
+
+	three := append([]Diagnostic{}, two...)
+	three = append(three, diag(f, 3, "errdiscard", "dropped"))
+	if stale := b.Apply(root, three); stale != 0 {
+		t.Fatalf("stale = %d, want 0", stale)
+	}
+	if !three[0].Baselined || !three[1].Baselined {
+		t.Errorf("budgeted findings not absorbed: %+v", three[:2])
+	}
+	if three[2].Baselined {
+		t.Errorf("third instance absorbed by a budget of two: %+v", three[2])
+	}
+}
+
+// TestBaselineReportsStaleEntries pins the burn-down signal: entries
+// matching nothing are counted so the ledger can be regenerated.
+func TestBaselineReportsStaleEntries(t *testing.T) {
+	root := t.TempDir()
+	f := filepath.Join(root, "a.go")
+	b := NewBaseline(root, []Diagnostic{
+		diag(f, 1, "errdiscard", "dropped"),
+		diag(f, 2, "locksafe", "leak"),
+	})
+	remaining := []Diagnostic{diag(f, 1, "errdiscard", "dropped")}
+	if stale := b.Apply(root, remaining); stale != 1 {
+		t.Fatalf("stale = %d, want 1", stale)
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing baseline succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil || !strings.Contains(err.Error(), "parsing baseline") {
+		t.Errorf("err = %v, want parse error", err)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	root := t.TempDir()
+	f := filepath.Join(root, "internal", "x", "x.go")
+	diags := []Diagnostic{
+		diag(f, 10, "locksafe", "latch leak"),
+		{Pos: token.Position{Filename: f, Line: 20, Column: 3}, Analyzer: "errdiscard",
+			Message: "dropped", Suppressed: true, SuppressReason: "fixture"},
+		{Pos: token.Position{Filename: f, Line: 30, Column: 1}, Analyzer: "barrierorder",
+			Message: "legacy", Baselined: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, root, All(), diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 / 1", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "lobvet" || len(run.Tool.Driver.Rules) != len(All()) {
+		t.Errorf("driver %q with %d rules, want lobvet with %d",
+			run.Tool.Driver.Name, len(run.Tool.Driver.Rules), len(All()))
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+	live, sup, bl := run.Results[0], run.Results[1], run.Results[2]
+	if live.Level != "error" || len(live.Suppressions) != 0 {
+		t.Errorf("live finding: %+v", live)
+	}
+	if uri := live.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/x/x.go" {
+		t.Errorf("uri = %q, want module-relative slash path", uri)
+	}
+	if live.Locations[0].PhysicalLocation.Region.StartLine != 10 {
+		t.Errorf("startLine = %d, want 10", live.Locations[0].PhysicalLocation.Region.StartLine)
+	}
+	if sup.Level != "note" || len(sup.Suppressions) != 1 || sup.Suppressions[0].Kind != "inSource" {
+		t.Errorf("suppressed finding: %+v", sup)
+	}
+	if bl.Level != "warning" || len(bl.Suppressions) != 1 || bl.Suppressions[0].Kind != "external" {
+		t.Errorf("baselined finding: %+v", bl)
+	}
+}

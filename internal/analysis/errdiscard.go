@@ -17,7 +17,8 @@ import (
 var ErrDiscard = &Analyzer{
 	Name: "errdiscard",
 	Doc: "forbid silently dropped errors (blank assigns, bare calls) and " +
-		"%v-wrapping of error operands where %w preserves the chain",
+		"%v-wrapping of error operands where %w preserves the chain; " +
+		"drops of provably infallible module functions are exempt",
 	Run: runErrDiscard,
 }
 
@@ -46,6 +47,9 @@ func runErrDiscard(pass *Pass) {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
 				checkBlankErrAssign(pass, n)
+			case *ast.ValueSpec:
+				// var _ = errCall() is a declaration, not an AssignStmt.
+				checkBlankErrDecl(pass, n)
 			case *ast.ExprStmt:
 				if call, ok := n.X.(*ast.CallExpr); ok {
 					checkBareCall(pass, call)
@@ -59,6 +63,48 @@ func runErrDiscard(pass *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// checkBlankErrDecl flags `var _ = errCall()` and `var v, _ = f()` where a
+// blank-bound value is an error.
+func checkBlankErrDecl(pass *Pass, vs *ast.ValueSpec) {
+	// Tuple form: var v, _ = call().
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tv, ok := pass.Info.Types[call]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(vs.Names) {
+			return
+		}
+		for i, name := range vs.Names {
+			if name.Name == "_" && isErrorType(tuple.At(i).Type()) && !allowedErrDrop(pass, call) {
+				pass.Reportf(vs.Pos(), "error result of %s discarded with _: handle it or propagate it",
+					callName(pass.Info, call))
+			}
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		if name.Name != "_" || i >= len(vs.Values) {
+			continue
+		}
+		call, ok := ast.Unparen(vs.Values[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Info.Types[call]
+		if !ok || !isErrorType(tv.Type) || allowedErrDrop(pass, call) {
+			continue
+		}
+		pass.Reportf(vs.Pos(), "error result of %s discarded with _: handle it or propagate it",
+			callName(pass.Info, call))
 	}
 }
 
@@ -80,7 +126,7 @@ func checkBlankErrAssign(pass *Pass, s *ast.AssignStmt) {
 			return
 		}
 		for i, lhs := range s.Lhs {
-			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) && !allowedErrDrop(pass.Info, call) {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) && !allowedErrDrop(pass, call) {
 				pass.Reportf(s.Pos(), "error result of %s discarded with _: handle it or propagate it",
 					callName(pass.Info, call))
 			}
@@ -100,7 +146,7 @@ func checkBlankErrAssign(pass *Pass, s *ast.AssignStmt) {
 		if !ok || !isErrorType(tv.Type) {
 			continue
 		}
-		if allowedErrDrop(pass.Info, call) {
+		if allowedErrDrop(pass, call) {
 			continue
 		}
 		pass.Reportf(s.Pos(), "error result of %s discarded with _: handle it or propagate it",
@@ -126,7 +172,7 @@ func checkBareCall(pass *Pass, call *ast.CallExpr) {
 	default:
 		returnsErr = isErrorType(tv.Type)
 	}
-	if !returnsErr || allowedErrDrop(pass.Info, call) {
+	if !returnsErr || allowedErrDrop(pass, call) {
 		return
 	}
 	pass.Reportf(call.Pos(), "unchecked error from %s: handle it, propagate it, or discard explicitly with a justified //lobvet:ignore",
@@ -134,11 +180,16 @@ func checkBareCall(pass *Pass, call *ast.CallExpr) {
 }
 
 // allowedErrDrop reports whether the callee is on the best-effort
-// allowlist or infallible by contract.
-func allowedErrDrop(info *types.Info, call *ast.CallExpr) bool {
-	fn := calleeFunc(info, call)
+// allowlist, infallible by documented contract, or — via the
+// interprocedural summary — a module function provably returning only nil
+// errors on every path.
+func allowedErrDrop(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
 	if fn == nil {
 		return false
+	}
+	if pass.Prog != nil && pass.Prog.Infallible(fn) {
+		return true
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok {

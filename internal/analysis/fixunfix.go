@@ -20,9 +20,29 @@ var FixUnfix = &Analyzer{
 	Run: runFixUnfix,
 }
 
+// isHandleType reports whether t is a buffer.Handle pointer or a slice of
+// them (the FixRun result) — the resource kinds interprocedural summaries
+// seed as parameters.
+func isHandleType(t types.Type) bool {
+	if s, ok := t.Underlying().(*types.Slice); ok {
+		t = s.Elem()
+	}
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == bufferPkgPath && n.Obj().Name() == "Handle"
+}
+
 func runFixUnfix(pass *Pass) {
 	spec := &pairSpec{
-		releaseName: "Unfix (or buffer.UnfixAll)",
+		key:          "fixunfix",
+		resourceType: isHandleType,
+		releaseName:  "Unfix (or buffer.UnfixAll)",
 		acquire: func(info *types.Info, call *ast.CallExpr) (int, int, string, bool) {
 			fn := calleeFunc(info, call)
 			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != bufferPkgPath {

@@ -164,6 +164,24 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
+// Packages returns every module package loaded so far — the analyzed
+// packages plus their transitively loaded module-internal dependencies —
+// in sorted import-path order. Drivers feed this closure to NewProgram so
+// interprocedural summaries cover call chains that leave the analyzed
+// package.
+func (l *Loader) Packages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for path := range l.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkgs = append(pkgs, l.pkgs[path])
+	}
+	return pkgs
+}
+
 // LoadDir loads the package in the module-relative directory rel.
 func (l *Loader) LoadDir(rel string) (*Package, error) {
 	path := l.module

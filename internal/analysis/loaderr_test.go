@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out files under a fresh temp dir and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestNewLoaderMissingGoMod(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Fatal("NewLoader on a directory without go.mod succeeded")
+	}
+}
+
+func TestNewLoaderNoModuleDirective(t *testing.T) {
+	root := writeTree(t, map[string]string{"go.mod": "go 1.22\n"})
+	if _, err := NewLoader(root); err == nil || !strings.Contains(err.Error(), "no module directive") {
+		t.Fatalf("err = %v, want module-directive error", err)
+	}
+}
+
+func TestLoadDirUnparseableFile(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     "module tmpmod\n\ngo 1.22\n",
+		"bad/bad.go": "package bad\n\nfunc {\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir("bad"); err == nil {
+		t.Fatal("loading an unparseable file succeeded")
+	}
+}
+
+func TestLoadDirUnknownImport(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"p/p.go": "package p\n\nimport \"no/such/import\"\n\nvar _ = nosuch.X\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.LoadDir("p")
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("err = %v, want type-checking error", err)
+	}
+}
+
+func TestLoadDirNoBuildableFiles(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":          "module tmpmod\n\ngo 1.22\n",
+		"empty/README.md": "no go files here\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir("empty"); err == nil || !strings.Contains(err.Error(), "no buildable Go files") {
+		t.Fatalf("err = %v, want no-buildable-files error", err)
+	}
+}
+
+func TestLoadDirTwoPackagesInOneDir(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"d/a.go": "package one\n",
+		"d/b.go": "package two\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir("d"); err == nil || !strings.Contains(err.Error(), "two packages") {
+		t.Fatalf("err = %v, want two-packages error", err)
+	}
+}
+
+func TestCheckFilesParseError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     "module tmpmod\n\ngo 1.22\n",
+		"bad/bad.go": "package bad\n\nfunc {\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(root, "bad", "bad.go")
+	if _, err := l.CheckFiles("x/bad", filepath.Dir(bad), []string{bad}); err == nil {
+		t.Fatal("CheckFiles on an unparseable file succeeded")
+	}
+}
+
+func TestExpandMissingDir(t *testing.T) {
+	if _, err := testLoader(t).Expand([]string{"./no/such/dir"}); err == nil {
+		t.Fatal("Expand of a missing directory succeeded")
+	}
+}
+
+// checkSnippet type-checks one source string under an arbitrary import
+// path and runs the given analyzers over it.
+func checkSnippet(t *testing.T, path, src string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	file := filepath.Join(dir, "snippet.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := testLoader(t).CheckFiles(path, dir, []string{file})
+	if err != nil {
+		t.Fatalf("checking snippet: %v", err)
+	}
+	return Run(pkg, analyzers)
+}
+
+// TestSuppressionGapLineDoesNotApply pins the line-targeting rule: an
+// ignore applies to its own line and the line directly below, never
+// across a gap — and once it matches nothing, it is reported stale.
+func TestSuppressionGapLineDoesNotApply(t *testing.T) {
+	src := `package snip
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+func gap() {
+	//lobvet:ignore errdiscard separated from the finding by a line
+	_ = 1
+	fail()
+}
+`
+	diags := checkSnippet(t, "lobvettest/snipgap", src, []*Analyzer{ErrDiscard})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diags, want 2 (finding + stale ignore): %v", len(diags), diags)
+	}
+	var sawFinding, sawStale bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case ErrDiscard.Name:
+			sawFinding = true
+			if d.Suppressed || !strings.Contains(d.Message, "unchecked error") {
+				t.Errorf("finding across the gap was suppressed: %+v", d)
+			}
+		case StaleIgnoreName:
+			sawStale = true
+			if !strings.Contains(d.Message, "stale") {
+				t.Errorf("unmatched ignore not reported stale: %+v", d)
+			}
+		}
+	}
+	if !sawFinding || !sawStale {
+		t.Fatalf("missing finding or stale diagnostic: %v", diags)
+	}
+}
+
+// TestSuppressionCoversOwnAndNextLine pins that one site suppresses a
+// finding on its own line and another on the line below, and a site that
+// matched anything is not stale.
+func TestSuppressionCoversOwnAndNextLine(t *testing.T) {
+	src := `package snip
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+func both() {
+	fail() //lobvet:ignore errdiscard fixture drops both on purpose
+	fail()
+}
+`
+	diags := checkSnippet(t, "lobvettest/snipboth", src, []*Analyzer{ErrDiscard})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diags, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !d.Suppressed {
+			t.Errorf("finding not covered by the shared site: %+v", d)
+		}
+		if d.Analyzer == StaleIgnoreName {
+			t.Errorf("matched site reported stale: %+v", d)
+		}
+	}
+}
+
+// TestMalformedIgnoreReported pins the malformed-comment diagnostic: an
+// ignore that names no analyzer is itself a finding.
+func TestMalformedIgnoreReported(t *testing.T) {
+	src := `package snip
+
+//lobvet:ignore
+func ok() {}
+`
+	diags := checkSnippet(t, "lobvettest/snipmal", src, []*Analyzer{ErrDiscard})
+	if len(diags) != 1 || diags[0].Analyzer != StaleIgnoreName ||
+		!strings.Contains(diags[0].Message, "malformed") {
+		t.Fatalf("got %v, want one malformed-ignore diagnostic", diags)
+	}
+}
+
+// TestStaleIgnoreNeedsAllNamedAnalyzers pins the partial-run guard: an
+// unmatched multi-analyzer ignore is only judged stale when every named
+// analyzer ran.
+func TestStaleIgnoreNeedsAllNamedAnalyzers(t *testing.T) {
+	src := `package snip
+
+//lobvet:ignore errdiscard,fixunfix neither fires here
+func ok() {}
+`
+	if diags := checkSnippet(t, "lobvettest/snippart", src, []*Analyzer{ErrDiscard}); len(diags) != 0 {
+		t.Fatalf("partial run judged a multi-analyzer ignore: %v", diags)
+	}
+	diags := checkSnippet(t, "lobvettest/snipfull", src, []*Analyzer{ErrDiscard, FixUnfix})
+	if len(diags) != 1 || diags[0].Analyzer != StaleIgnoreName {
+		t.Fatalf("full run missed the stale ignore: %v", diags)
+	}
+}

@@ -10,15 +10,36 @@ import (
 // fixunfix and spanend analyzers: a resource obtained from an acquisition
 // call must reach a release call on every path out of the function.
 type pairSpec struct {
+	// key identifies the spec for interprocedural summary memoization;
+	// specs without a key (or resourceType) run purely intraprocedurally.
+	key string
 	// acquire reports whether call acquires a resource. resIdx is the
 	// result index holding the resource, errIdx the index of a paired
 	// error result (-1 when the acquisition cannot fail). desc names the
-	// resource in diagnostics ("buffer handle", "span").
+	// resource in diagnostics ("buffer handle", "span"). May be nil for
+	// specs whose resources are only acquired statement-level
+	// (acquireRecv).
 	acquire func(info *types.Info, call *ast.CallExpr) (resIdx, errIdx int, desc string, ok bool)
+	// acquireRecv recognizes a statement-level acquisition on a receiver
+	// (mu.Lock()): the returned variable becomes the tracked resource.
+	acquireRecv func(info *types.Info, call *ast.CallExpr) (v *types.Var, desc string, ok bool)
 	// release reports whether call releases the resource held in v —
 	// either as method receiver (h.Unfix) or argument (UnfixAll(hs),
 	// tr.End(sp)).
 	release func(info *types.Info, call *ast.CallExpr, v *types.Var) bool
+	// borrows reports whether the callee uses v without releasing or
+	// retaining it, so tracking continues past the call instead of
+	// escaping. Filled in by interprocedural summary composition.
+	borrows func(info *types.Info, call *ast.CallExpr, v *types.Var) bool
+	// resourceType reports whether a parameter of type t should be seeded
+	// as a live resource when summarizing a function interprocedurally.
+	resourceType func(t types.Type) bool
+	// onAcquire runs before a statement-level acquisition is recorded,
+	// with the still-unmodified env (locksafe's lock-order lattice).
+	onAcquire func(c *pairChecker, call *ast.CallExpr, v *types.Var, e env)
+	// onCall observes every other call made while resources are tracked
+	// (locksafe's barrier/durable-I/O-under-latch rule).
+	onCall func(c *pairChecker, call *ast.CallExpr, e env)
 	// releaseName names the missing call in diagnostics.
 	releaseName string
 }
@@ -33,6 +54,7 @@ type tstate struct {
 	mayLive     bool // some path holds an unreleased resource
 	mayReleased bool // some path has released it
 	deferred    bool // a deferred release covers every later exit
+	escaped     bool // ownership may have transferred (summary mode only)
 }
 
 // env maps resource variables to their state along the current path.
@@ -54,6 +76,7 @@ func (e env) merge(o env) {
 			t.mayLive = t.mayLive || ot.mayLive
 			t.mayReleased = t.mayReleased || ot.mayReleased
 			t.deferred = t.deferred && ot.deferred
+			t.escaped = t.escaped || ot.escaped
 		}
 	}
 	for v, ot := range o {
@@ -69,10 +92,22 @@ type pairChecker struct {
 	pass     *Pass
 	spec     *pairSpec
 	reported map[token.Pos]bool // leak reports, keyed by acquisition site
+
+	// Summary mode (set by Program.summarizePair): no diagnostics are
+	// emitted, escapes are marked sticky instead of dropping tracking, and
+	// the hooks observe exits/returns to classify seeded parameters.
+	silent      bool
+	keepEscaped bool
+	onExit      func(e env)
+	onReturn    func(s *ast.ReturnStmt, e env)
 }
 
-// checkPairs applies spec to every function body in the pass.
+// checkPairs applies spec to every function body in the pass, composed
+// with the program's interprocedural effect table when one is available.
 func checkPairs(pass *Pass, spec *pairSpec) {
+	if pass.Prog != nil {
+		spec = pass.Prog.interSpec(spec)
+	}
 	c := &pairChecker{pass: pass, spec: spec, reported: make(map[token.Pos]bool)}
 	funcBodies(pass.Files, func(body *ast.BlockStmt) {
 		e := make(env)
@@ -82,13 +117,28 @@ func checkPairs(pass *Pass, spec *pairSpec) {
 	})
 }
 
+// report emits a diagnostic unless the checker runs in summary mode.
+func (c *pairChecker) report(pos token.Pos, format string, args ...any) {
+	if c.silent {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
 // exitCheck reports resources still live at a function exit. Branches
 // walk cloned states, so the report is deduplicated by acquisition site.
 func (c *pairChecker) exitCheck(e env, _ token.Pos) {
+	if c.onExit != nil {
+		c.onExit(e)
+		return
+	}
 	for _, t := range e {
+		if t.escaped {
+			continue
+		}
 		if t.mayLive && !t.deferred && !c.reported[t.pos] {
 			c.reported[t.pos] = true
-			c.pass.Reportf(t.pos, "%s %q is not released on every path: missing %s",
+			c.report(t.pos, "%s %q is not released on every path: missing %s",
 				t.desc, t.v.Name(), c.spec.releaseName)
 		}
 	}
@@ -115,6 +165,9 @@ func (c *pairChecker) walkStmt(s ast.Stmt, e env) bool {
 			if c.releaseCall(call, e) {
 				return true
 			}
+			if c.acquireRecvCall(call, e) {
+				return true
+			}
 			if isPanic(c.pass.Info, call) {
 				c.escapeExpr(call, e)
 				return false
@@ -129,6 +182,9 @@ func (c *pairChecker) walkStmt(s ast.Stmt, e env) bool {
 		c.escapeExpr(s.Call, e)
 
 	case *ast.ReturnStmt:
+		if c.onReturn != nil {
+			c.onReturn(s, e)
+		}
 		for _, r := range s.Results {
 			c.escapeIdent(r, e)
 			c.escapeExpr(r, e)
@@ -234,7 +290,7 @@ func (c *pairChecker) assign(s *ast.AssignStmt, e env) {
 		}
 	}
 
-	if len(s.Rhs) == 1 {
+	if len(s.Rhs) == 1 && c.spec.acquire != nil {
 		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
 			if resIdx, errIdx, desc, ok := c.spec.acquire(c.pass.Info, call); ok {
 				for _, arg := range call.Args {
@@ -263,7 +319,7 @@ func (c *pairChecker) acquire(s *ast.AssignStmt, call *ast.CallExpr, resIdx, err
 		return
 	}
 	if id.Name == "_" {
-		c.pass.Reportf(call.Pos(), "result of %s (%s) is discarded: it can never be released",
+		c.report(call.Pos(), "result of %s (%s) is discarded: it can never be released",
 			callName(c.pass.Info, call), desc)
 		return
 	}
@@ -271,8 +327,8 @@ func (c *pairChecker) acquire(s *ast.AssignStmt, call *ast.CallExpr, resIdx, err
 	if v == nil {
 		return
 	}
-	if old, ok := e[v]; ok && old.mayLive && !old.deferred {
-		c.pass.Reportf(call.Pos(), "%s %q is reassigned while still unreleased (missing %s for the previous value)",
+	if old, ok := e[v]; ok && old.mayLive && !old.deferred && !old.escaped {
+		c.report(call.Pos(), "%s %q is reassigned while still unreleased (missing %s for the previous value)",
 			desc, v.Name(), c.spec.releaseName)
 	}
 	t := &tstate{v: v, pos: call.Pos(), desc: desc, mayLive: true}
@@ -284,21 +340,51 @@ func (c *pairChecker) acquire(s *ast.AssignStmt, call *ast.CallExpr, resIdx, err
 	e[v] = t
 }
 
-// releaseCall handles a statement-level release, reporting double release.
+// releaseCall handles a statement-level release, reporting double
+// release. One call may release several tracked resources (an
+// interprocedural callee releasing two parameters).
 func (c *pairChecker) releaseCall(call *ast.CallExpr, e env) bool {
+	any := false
 	for v, t := range e {
+		if t.escaped {
+			continue
+		}
 		if c.spec.release(c.pass.Info, call, v) {
 			if !t.mayLive && t.mayReleased {
-				c.pass.Reportf(call.Pos(), "%s %q is released twice (already released on every path here)",
+				c.report(call.Pos(), "%s %q is released twice (already released on every path here)",
 					t.desc, v.Name())
 			}
 			t.mayLive = false
 			t.mayReleased = true
 			// Other arguments of the release call are benign.
-			return true
+			any = true
 		}
 	}
-	return false
+	return any
+}
+
+// acquireRecvCall recognizes a statement-level receiver acquisition
+// (mu.Lock()) and begins tracking the receiver variable.
+func (c *pairChecker) acquireRecvCall(call *ast.CallExpr, e env) bool {
+	if c.spec.acquireRecv == nil {
+		return false
+	}
+	v, desc, ok := c.spec.acquireRecv(c.pass.Info, call)
+	if !ok || v == nil {
+		return false
+	}
+	if c.spec.onAcquire != nil && !c.silent {
+		c.spec.onAcquire(c, call, v, e)
+	}
+	e[v] = &tstate{v: v, pos: call.Pos(), desc: desc, mayLive: true}
+	return true
+}
+
+// observe feeds a non-release call to the spec's onCall hook.
+func (c *pairChecker) observe(call *ast.CallExpr, e env) {
+	if c.spec.onCall != nil && !c.silent {
+		c.spec.onCall(c, call, e)
+	}
 }
 
 // deferStmt recognizes deferred releases, direct or via a closure.
@@ -332,14 +418,18 @@ func (c *pairChecker) deferStmt(s *ast.DeferStmt, e env) {
 }
 
 func (c *pairChecker) markDeferredRelease(call *ast.CallExpr, e env) bool {
+	any := false
 	for v, t := range e {
+		if t.escaped {
+			continue
+		}
 		if c.spec.release(c.pass.Info, call, v) {
 			t.deferred = true
 			t.mayReleased = true
-			return true
+			any = true
 		}
 	}
-	return false
+	return any
 }
 
 // ifStmt walks both branches with error-nilness refinement and merges the
@@ -459,8 +549,8 @@ func (c *pairChecker) loopBody(body *ast.BlockStmt, post ast.Stmt, e env) {
 	}
 	if ft {
 		for v, t := range be {
-			if !pre[v] && t.mayLive && !t.deferred {
-				c.pass.Reportf(t.pos, "%s %q acquired in a loop is not released before the next iteration: missing %s",
+			if !pre[v] && t.mayLive && !t.deferred && !t.escaped {
+				c.report(t.pos, "%s %q acquired in a loop is not released before the next iteration: missing %s",
 					t.desc, t.v.Name(), c.spec.releaseName)
 				t.mayLive = false
 			}
@@ -492,7 +582,7 @@ func (c *pairChecker) rangeStmt(s *ast.RangeStmt, e env) {
 					}
 				}
 				// Ranging without releasing: elements alias away.
-				delete(e, v)
+				c.dropVar(v, e)
 			}
 		}
 	} else {
@@ -588,7 +678,19 @@ func (c *pairChecker) escapeExpr(expr ast.Expr, e env) {
 			if c.releaseCall(n, e) {
 				return false
 			}
+			c.observe(n, e)
 			for _, arg := range n.Args {
+				// A summarized callee that only borrows the resource
+				// leaves ownership with the caller: keep tracking.
+				if c.spec.borrows != nil {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if v := objVar(c.pass.Info, id); v != nil {
+							if _, tracked := e[v]; tracked && c.spec.borrows(c.pass.Info, n, v) {
+								continue
+							}
+						}
+					}
+				}
 				c.escapeIdent(arg, e)
 			}
 			// Method calls on the resource itself (other than release)
@@ -625,15 +727,25 @@ func (c *pairChecker) escapeExpr(expr ast.Expr, e env) {
 }
 
 // escapeIdent unconditionally drops tracking when expr is a tracked
-// identifier.
+// identifier. In summary mode the state stays in the env with a sticky
+// escaped mark, so exits can still classify the seed.
 func (c *pairChecker) escapeIdent(expr ast.Expr, e env) {
 	id, ok := expr.(*ast.Ident)
 	if !ok {
 		return
 	}
 	if v := objVar(c.pass.Info, id); v != nil {
-		delete(e, v)
+		c.dropVar(v, e)
 	}
+}
+
+// dropVar ends tracking of v, marking instead of deleting in summary mode.
+func (c *pairChecker) dropVar(v *types.Var, e env) {
+	if t, ok := e[v]; ok && c.keepEscaped {
+		t.escaped = true
+		return
+	}
+	delete(e, v)
 }
 
 // clearInto replaces the contents of dst with src.

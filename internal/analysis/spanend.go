@@ -19,9 +19,21 @@ var SpanEnd = &Analyzer{
 	Run: runSpanEnd,
 }
 
+// isSpanIDType reports whether t is obs.SpanID, the resource the
+// interprocedural summaries seed as a parameter.
+func isSpanIDType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == obsPkgPath && n.Obj().Name() == "SpanID"
+}
+
 func runSpanEnd(pass *Pass) {
 	spec := &pairSpec{
-		releaseName: "Tracer.End",
+		key:          "spanend",
+		resourceType: isSpanIDType,
+		releaseName:  "Tracer.End",
 		acquire: func(info *types.Info, call *ast.CallExpr) (int, int, string, bool) {
 			fn := calleeFunc(info, call)
 			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath || fn.Name() != "Begin" {

@@ -1,0 +1,574 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Program aggregates every package loaded in one lobvet invocation and
+// derives per-function summaries from them, so analyzers can reason across
+// call boundaries: which functions release a resource passed in, which
+// hand a freshly acquired one back to the caller, which provably never
+// return a non-nil error, and (for barrierorder/locksafe) which reach a
+// durability barrier or durable file I/O transitively.
+//
+// Summaries are computed lazily and memoized. They are monotone fixpoints:
+// a fact only ever flips from "unknown" to "established", so iteration
+// order cannot change the result.
+type Program struct {
+	byPath map[string]*Package
+	srcs   map[*types.Func]*funcSource
+
+	// pairFx memoizes pair-effect tables per pairSpec key.
+	pairFx map[string]map[*types.Func]*pairEffect
+
+	// infallible holds functions every error result of which is provably
+	// nil on all returns. Built on first use.
+	infallible map[*types.Func]bool
+
+	// events / lockFx are the barrierorder and locksafe summary caches;
+	// their builders live in barrierorder.go and locksafe.go.
+	events     map[*types.Func][]protoEvent
+	eventsBusy map[*types.Func]bool
+	lockFx     map[*types.Func]*lockEffect
+	lockBusy   map[*types.Func]bool
+}
+
+// funcSource ties a function object to its declaration and owning package.
+type funcSource struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// NewProgram builds a Program over the given packages. Pass every package
+// the run will analyze plus their module-internal dependencies (the
+// loader's Packages method returns exactly that closure); functions whose
+// source is absent simply get no summary and stay conservatively unknown.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		byPath: make(map[string]*Package),
+		srcs:   make(map[*types.Func]*funcSource),
+	}
+	p.reset()
+	for _, pkg := range pkgs {
+		p.AddPackage(pkg)
+	}
+	return p
+}
+
+// reset drops every memoized summary table.
+func (p *Program) reset() {
+	p.pairFx = make(map[string]map[*types.Func]*pairEffect)
+	p.infallible = nil
+	p.events = make(map[*types.Func][]protoEvent)
+	p.eventsBusy = make(map[*types.Func]bool)
+	p.lockFx = make(map[*types.Func]*lockEffect)
+	p.lockBusy = make(map[*types.Func]bool)
+}
+
+// AddPackage indexes a package's function declarations. Adding a package
+// that is already present is a no-op; adding a new one invalidates the
+// memoized summaries, since they may have treated its functions as
+// unknown.
+func (p *Program) AddPackage(pkg *Package) {
+	if pkg == nil {
+		return
+	}
+	if _, ok := p.byPath[pkg.Path]; ok {
+		return
+	}
+	p.byPath[pkg.Path] = pkg
+	for _, f := range pkg.Syntax {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			p.srcs[fn] = &funcSource{pkg: pkg, decl: fd}
+		}
+	}
+	p.reset()
+}
+
+// source returns the declaration of fn, or nil when its body is not part
+// of this program (standard library, interface methods).
+func (p *Program) source(fn *types.Func) *funcSource {
+	if fn == nil {
+		return nil
+	}
+	return p.srcs[fn]
+}
+
+// sortedFuncs returns the indexed functions in declaration-position order,
+// so fixpoint iteration (and therefore any tie-breaking, e.g. which desc
+// string wins) is deterministic.
+func (p *Program) sortedFuncs() []*types.Func {
+	fns := make([]*types.Func, 0, len(p.srcs))
+	for fn := range p.srcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	return fns
+}
+
+// pairEffect summarizes how one function interacts with one pairSpec's
+// resource kind.
+type pairEffect struct {
+	// releasesRecv/releasesParam: the resource passed in that slot is
+	// released on every path out of the function, so the call counts as a
+	// release at the call site.
+	releasesRecv  bool
+	releasesParam []bool
+	// borrowsRecv/borrowsParam: the resource is used but neither released
+	// nor retained; the caller keeps ownership and tracking continues.
+	borrowsRecv  bool
+	borrowsParam []bool
+	// acquiresRes >= 0 marks the result slot holding a resource the
+	// function acquired and hands to its caller, with acquiresErr the
+	// paired error result index (-1 when none). desc names the resource.
+	acquiresRes int
+	acquiresErr int
+	desc        string
+}
+
+func (e *pairEffect) equal(o *pairEffect) bool {
+	if o == nil {
+		return false
+	}
+	if e.releasesRecv != o.releasesRecv || e.borrowsRecv != o.borrowsRecv ||
+		e.acquiresRes != o.acquiresRes || e.acquiresErr != o.acquiresErr || e.desc != o.desc {
+		return false
+	}
+	eq := func(a, b []bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(e.releasesParam, o.releasesParam) && eq(e.borrowsParam, o.borrowsParam)
+}
+
+// pairEffects computes (memoized) the per-function effect table for spec
+// by monotone fixpoint: each round re-summarizes every function against
+// the current table until nothing changes.
+func (p *Program) pairEffects(spec *pairSpec) map[*types.Func]*pairEffect {
+	if spec.key == "" || spec.resourceType == nil {
+		return nil
+	}
+	if fx, ok := p.pairFx[spec.key]; ok {
+		return fx
+	}
+	fx := make(map[*types.Func]*pairEffect)
+	p.pairFx[spec.key] = fx
+	fns := p.sortedFuncs()
+	// Effects only grow; depth of call chains bounds the rounds needed.
+	// The cap is a safety net, not a tuning knob.
+	for round := 0; round < 32; round++ {
+		changed := false
+		for _, fn := range fns {
+			ne := p.summarizePair(spec, fx, fn, p.srcs[fn])
+			if !ne.equal(fx[fn]) {
+				fx[fn] = ne
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return fx
+}
+
+// interSpec composes spec with the program's effect table, so calls to
+// summarized functions count as acquisitions, releases or borrows at the
+// call site. Specs without a key/resourceType pass through unchanged.
+func (p *Program) interSpec(spec *pairSpec) *pairSpec {
+	fx := p.pairEffects(spec)
+	if fx == nil {
+		return spec
+	}
+	return composeSpec(spec, fx)
+}
+
+// composeSpec layers an effect table under a base spec: the base
+// recognizers win, then summarized callees.
+func composeSpec(base *pairSpec, fx map[*types.Func]*pairEffect) *pairSpec {
+	s := *base
+	s.acquire = func(info *types.Info, call *ast.CallExpr) (int, int, string, bool) {
+		if base.acquire != nil {
+			if r, ei, d, ok := base.acquire(info, call); ok {
+				return r, ei, d, ok
+			}
+		}
+		if eff := fx[calleeFunc(info, call)]; eff != nil && eff.acquiresRes >= 0 {
+			return eff.acquiresRes, eff.acquiresErr, eff.desc, true
+		}
+		return 0, 0, "", false
+	}
+	s.release = func(info *types.Info, call *ast.CallExpr, v *types.Var) bool {
+		if base.release != nil && base.release(info, call, v) {
+			return true
+		}
+		eff := fx[calleeFunc(info, call)]
+		if eff == nil {
+			return false
+		}
+		return effectMatches(info, call, v, eff.releasesRecv, eff.releasesParam)
+	}
+	s.borrows = func(info *types.Info, call *ast.CallExpr, v *types.Var) bool {
+		eff := fx[calleeFunc(info, call)]
+		if eff == nil {
+			return false
+		}
+		return effectMatches(info, call, v, eff.borrowsRecv, eff.borrowsParam)
+	}
+	return &s
+}
+
+// effectMatches reports whether v appears in a call slot the effect marks
+// (receiver or positional parameter).
+func effectMatches(info *types.Info, call *ast.CallExpr, v *types.Var, recvFlag bool, params []bool) bool {
+	if recvFlag {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && objVar(info, id) == v {
+				return true
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		if i >= len(params) || !params[i] {
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && objVar(info, id) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// summarizePair runs the paircheck engine over one function body in
+// summary mode: the receiver and resource-typed parameters are seeded as
+// live resources, escapes are marked instead of dropped, and the per-exit
+// states classify each seed as released-on-all-paths, borrowed, or
+// unknown. Returns of a live non-seed resource become an acquire fact.
+func (p *Program) summarizePair(spec *pairSpec, fx map[*types.Func]*pairEffect, fn *types.Func, src *funcSource) *pairEffect {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return &pairEffect{acquiresRes: -1, acquiresErr: -1}
+	}
+	eff := &pairEffect{
+		acquiresRes:   -1,
+		acquiresErr:   -1,
+		releasesParam: make([]bool, sig.Params().Len()),
+		borrowsParam:  make([]bool, sig.Params().Len()),
+	}
+	body := src.decl.Body
+	if body == nil {
+		return eff
+	}
+
+	var scratch []Diagnostic
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: spec.key},
+		Fset:     src.pkg.Fset,
+		Files:    src.pkg.Syntax,
+		Pkg:      src.pkg.Types,
+		PkgPath:  src.pkg.Path,
+		Info:     src.pkg.Info,
+		diags:    &scratch,
+	}
+
+	type outcome struct {
+		idx                                        int // -1 is the receiver
+		live, released, escaped, returned, sawExit bool
+	}
+	seeds := make(map[*types.Var]*outcome)
+	e := make(env)
+	seed := func(v *types.Var, idx int) {
+		if v == nil || v.Name() == "" || v.Name() == "_" || !spec.resourceType(v.Type()) {
+			return
+		}
+		seeds[v] = &outcome{idx: idx}
+		e[v] = &tstate{v: v, pos: src.decl.Pos(), desc: "parameter", mayLive: true}
+	}
+	if r := sig.Recv(); r != nil {
+		seed(r, -1)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		seed(sig.Params().At(i), i)
+	}
+
+	c := &pairChecker{
+		pass:        pass,
+		spec:        composeSpec(spec, fx),
+		reported:    make(map[token.Pos]bool),
+		silent:      true,
+		keepEscaped: true,
+	}
+	c.onExit = func(e env) {
+		for v, o := range seeds {
+			t, ok := e[v]
+			if !ok {
+				o.escaped = true
+				continue
+			}
+			o.sawExit = true
+			if t.escaped {
+				o.escaped = true
+			}
+			if t.mayLive && !t.deferred {
+				o.live = true
+			}
+			if t.mayReleased || t.deferred {
+				o.released = true
+			}
+		}
+	}
+	c.onReturn = func(s *ast.ReturnStmt, e env) {
+		if len(s.Results) != sig.Results().Len() {
+			// Tuple-forward return g(): if g itself is an acquirer (base
+			// recognizer or summarized), its result slots are this
+			// function's result slots verbatim — the acquisition forwards.
+			if len(s.Results) == 1 {
+				if call, ok := ast.Unparen(s.Results[0]).(*ast.CallExpr); ok {
+					if r, _, d, ok := c.spec.acquire(pass.Info, call); ok {
+						if eff.acquiresRes < 0 || eff.acquiresRes == r {
+							eff.acquiresRes = r
+							eff.desc = d
+						} else {
+							eff.acquiresRes = conflictingSlots
+						}
+					}
+				}
+			}
+			return
+		}
+		for i, r := range s.Results {
+			id, ok := ast.Unparen(r).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := objVar(pass.Info, id)
+			if v == nil {
+				continue
+			}
+			if o, isSeed := seeds[v]; isSeed {
+				o.returned = true // ownership moves out through the result
+				continue
+			}
+			t, tracked := e[v]
+			if !tracked || t.escaped || !t.mayLive {
+				continue
+			}
+			switch {
+			case eff.acquiresRes < 0 || eff.acquiresRes == i:
+				eff.acquiresRes = i
+				eff.desc = t.desc
+			default:
+				eff.acquiresRes = conflictingSlots
+			}
+		}
+	}
+	if c.walkStmts(body.List, e) {
+		c.exitCheck(e, body.End())
+	}
+	if eff.acquiresRes == conflictingSlots {
+		eff.acquiresRes = -1
+		eff.desc = ""
+	}
+
+	for _, o := range seeds {
+		if !o.sawExit || o.escaped || o.returned {
+			continue
+		}
+		switch {
+		case o.released && !o.live:
+			if o.idx < 0 {
+				eff.releasesRecv = true
+			} else {
+				eff.releasesParam[o.idx] = true
+			}
+		case !o.released && o.live:
+			if o.idx < 0 {
+				eff.borrowsRecv = true
+			} else {
+				eff.borrowsParam[o.idx] = true
+			}
+		}
+	}
+	if eff.acquiresRes >= 0 {
+		res := sig.Results()
+		for j := 0; j < res.Len(); j++ {
+			if j != eff.acquiresRes && isErrorType(res.At(j).Type()) {
+				eff.acquiresErr = j
+			}
+		}
+	}
+	return eff
+}
+
+// conflictingSlots marks an acquire fact that named two different result
+// slots on different returns; such a summary is dropped.
+const conflictingSlots = -2
+
+// Infallible reports whether every error result of fn is provably nil on
+// all return paths — directly nil, or forwarded from another infallible
+// function (mutual recursion included: the analysis is a greatest
+// fixpoint, so a cycle of nil-returners qualifies).
+func (p *Program) Infallible(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if p.infallible == nil {
+		p.computeInfallible()
+	}
+	return p.infallible[fn]
+}
+
+// retSite is one return statement with the types.Info that resolves it.
+type retSite struct {
+	info *types.Info
+	ret  *ast.ReturnStmt
+}
+
+func (p *Program) computeInfallible() {
+	// Candidates start optimistic (every analyzable error-returning
+	// function) and are struck off until only provable ones remain.
+	cand := make(map[*types.Func][]retSite)
+	for fn, src := range p.srcs {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		res := sig.Results()
+		if res.Len() == 0 {
+			continue
+		}
+		hasErr, named := false, false
+		for i := 0; i < res.Len(); i++ {
+			if isErrorType(res.At(i).Type()) {
+				hasErr = true
+			}
+			if res.At(i).Name() != "" {
+				named = true // named results can be assigned anywhere: give up
+			}
+		}
+		if !hasErr || named {
+			continue
+		}
+		rets, ok := collectReturns(src.decl.Body)
+		if !ok {
+			continue
+		}
+		sites := make([]retSite, 0, len(rets))
+		for _, r := range rets {
+			sites = append(sites, retSite{info: src.pkg.Info, ret: r})
+		}
+		cand[fn] = sites
+	}
+	for {
+		removed := false
+		for fn, sites := range cand {
+			if !returnsOnlyNil(fn, sites, cand) {
+				delete(cand, fn)
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	p.infallible = make(map[*types.Func]bool, len(cand))
+	for fn := range cand {
+		p.infallible[fn] = true
+	}
+}
+
+// collectReturns gathers the function's own return statements, skipping
+// nested function literals (their returns are not the function's). ok is
+// false when a return is unanalyzable.
+func collectReturns(body *ast.BlockStmt) ([]*ast.ReturnStmt, bool) {
+	var rets []*ast.ReturnStmt
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 {
+				ok = false // bare return: only legal with named results
+			}
+			rets = append(rets, n)
+		}
+		return true
+	})
+	return rets, ok
+}
+
+// returnsOnlyNil checks every error-typed slot of every return against the
+// current candidate set.
+func returnsOnlyNil(fn *types.Func, sites []retSite, cand map[*types.Func][]retSite) bool {
+	sig := fn.Type().(*types.Signature)
+	res := sig.Results()
+	for _, site := range sites {
+		r := site.ret
+		if len(r.Results) == 1 && res.Len() > 1 {
+			// Tuple-forward form: return g(). Infallible iff g is.
+			call, ok := ast.Unparen(r.Results[0]).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			g := calleeFunc(site.info, call)
+			if g == nil {
+				return false
+			}
+			if _, ok := cand[g]; !ok {
+				return false
+			}
+			continue
+		}
+		if len(r.Results) != res.Len() {
+			return false
+		}
+		for i, expr := range r.Results {
+			if !isErrorType(res.At(i).Type()) {
+				continue
+			}
+			if !nilOrInfallibleCall(site.info, expr, cand) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nilOrInfallibleCall reports whether expr is the nil literal or a call to
+// a (still-)candidate infallible function.
+func nilOrInfallibleCall(info *types.Info, expr ast.Expr, cand map[*types.Func][]retSite) bool {
+	expr = ast.Unparen(expr)
+	if id, ok := expr.(*ast.Ident); ok {
+		_, isNilObj := info.Uses[id].(*types.Nil)
+		return isNilObj
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	g := calleeFunc(info, call)
+	if g == nil {
+		return false
+	}
+	_, isCand := cand[g]
+	return isCand
+}

@@ -1,6 +1,9 @@
 package analysis
 
-import "strings"
+import (
+	"go/token"
+	"strings"
+)
 
 // suppression is one parsed //lobvet:ignore comment.
 type suppression struct {
@@ -36,12 +39,29 @@ func (s suppression) covers(analyzer string) bool {
 	return false
 }
 
+// StaleIgnoreName is the pseudo-analyzer stale-suppression findings are
+// reported under by the audit in applySuppressions.
+const StaleIgnoreName = "staleignore"
+
+// suppSite is one //lobvet:ignore comment found in the package.
+type suppSite struct {
+	s       suppression
+	pos     token.Position
+	matched bool // targeted at least one diagnostic this run
+}
+
 // applySuppressions marks diagnostics covered by a //lobvet:ignore
 // comment on the same line or the line directly above. A suppression
 // without a reason does not suppress: the explanation is the point.
-func applySuppressions(pkg *Package, diags []Diagnostic) {
-	// file → line → suppression
-	byLine := make(map[string]map[int]suppression)
+//
+// It also audits the comments themselves: an ignore that targets no
+// diagnostic is stale and reported under the staleignore pseudo-analyzer
+// — but only when every analyzer it names actually ran, since a partial
+// -only run cannot judge the others.
+func applySuppressions(pkg *Package, diags []Diagnostic, ran map[string]bool) []Diagnostic {
+	// file → line → site index (sites are shared so matches stick).
+	sites := []*suppSite{}
+	byLine := make(map[string]map[int]*suppSite)
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -50,17 +70,19 @@ func applySuppressions(pkg *Package, diags []Diagnostic) {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				site := &suppSite{s: s, pos: pos}
+				sites = append(sites, site)
 				m := byLine[pos.Filename]
 				if m == nil {
-					m = make(map[int]suppression)
+					m = make(map[int]*suppSite)
 					byLine[pos.Filename] = m
 				}
-				m[pos.Line] = s
+				m[pos.Line] = site
 			}
 		}
 	}
-	if len(byLine) == 0 {
-		return
+	if len(sites) == 0 {
+		return diags
 	}
 	for i := range diags {
 		d := &diags[i]
@@ -68,18 +90,49 @@ func applySuppressions(pkg *Package, diags []Diagnostic) {
 		if m == nil {
 			continue
 		}
-		s, ok := m[d.Pos.Line]
+		site, ok := m[d.Pos.Line]
 		if !ok {
-			s, ok = m[d.Pos.Line-1]
+			site, ok = m[d.Pos.Line-1]
 		}
-		if !ok || !s.covers(d.Analyzer) {
+		if !ok || !site.s.covers(d.Analyzer) {
 			continue
 		}
-		if s.reason == "" {
+		site.matched = true
+		if site.s.reason == "" {
 			d.Message += " (suppression ignored: //lobvet:ignore needs a reason)"
 			continue
 		}
 		d.Suppressed = true
-		d.SuppressReason = s.reason
+		d.SuppressReason = site.s.reason
 	}
+	for _, site := range sites {
+		if site.matched {
+			continue
+		}
+		if len(site.s.analyzers) == 0 {
+			diags = append(diags, Diagnostic{
+				Pos:      site.pos,
+				Analyzer: StaleIgnoreName,
+				Message:  "malformed //lobvet:ignore names no analyzer and suppresses nothing: delete it or name the analyzer",
+			})
+			continue
+		}
+		judgeable := true
+		for _, a := range site.s.analyzers {
+			if !ran[a] {
+				judgeable = false
+				break
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      site.pos,
+			Analyzer: StaleIgnoreName,
+			Message: "stale //lobvet:ignore " + strings.Join(site.s.analyzers, ",") +
+				" suppresses nothing: the finding it silenced is gone, delete the comment",
+		})
+	}
+	return diags
 }

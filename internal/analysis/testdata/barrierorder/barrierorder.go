@@ -1,0 +1,140 @@
+// Testdata for the barrierorder analyzer: §3.3 shadow-commit ordering on
+// engine mutation paths. Functions with want comments carry seeded
+// protocol violations; the rest are the clean shapes the real engines
+// use (postree root flush, starburst descriptor write, store.EndOp
+// deferred frees, eos-style helpers), which must stay silent.
+package barriertest
+
+import (
+	"lobstore/internal/buddy"
+	"lobstore/internal/buffer"
+	"lobstore/internal/disk"
+	"lobstore/internal/store"
+)
+
+type tree struct {
+	pool *buffer.Pool
+	vol  *disk.Disk
+	st   *store.Store
+	root disk.Addr
+	desc disk.Addr
+}
+
+// --- clean: the postree commit shape ---
+
+func (t *tree) commitRoot() error {
+	if err := t.vol.Barrier(); err != nil {
+		return err
+	}
+	if err := t.pool.FlushPage(t.root); err != nil {
+		return err
+	}
+	return t.vol.Barrier()
+}
+
+// --- clean: the starburst descriptor shape, barrier via SyncBarrier ---
+
+func (t *tree) commitDesc(src []byte) error {
+	if err := t.st.SyncBarrier(); err != nil {
+		return err
+	}
+	return t.st.WritePages(t.desc, 1, src)
+}
+
+// --- clean: data-page flushes carry no ordering obligation ---
+
+func (t *tree) flushData(a disk.Addr) error {
+	return t.pool.FlushPage(a)
+}
+
+// --- clean: barrier spliced in from a helper counts at the call site ---
+
+func (t *tree) syncAll() error {
+	return t.vol.Barrier()
+}
+
+func (t *tree) commitViaHelper() error {
+	if err := t.syncAll(); err != nil {
+		return err
+	}
+	return t.pool.FlushPage(t.root)
+}
+
+// --- clean: the store.EndOp shape, barrier then deferred frees ---
+
+func endOpShape(vol *disk.Disk, leaf *buddy.Allocator, pending []disk.Addr) error {
+	if err := vol.Barrier(); err != nil {
+		return err
+	}
+	for _, a := range pending {
+		if err := leaf.Free(a, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- clean: frees deferred to return run after the post-commit barrier ---
+
+func (t *tree) commitWithDefer(leaf *buddy.Allocator, a disk.Addr) error {
+	defer leaf.Free(a, 1) //lobvet:ignore errdiscard shape fixture, the free error is out of scope here
+	if err := t.vol.Barrier(); err != nil {
+		return err
+	}
+	if err := t.pool.FlushPage(t.root); err != nil {
+		return err
+	}
+	return t.vol.Barrier()
+}
+
+// --- violation: commit-point flush with no preceding barrier ---
+
+func (t *tree) commitNoBarrier() error {
+	return t.pool.FlushPage(t.root) // want `commit-point flush without a preceding durability barrier`
+}
+
+// --- violation: descriptor write before its barrier ---
+
+func (t *tree) descBeforeBarrier(src []byte) error {
+	if err := t.st.WritePages(t.desc, 1, src); err != nil { // want `commit-point flush without a preceding durability barrier`
+		return err
+	}
+	return t.st.SyncBarrier()
+}
+
+// --- violation: free between commit and the post-commit barrier ---
+
+func (t *tree) freeBeforePostBarrier(leaf *buddy.Allocator, a disk.Addr) error {
+	if err := t.vol.Barrier(); err != nil {
+		return err
+	}
+	if err := t.pool.FlushPage(t.root); err != nil {
+		return err
+	}
+	if err := leaf.Free(a, 1); err != nil { // want `free applied before the post-commit barrier`
+		return err
+	}
+	return t.vol.Barrier()
+}
+
+// --- violation: scratch copy of store.EndOp with the barrier reordered
+// after the frees — the exact inversion the analyzer exists to catch ---
+
+func endOpReordered(vol *disk.Disk, leaf *buddy.Allocator, pending []disk.Addr) error {
+	for _, a := range pending {
+		if err := leaf.Free(a, 1); err != nil { // want `free applied before the post-commit barrier`
+			return err
+		}
+	}
+	return vol.Barrier()
+}
+
+// --- violation: eos-style caller frees before a helper does the
+// barrier+commit — caught only through the interprocedural splice ---
+
+func (t *tree) freeThenCommitViaHelper(leaf *buddy.Allocator, a disk.Addr) error {
+	if err := leaf.Free(a, 1); err != nil { // want `free applied before the post-commit barrier`
+		return err
+	}
+	return t.commitRoot()
+}

@@ -10,7 +10,7 @@ import (
 
 func fail() error { return errors.New("boom") }
 
-func pair() (int, error) { return 0, nil }
+func pair() (int, error) { return 0, errors.New("boom") }
 
 // --- violations ---
 
@@ -39,6 +39,26 @@ func wrapWithV(err error) error {
 	return fmt.Errorf("context: %v", err) // want `error operand formatted with %v in fmt\.Errorf`
 }
 
+// closureDrops pins the go/defer function-literal paths: drops inside a
+// spawned or deferred closure body must be flagged like any other.
+func closureDrops() {
+	go func() {
+		fail() // want `unchecked error from fail`
+	}()
+	defer func() {
+		_ = fail() // want `error result of fail discarded with _`
+	}()
+}
+
+func blankDecl() {
+	var _ = fail() // want `error result of fail discarded with _`
+}
+
+func blankDeclTuple() {
+	var n, _ = pair() // want `error result of pair discarded with _`
+	_ = n
+}
+
 // --- clean ---
 
 func handled() error {
@@ -61,4 +81,13 @@ func allowedDrops(sb *strings.Builder, buf *strings.Builder) {
 
 func nonErrorVerb(n int) error {
 	return fmt.Errorf("count %v exceeded", n)
+}
+
+// neverFails provably returns only nil errors on every path; the
+// interprocedural summary exempts drops of it.
+func neverFails() error { return nil }
+
+func infallibleDrop() {
+	_ = neverFails()
+	neverFails()
 }

@@ -4,10 +4,12 @@
 // volume type below stands in for filevol.Volume / *os.File.
 package synctest
 
+import "errors"
+
 type volume struct{}
 
-func (volume) Sync() error  { return nil }
-func (volume) Close() error { return nil }
+func (volume) Sync() error  { return errors.New("fsync failed") }
+func (volume) Close() error { return errors.New("close failed") }
 
 func open() (volume, error) { return volume{}, nil }
 

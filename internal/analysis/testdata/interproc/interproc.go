@@ -1,0 +1,93 @@
+// Testdata for the interprocedural summaries feeding the paircheck
+// engine. Before lobvet learned per-function effects, passing a handle
+// to ANY helper made it escape and silenced the leak check; now a helper
+// is summarized as releasing, borrowing, or escaping its parameters, and
+// acquire-wrappers propagate the acquisition to their caller.
+package interproc
+
+import (
+	"lobstore/internal/buffer"
+	"lobstore/internal/disk"
+)
+
+// drop releases its parameter: callers' handles die here.
+func drop(h *buffer.Handle) { h.Unfix(false) }
+
+// peek only borrows its parameter: the caller still owns the pin.
+func peek(h *buffer.Handle) byte { return h.Data[0] }
+
+// fetch is an acquire-wrapper: its result carries a live pin.
+func fetch(p *buffer.Pool, a disk.Addr) (*buffer.Handle, error) {
+	return p.FixPage(a)
+}
+
+// stash really does escape its parameter into the heap.
+var parked []*buffer.Handle
+
+func stash(h *buffer.Handle) { parked = append(parked, h) }
+
+// --- clean: released through the helper ---
+
+func releasedViaHelper(p *buffer.Pool, a disk.Addr) error {
+	h, err := p.FixPage(a)
+	if err != nil {
+		return err
+	}
+	drop(h)
+	return nil
+}
+
+// --- clean: acquire-wrapper plus helper release ---
+
+func wrapperRoundTrip(p *buffer.Pool, a disk.Addr) error {
+	h, err := fetch(p, a)
+	if err != nil {
+		return err
+	}
+	drop(h)
+	return nil
+}
+
+// --- clean: a genuine escape still ends tracking ---
+
+func parkedHandle(p *buffer.Pool, a disk.Addr) error {
+	h, err := p.FixPage(a)
+	if err != nil {
+		return err
+	}
+	stash(h)
+	return nil
+}
+
+// --- violation: a borrowing helper no longer hides the leak ---
+
+func leakAfterPeek(p *buffer.Pool, a disk.Addr) (byte, error) {
+	h, err := p.FixPage(a) // want `fixed page handle "h" is not released on every path`
+	if err != nil {
+		return 0, err
+	}
+	return peek(h), nil
+}
+
+// --- violation: the wrapper's acquisition is tracked at the caller ---
+
+func leakFromWrapper(p *buffer.Pool, a disk.Addr) error {
+	h, err := fetch(p, a) // want `fixed page handle "h" is not released on every path`
+	if err != nil {
+		return err
+	}
+	_ = h.Data[0]
+	return nil
+}
+
+// --- violation: double release through the helper ---
+
+func doubleViaHelper(p *buffer.Pool, a disk.Addr) error {
+	h, err := p.FixPage(a)
+	if err != nil {
+		return err
+	}
+	drop(h)
+	drop(h) // want `fixed page handle "h" is released twice`
+	return nil
+}

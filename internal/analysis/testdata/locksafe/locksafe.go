@@ -1,0 +1,164 @@
+// Testdata for the locksafe analyzer: unlock-on-all-paths, the
+// latch → pool → volume ordering lattice, and no durability work under a
+// latch. Lock classes are assigned by variable name ("latch", "pool",
+// "vol"), matching the declared lattice.
+package locktest
+
+import (
+	"os"
+	"sync"
+
+	"lobstore/internal/disk"
+)
+
+type engine struct {
+	latch   sync.Mutex
+	poolMu  sync.Mutex
+	volLock sync.RWMutex
+	vol     *disk.Disk
+	f       *os.File
+	n       int
+}
+
+// --- clean: lock/defer-unlock, the dominant idiom ---
+
+func (e *engine) bump() {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	e.n++
+}
+
+// --- clean: explicit unlock on every path ---
+
+func (e *engine) bumpIfSmall() bool {
+	e.latch.Lock()
+	if e.n > 10 {
+		e.latch.Unlock()
+		return false
+	}
+	e.n++
+	e.latch.Unlock()
+	return true
+}
+
+// --- clean: read lock paired with read unlock ---
+
+func (e *engine) read() int {
+	e.volLock.RLock()
+	defer e.volLock.RUnlock()
+	return e.n
+}
+
+// --- clean: lattice order latch → pool → volume ---
+
+func (e *engine) orderedNesting() {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	e.volLock.Lock()
+	defer e.volLock.Unlock()
+	e.n++
+}
+
+// --- violation: missing unlock on an early return ---
+
+func (e *engine) leakOnEarlyReturn() bool {
+	e.latch.Lock() // want `lock "latch" is not released on every path`
+	if e.n > 10 {
+		return false // leaks the latch
+	}
+	e.latch.Unlock()
+	return true
+}
+
+// --- violation: double unlock ---
+
+func (e *engine) doubleUnlock() {
+	e.latch.Lock()
+	e.n++
+	e.latch.Unlock()
+	e.latch.Unlock() // want `"latch" is released twice`
+}
+
+// --- violation: lock-order inversion, pool-class acquired then latch ---
+
+func (e *engine) inverted() {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	e.latch.Lock() // want `lock-order inversion: latch-class lock "latch" acquired while pool-class lock "poolMu" is held`
+	defer e.latch.Unlock()
+	e.n++
+}
+
+// --- violation: volume-class held while taking the pool lock ---
+
+func (e *engine) invertedVol() {
+	e.volLock.Lock()
+	defer e.volLock.Unlock()
+	e.poolMu.Lock() // want `lock-order inversion: pool-class lock "poolMu" acquired while volume-class lock "volLock" is held`
+	defer e.poolMu.Unlock()
+	e.n++
+}
+
+// --- violation: durability barrier invoked under the latch ---
+
+func (e *engine) barrierUnderLatch() error {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	return e.vol.Barrier() // want `durability barrier reached while latch "latch" is held`
+}
+
+// --- violation: barrier reached transitively through a helper ---
+
+func (e *engine) flushEverything() error {
+	return e.vol.Barrier()
+}
+
+func (e *engine) barrierViaHelper() error {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	return e.flushEverything() // want `durability barrier reached while latch "latch" is held`
+}
+
+// --- violation: raw file I/O under the latch ---
+
+func (e *engine) fileWriteUnderLatch(buf []byte) error {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	_, err := e.f.Write(buf) // want `durable file I/O reached while latch "latch" is held`
+	return err
+}
+
+// --- clean: barrier after the latch is released ---
+
+func (e *engine) barrierAfterUnlock() error {
+	e.latch.Lock()
+	e.n++
+	e.latch.Unlock()
+	return e.vol.Barrier()
+}
+
+// --- clean: pool-class lock alone does not forbid barriers ---
+
+func (e *engine) barrierUnderPool() error {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	return e.vol.Barrier()
+}
+
+// --- clean: unranked locks carry no lattice obligation ---
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) bump(other *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	b.n++
+	other.n++
+}

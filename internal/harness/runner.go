@@ -108,7 +108,6 @@ func (r *Runner) cell(c Cell) (any, error) {
 		v, err := c.Run(&derived)
 		ct.setWall(obs.WallNow() - start)
 		if ct.Series != nil {
-			//lobvet:ignore errdiscard sealing the trailing window; the in-memory recorder's Close never fails
 			_ = ct.Series.Close()
 		}
 		return v, err
