@@ -7,7 +7,11 @@
 // run that is more than -threshold slower on any comparable metric prints a
 // warning per regression — in GitHub Actions ::warning:: form so it
 // annotates the run — but exits 0, because shared CI runners are too noisy
-// for a hard gate; -enforce turns regressions into exit code 1.
+// for a hard gate; -enforce turns regressions into exit code 1, and
+// -enforce-p99 hard-gates only the p99 wall-clock latency metrics: tail
+// percentiles average out run-to-run scheduler noise far better than the
+// phase means, so with two PRs of baselines behind them they are gated in
+// CI while the wall means stay warn-only.
 //
 // Simulated-time metrics (per-experiment and total sim_ms) are different:
 // they come from the paper's deterministic cost model under a fixed seed,
@@ -21,6 +25,7 @@
 //	benchdiff baseline.json fresh.json
 //	benchdiff -threshold 0.5 -min-wall-ms 25 -min-p99-us 200 old.json new.json
 //	benchdiff -enforce baseline.json fresh.json
+//	benchdiff -enforce-p99 baseline.json fresh.json
 //	benchdiff -enforce-sim baseline.json fresh.json
 //
 // Both schemas are recognized by their fields: harness reports contribute
@@ -211,12 +216,13 @@ func main() {
 		floorUs    = flag.Float64("min-p99-us", 100, "skip p99 latency metrics whose baseline is below this many µs")
 		github     = flag.Bool("github", false, "emit GitHub Actions ::warning:: annotations")
 		enforce    = flag.Bool("enforce", false, "exit 1 when any wall-clock regression is found (default: warn only)")
+		enforceP99 = flag.Bool("enforce-p99", false, "exit 1 when a p99 wall-clock latency metric regresses (wall means stay warn-only)")
 		simTol     = flag.Float64("sim-threshold", 0, "relative drift tolerated on deterministic sim_ms metrics")
 		enforceSim = flag.Bool("enforce-sim", false, "exit 1 when any sim_ms metric drifts beyond -sim-threshold")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold R] [-min-wall-ms MS] [-min-p99-us US] [-sim-threshold R] [-github] [-enforce] [-enforce-sim] baseline.json fresh.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold R] [-min-wall-ms MS] [-min-p99-us US] [-sim-threshold R] [-github] [-enforce] [-enforce-p99] [-enforce-sim] baseline.json fresh.json")
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -246,22 +252,34 @@ func main() {
 			*threshold*100, len(base))
 		return
 	}
+	p99Regs := 0
 	for _, r := range regs {
 		msg := fmt.Sprintf("%s regressed %.1fx: %.3g -> %.3g", r.name, r.ratio, r.base, r.cur)
-		if *github {
+		hard := *enforce || (*enforceP99 && isUsMetric(r.name))
+		if hard && isUsMetric(r.name) {
+			p99Regs++
+		}
+		switch {
+		case *github && hard:
+			fmt.Printf("::error title=bench regression::%s\n", msg)
+		case *github:
 			fmt.Printf("::warning title=bench regression::%s\n", msg)
-		} else {
+		default:
 			fmt.Printf("benchdiff: WARNING %s\n", msg)
 		}
 	}
 	// Wall-clock gating is fail-soft by default: annotate, never break the
 	// build on shared-runner timing noise; -enforce flips that for callers
-	// with quiet machines. Simulated time carries no noise, so -enforce-sim
-	// turns any drift into a hard failure independently.
+	// with quiet machines, and -enforce-p99 hard-gates only the tail
+	// percentiles. Simulated time carries no noise, so -enforce-sim turns
+	// any drift into a hard failure independently.
 	if *enforceSim && len(simRegs) > 0 {
 		os.Exit(1)
 	}
 	if *enforce && len(regs) > 0 {
+		os.Exit(1)
+	}
+	if *enforceP99 && p99Regs > 0 {
 		os.Exit(1)
 	}
 }

@@ -2,9 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 	"testing"
+	"time"
 
 	"lobstore/internal/buffer"
 	"lobstore/internal/disk"
@@ -32,8 +35,9 @@ type volBenchReport struct {
 }
 
 type volBenchCase struct {
-	// Name is backend-pattern-op[-sync], e.g. "file-rand-write-sync", or
-	// pool-backend-writeback[-coalesce] for the buffer-pool cells.
+	// Name is backend-pattern-op[-sync], e.g. "file-rand-write-sync",
+	// pool-backend-writeback[-coalesce] for the buffer-pool cells, or
+	// group-commit-N-pattern-append for the barrier-combiner cells.
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerS      float64 `json:"mb_per_s"`
@@ -43,6 +47,11 @@ type volBenchCase struct {
 	// coalesce variant must show both at a fraction of the plain one.
 	WriteCalls float64 `json:"write_calls_per_op,omitempty"`
 	SimMs      float64 `json:"sim_ms_per_op,omitempty"`
+	// FsyncsPerOp and AvgBatch are reported by the group-commit cells:
+	// device flushes per committed op and mean barriers acknowledged per
+	// flush. Amortization shows as FsyncsPerOp ≈ 1/clients.
+	FsyncsPerOp float64 `json:"fsyncs_per_op,omitempty"`
+	AvgBatch    float64 `json:"avg_batch,omitempty"`
 }
 
 // volBenchAddrs returns the per-iteration run start pages: sequential
@@ -169,6 +178,84 @@ func benchPoolWriteback(p *buffer.Pool, d *disk.Disk, writeCalls, simMs *float64
 	}
 }
 
+// benchGroupCommit measures the sync-heavy multi-client append workload
+// through the barrier combiner: clients goroutines each loop
+// {WriteRun(own 4-page run in its stripe); Sync()} under policy commit, so
+// every op pays a durability barrier. clients == 1 with batching off is
+// the per-op-fsync baseline; larger cells open the volume with
+// MaxBatch == clients and a 2 ms window, and the ≥5× throughput win at
+// batch 16 is what BENCH CI guards. b.N is split across the clients; each
+// reports one op per committed barrier.
+func benchGroupCommit(v *filevol.Volume, clients int, random bool, fsyncsPerOp, avgBatch *float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		pageSize := v.PageSize()
+		if _, err := v.AddArea(volBenchPages); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, volBenchRunPages*pageSize)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		// Materialize the whole area so the timed loop never grows the
+		// files, then start everyone from a durable baseline.
+		for p := 0; p+volBenchRunPages <= volBenchPages; p += volBenchRunPages {
+			if err := v.WriteRun(disk.Addr{Page: disk.PageID(p)}, volBenchRunPages, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := v.SyncAll(); err != nil {
+			b.Fatal(err)
+		}
+		stripe := volBenchPages / clients
+		before := v.SyncStats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			n := b.N / clients
+			if c < b.N%clients {
+				n++
+			}
+			wg.Add(1)
+			go func(c, n int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(c)))
+				base := c * stripe
+				for i := 0; i < n; i++ {
+					var p int
+					if random {
+						p = base + rng.Intn(stripe-volBenchRunPages)
+					} else {
+						p = base + (i*volBenchRunPages)%(stripe-volBenchRunPages)
+					}
+					if err := v.WriteRun(disk.Addr{Page: disk.PageID(p)}, volBenchRunPages, buf); err != nil {
+						errCh <- err
+						return
+					}
+					if err := v.Sync(); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(c, n)
+		}
+		wg.Wait()
+		b.StopTimer()
+		close(errCh)
+		for err := range errCh {
+			b.Fatal(err)
+		}
+		delta := v.SyncStats().Sub(before)
+		if b.N > 0 {
+			*fsyncsPerOp = float64(delta.Fsyncs) / float64(b.N)
+		}
+		if delta.Batches > 0 {
+			*avgBatch = float64(delta.Barriers) / float64(delta.Batches)
+		}
+	}
+}
+
 // volumeBenchmarks runs the full backend × pattern × op × sync matrix.
 func volumeBenchmarks(pageSize int) (*volBenchReport, error) {
 	type cell struct {
@@ -281,6 +368,56 @@ func volumeBenchmarks(pageSize int) (*volBenchReport, error) {
 			WriteCalls:  writeCalls,
 			SimMs:       simMs,
 		})
+	}
+
+	// Group-commit cells: N concurrent committers, each op one durable
+	// barrier. The 1-client cell is the per-op-fsync baseline the larger
+	// batches are judged against.
+	for _, clients := range []int{1, 4, 16, 64} {
+		for _, random := range []bool{false, true} {
+			pattern := "seq"
+			if random {
+				pattern = "rand"
+			}
+			name := fmt.Sprintf("group-commit-%d-%s-append", clients, pattern)
+			dir, err := os.MkdirTemp("", "lobbench-vol-*")
+			if err != nil {
+				return nil, err
+			}
+			v, err := filevol.Open(dir, pageSize,
+				filevol.WithPolicy(filevol.SyncCommit),
+				filevol.WithGroupCommit(filevol.GroupCommit{
+					MaxBatch: clients,
+					MaxDelay: 2 * time.Millisecond,
+				}))
+			if err != nil {
+				return nil, err
+			}
+			var fsyncsPerOp, avgBatch float64
+			res := testing.Benchmark(benchGroupCommit(v, clients, random, &fsyncsPerOp, &avgBatch))
+			cerr := v.Close()
+			rerr := os.RemoveAll(dir)
+			if cerr != nil {
+				return nil, cerr
+			}
+			if rerr != nil {
+				return nil, rerr
+			}
+			bytesPerOp := float64(volBenchRunPages * pageSize)
+			ns := float64(res.NsPerOp())
+			mbps := 0.0
+			if ns > 0 {
+				mbps = bytesPerOp / ns * 1e9 / (1 << 20)
+			}
+			rep.Cases = append(rep.Cases, volBenchCase{
+				Name:        name,
+				NsPerOp:     ns,
+				MBPerS:      mbps,
+				AllocsPerOp: res.AllocsPerOp(),
+				FsyncsPerOp: fsyncsPerOp,
+				AvgBatch:    avgBatch,
+			})
+		}
 	}
 	return rep, nil
 }

@@ -76,12 +76,17 @@ func main() {
 		dir       = flag.String("dir", "", "directory of the file-backed database (backend file)")
 		sync      = flag.String("sync", "commit", "file-backend fsync policy: always, commit or never")
 		coalesce  = flag.Bool("coalesce", false, "enable elevator write coalescing and sequential read-ahead")
+		groupMax  = flag.Int("group-commit", 0, "file-backend group commit: max barriers per device flush (0 = off)")
+		groupWait = flag.Duration("group-delay", 0, "file-backend group commit: max wait for a batch to fill")
+		asyncWB   = flag.Bool("async-writeback", false, "file-backend: move pwrites onto a background writer")
 	)
 	flag.Parse()
 
 	cfg := lobstore.DefaultConfig()
 	cfg.Backend, cfg.Dir, cfg.SyncPolicy = *backend, *dir, *sync
 	cfg.Coalesce = *coalesce
+	cfg.GroupCommit = lobstore.GroupCommit{MaxBatch: *groupMax, MaxDelay: *groupWait}
+	cfg.AsyncWriteback = *asyncWB
 	db, err := lobstore.Open(cfg)
 	if err != nil {
 		fatalf("open: %v", err)

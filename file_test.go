@@ -172,14 +172,18 @@ func TestFileCrashMatrix(t *testing.T) {
 		return obj, before
 	}
 
-	// The whole matrix runs twice: once with the paper's one-write-per-page
-	// write-back and once with the elevator scheduler. Recovery always
-	// reopens with coalescing OFF, so the on-mode leg also proves the two
-	// modes agree on the durable state: same recovered bytes, same fsck.
+	// The whole matrix runs three times: once with the paper's
+	// one-write-per-page write-back, once with the elevator scheduler, and
+	// once through the commit pipeline (group commit + async write-back) —
+	// the cuts then land between a commit group's data writes and its
+	// shared fsync. Recovery always reopens with every mode OFF, so the
+	// on-mode legs also prove the modes agree on the durable state: same
+	// recovered bytes, same fsck.
 	modes := []struct {
 		name     string
 		coalesce bool
-	}{{"", false}, {"-coalesce", true}}
+		pipeline bool
+	}{{"", false, false}, {"-coalesce", true, false}, {"-pipeline", true, true}}
 
 	for _, mode := range modes {
 		for _, sc := range specs {
@@ -189,6 +193,10 @@ func TestFileCrashMatrix(t *testing.T) {
 					cfg := fileConfig(t.TempDir())
 					cfg.CrashInjection = true
 					cfg.Coalesce = mode.coalesce
+					if mode.pipeline {
+						cfg.GroupCommit = lobstore.GroupCommit{MaxBatch: 4}
+						cfg.AsyncWriteback = true
+					}
 					db, err := lobstore.Open(cfg)
 					if err != nil {
 						t.Fatal(err)
@@ -224,6 +232,10 @@ func TestFileCrashMatrix(t *testing.T) {
 						cfg := fileConfig(t.TempDir())
 						cfg.CrashInjection = true
 						cfg.Coalesce = mode.coalesce
+						if mode.pipeline {
+							cfg.GroupCommit = lobstore.GroupCommit{MaxBatch: 4}
+							cfg.AsyncWriteback = true
+						}
 						db, err := lobstore.Open(cfg)
 						if err != nil {
 							t.Fatal(err)
@@ -323,23 +335,26 @@ func TestOpenWriteKillReopen(t *testing.T) {
 		killChildMain(t)
 		return
 	}
-	// The child writes with and without the elevator scheduler; the parent
-	// always recovers with it off, so the coalesce leg doubles as a
-	// cross-mode check on the durable state.
+	// The child writes with and without the elevator scheduler, and once
+	// through the commit pipeline (group commit + async write-back); the
+	// parent always recovers with every mode off, so the on-mode legs
+	// double as cross-mode checks on the durable state.
 	for _, mode := range []struct {
 		name     string
 		coalesce string
-	}{{"plain", ""}, {"coalesce", "1"}} {
-		t.Run(mode.name, func(t *testing.T) { runKillReopen(t, mode.coalesce) })
+		pipeline string
+	}{{"plain", "", ""}, {"coalesce", "1", ""}, {"pipeline", "1", "1"}} {
+		t.Run(mode.name, func(t *testing.T) { runKillReopen(t, mode.coalesce, mode.pipeline) })
 	}
 }
 
-func runKillReopen(t *testing.T, coalesce string) {
+func runKillReopen(t *testing.T, coalesce, pipeline string) {
 	dir := t.TempDir()
 	cmd := exec.Command(os.Args[0], "-test.run=TestOpenWriteKillReopen", "-test.v")
 	cmd.Env = append(os.Environ(),
 		"LOBSTORE_KILL_CHILD="+dir,
-		"LOBSTORE_KILL_COALESCE="+coalesce)
+		"LOBSTORE_KILL_COALESCE="+coalesce,
+		"LOBSTORE_KILL_PIPELINE="+pipeline)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -418,6 +433,10 @@ func killChildMain(t *testing.T) {
 	dir := os.Getenv("LOBSTORE_KILL_CHILD")
 	cfg := fileConfig(dir)
 	cfg.Coalesce = os.Getenv("LOBSTORE_KILL_COALESCE") != ""
+	if os.Getenv("LOBSTORE_KILL_PIPELINE") != "" {
+		cfg.GroupCommit = lobstore.GroupCommit{MaxBatch: 4}
+		cfg.AsyncWriteback = true
+	}
 	db, err := lobstore.Open(cfg)
 	if err != nil {
 		t.Fatalf("child open: %v", err)

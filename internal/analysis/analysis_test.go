@@ -136,6 +136,14 @@ func TestBarrierOrder(t *testing.T) {
 	checkTestdata(t, BarrierOrder, "lobvettest/barrier/engine", "barrierorder")
 }
 
+// TestBarrierOrderGroupCommit checks the delegated group-commit model:
+// a follower's AwaitBarrier() — which returns only after the leader's
+// shared fsync — satisfies a direct Barrier() obligation, and an
+// acknowledgement flushed before the fence is still flagged.
+func TestBarrierOrderGroupCommit(t *testing.T) {
+	checkTestdata(t, BarrierOrder, "lobvettest/barrier/groupcommit", "groupcommit")
+}
+
 // TestBarrierOrderUnrestricted re-checks the same file under an
 // unrelated path: the analyzer only polices the engine packages.
 func TestBarrierOrderUnrestricted(t *testing.T) {

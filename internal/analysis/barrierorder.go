@@ -151,9 +151,12 @@ func classifyProtoCall(info *types.Info, call *ast.CallExpr) (protoKind, bool) {
 	sig, _ := fn.Type().(*types.Signature)
 	isMethod := sig != nil && sig.Recv() != nil
 	switch fn.Name() {
-	case "Barrier", "SyncBarrier":
-		// Volume.Barrier (any implementation or the interface itself) and
-		// the Store.SyncBarrier forwarder.
+	case "Barrier", "SyncBarrier", "AwaitBarrier":
+		// Volume.Barrier (any implementation or the interface itself), the
+		// Store.SyncBarrier forwarder, and AwaitBarrier — the follower's
+		// delegated group-commit acknowledgement, which returns only after
+		// the group leader's shared fsync and therefore satisfies a direct
+		// Barrier() obligation.
 		if isMethod {
 			return evBarrier, true
 		}

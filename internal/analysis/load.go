@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -262,6 +263,13 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 			continue
 		}
 		if strings.HasSuffix(name, "_test.go") && !l.Tests {
+			continue
+		}
+		// Honor build constraints (//go:build tags and _GOOS suffixes) for
+		// the host platform, exactly as the compiler would — otherwise a
+		// pair like fsync_linux.go / fsync_other.go type-checks as a
+		// redeclaration.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -1,0 +1,62 @@
+// Testdata for the barrierorder analyzer's group-commit model: the
+// leader/follower split of a delegated commit pipeline. A follower's
+// AwaitBarrier() returns only after the group leader's shared fsync, so it
+// satisfies a direct Barrier() obligation; acknowledging (flushing the
+// commit point) before the fence is the seeded violation.
+package groupcommittest
+
+import (
+	"lobstore/internal/buffer"
+	"lobstore/internal/disk"
+)
+
+type committer struct {
+	pool *buffer.Pool
+	vol  *disk.Disk
+	root disk.Addr
+	done chan struct{}
+	err  error
+}
+
+// fence is the leader's side of the pipeline: it runs the shared
+// durability barrier that every group member's acknowledgement rides on.
+func (c *committer) fence() error {
+	return c.vol.Barrier()
+}
+
+// AwaitBarrier is the follower's delegated acknowledgement: it parks on
+// the group's done channel and returns the leader's shared-flush outcome.
+// The analyzer recognizes it by name as a barrier event.
+func (c *committer) AwaitBarrier() error {
+	<-c.done
+	return c.err
+}
+
+// --- clean: the leader's shape — fence, then the commit-point flush ---
+
+func (c *committer) leaderCommit() error {
+	if err := c.fence(); err != nil {
+		return err
+	}
+	return c.pool.FlushPage(c.root)
+}
+
+// --- clean: the follower's shape — the delegated acknowledgement
+// satisfies the direct-barrier obligation ---
+
+func (c *committer) followerCommit() error {
+	if err := c.AwaitBarrier(); err != nil {
+		return err
+	}
+	return c.pool.FlushPage(c.root)
+}
+
+// --- violation: acknowledging before the fence — the commit point is
+// flushed with no barrier (delegated or direct) behind it ---
+
+func (c *committer) ackBeforeFence() error {
+	if err := c.pool.FlushPage(c.root); err != nil { // want `commit-point flush without a preceding durability barrier`
+		return err
+	}
+	return c.AwaitBarrier()
+}

@@ -118,6 +118,12 @@ func (p *Pool) evictWindow(start, npages int) error {
 // protocol (sticky) is written back in ascending-address coalesced runs,
 // so the barrier syncs a few large sequential writes instead of leaving
 // the backlog to later one-page evictions. A no-op with coalescing off.
+//
+// The pool stays deterministic and single-threaded; when the file
+// backend's async write-back is on, these writes merely enqueue to its
+// background writer, and the barrier that follows fences that queue
+// (filevol's pipeline) before syncing — so writes-before-commit ordering
+// is exactly as in the synchronous path.
 func (p *Pool) FlushBarrier() error {
 	if !p.coalesce {
 		return nil

@@ -72,6 +72,10 @@ type Disk struct {
 	// calls succeed and every one after them returns failErr.
 	failAfter int64
 	failErr   error
+
+	// lastSync is the previous SyncStats snapshot of a GroupSyncer volume;
+	// Barrier emits events only for the delta since it.
+	lastSync SyncStats
 }
 
 // areaGeom mirrors one area's geometry for range checks and seek-distance
@@ -287,6 +291,30 @@ func (d *Disk) Write(addr Addr, npages int, src []byte) error {
 func (d *Disk) Barrier() error {
 	if err := d.vol.Sync(); err != nil {
 		return fmt.Errorf("disk: sync barrier: %w", err)
+	}
+	if d.obs.Enabled() {
+		if gs, ok := d.vol.(GroupSyncer); ok {
+			cur := gs.SyncStats()
+			delta := cur.Sub(d.lastSync)
+			d.lastSync = cur
+			// Counters only move when the volume's commit pipeline is on,
+			// so off-mode traces carry no pipeline events and stay
+			// byte-identical.
+			if delta.Batches > 0 {
+				d.obs.Emit(obs.Event{
+					Kind:  obs.KindVolGroupCommit,
+					Pages: int32(delta.Batches),
+					Aux1:  delta.Barriers / delta.Batches,
+					Aux2:  delta.Barriers,
+				})
+			}
+			if delta.Fsyncs > 0 {
+				d.obs.Emit(obs.Event{
+					Kind: obs.KindVolFsync,
+					Aux1: delta.Fsyncs,
+				})
+			}
+		}
 	}
 	return nil
 }

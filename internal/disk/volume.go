@@ -45,3 +45,38 @@ type Volume interface {
 	// Close releases backend resources. The volume is unusable afterwards.
 	Close() error
 }
+
+// SyncStats are the cumulative durability counters of a backend that runs
+// a commit pipeline (group commit and/or async write-back). All counters
+// stay zero while the pipeline is disabled, which is how the Disk
+// decorator knows to emit no pipeline events on off-mode runs.
+type SyncStats struct {
+	// Barriers counts Sync calls acknowledged through the pipeline.
+	Barriers int64
+	// Batches counts device-flush passes: each acknowledged one or more
+	// barriers. Barriers/Batches is the amortization factor.
+	Batches int64
+	// Fsyncs counts individual file flushes issued (one per dirty area
+	// per batch).
+	Fsyncs int64
+	// MaxBatch is the largest number of barriers one batch acknowledged.
+	MaxBatch int64
+}
+
+// Sub returns the counter deltas since an earlier snapshot. MaxBatch is a
+// high-water mark, not a counter, and is carried over unchanged.
+func (s SyncStats) Sub(prev SyncStats) SyncStats {
+	return SyncStats{
+		Barriers: s.Barriers - prev.Barriers,
+		Batches:  s.Batches - prev.Batches,
+		Fsyncs:   s.Fsyncs - prev.Fsyncs,
+		MaxBatch: s.MaxBatch,
+	}
+}
+
+// GroupSyncer is the optional Volume extension exposing commit-pipeline
+// counters. The Disk decorator type-asserts for it after every Barrier and
+// turns non-zero deltas into vol.groupcommit / vol.fsync events.
+type GroupSyncer interface {
+	SyncStats() SyncStats
+}

@@ -79,14 +79,23 @@ var ErrPowerCut = errors.New("filevol: simulated power cut")
 var ErrReadOnly = errors.New("filevol: volume is read-only")
 
 var _ disk.Volume = (*Volume)(nil)
+var _ disk.GroupSyncer = (*Volume)(nil)
 
-// Volume is a file-backed disk.Volume. Not safe for concurrent use.
+// Volume is a file-backed disk.Volume. Without the commit pipeline it is
+// not safe for concurrent use (the single-threaded simulation path, kept
+// lock-free); WithGroupCommit or WithAsyncWriteback enable the pipeline,
+// whose mutex makes every method safe for concurrent callers.
 type Volume struct {
 	dir      string
 	pageSize int
 	policy   Policy
 	readOnly bool
 	areas    []*areaFile
+
+	// pipe is the opt-in commit pipeline (group commit, async
+	// write-back); nil keeps the original lock-free single-threaded
+	// behavior byte-for-byte.
+	pipe *pipeline
 
 	// crash-injection state (nil / disabled in production use)
 	log      *crashLog
@@ -140,6 +149,9 @@ func Open(dir string, pageSize int, opts ...Option) (*Volume, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("filevol: creating %s: %w", dir, err)
 		}
+	}
+	if v.pipe != nil {
+		v.pipe.start()
 	}
 	return v, nil
 }
@@ -209,7 +221,20 @@ func (v *Volume) area(id disk.AreaID) (*areaFile, error) {
 
 // ReadRun preads npages adjacent pages into dst; the range past the file's
 // current end reads as zeros (pages never written hold no bytes yet).
+// Through the pipeline the read first fences the async writer, so queued
+// writes are always observed.
 func (v *Volume) ReadRun(addr disk.Addr, npages int, dst []byte) error {
+	if v.pipe != nil {
+		v.pipe.mu.Lock()
+		defer v.pipe.mu.Unlock()
+		if err := v.pipe.fence(); err != nil {
+			return err
+		}
+	}
+	return v.readRun(addr, npages, dst)
+}
+
+func (v *Volume) readRun(addr disk.Addr, npages int, dst []byte) error {
 	if v.dead {
 		return ErrPowerCut
 	}
@@ -229,8 +254,17 @@ func (v *Volume) ReadRun(addr disk.Addr, npages int, dst []byte) error {
 
 // WriteRun pwrites npages adjacent pages from src, growing the file as
 // needed. Under SyncAlways the write is forced to stable storage before
-// returning.
+// returning. With the async writer enabled (and a policy other than
+// SyncAlways) the pwrite is queued to the background writer instead and
+// the next barrier, read or close fences it; the crash-log pre-image is
+// still captured here, synchronously, which is safe because the first
+// write of a page per barrier interval can never have a queued write of
+// the same page ahead of it (the interval began with a fence).
 func (v *Volume) WriteRun(addr disk.Addr, npages int, src []byte) error {
+	if v.pipe != nil {
+		v.pipe.mu.Lock()
+		defer v.pipe.mu.Unlock()
+	}
 	if v.dead {
 		return ErrPowerCut
 	}
@@ -248,14 +282,18 @@ func (v *Volume) WriteRun(addr disk.Addr, npages int, src []byte) error {
 			return err
 		}
 	}
-	if _, err := a.f.WriteAt(src[:n], off); err != nil {
+	if v.pipe != nil && v.pipe.aw != nil && v.policy != SyncAlways {
+		if err := v.pipe.aw.enqueue(a.f, off, src[:n]); err != nil {
+			return err
+		}
+	} else if _, err := a.f.WriteAt(src[:n], off); err != nil {
 		return fmt.Errorf("filevol: write %v: %w", addr, err)
 	}
 	if end := off + int64(n); end > a.size {
 		a.size = end
 	}
 	if v.policy == SyncAlways {
-		if err := a.f.Sync(); err != nil {
+		if err := fdatasync(a.f); err != nil {
 			return fmt.Errorf("filevol: sync after write %v: %w", addr, err)
 		}
 		if v.log != nil {
@@ -269,7 +307,14 @@ func (v *Volume) WriteRun(addr disk.Addr, npages int, src []byte) error {
 
 // Grow extends area id's backing file to cover at least npages pages
 // without writing data (the extension is a sparse hole reading as zeros).
+// No fence is needed under the pipeline: Grow only ever extends (the
+// cached size already covers queued writes), and a concurrent extending
+// pwrite composes with Truncate-to-larger in either order.
 func (v *Volume) Grow(id disk.AreaID, npages int) error {
+	if v.pipe != nil {
+		v.pipe.mu.Lock()
+		defer v.pipe.mu.Unlock()
+	}
 	if v.dead {
 		return ErrPowerCut
 	}
@@ -299,8 +344,12 @@ func (v *Volume) Grow(id disk.AreaID, npages int) error {
 // written since the last barrier; under SyncAlways and SyncNever it is a
 // no-op (the former is already durable, the latter opts out). An armed
 // power cut fires here: un-synced writes are rolled back and the volume
-// dies.
+// dies. Through the pipeline the barrier fences the async writer first
+// and may be acknowledged by another caller's flush (group commit).
 func (v *Volume) Sync() error {
+	if v.pipe != nil {
+		return v.pipe.barrier(v)
+	}
 	if v.dead {
 		return ErrPowerCut
 	}
@@ -311,41 +360,69 @@ func (v *Volume) Sync() error {
 	if v.policy != SyncCommit {
 		return nil
 	}
-	return v.syncDirty()
+	_, err := v.syncDirty()
+	return err
 }
 
-// syncDirty fsyncs every file written since its last fsync.
-func (v *Volume) syncDirty() error {
+// syncDirty flushes (fdatasync) every file written since its last flush
+// and reports how many device flushes it issued.
+func (v *Volume) syncDirty() (int, error) {
+	flushes := 0
 	for id, a := range v.areas {
 		if !a.dirty {
 			continue
 		}
-		if err := a.f.Sync(); err != nil {
-			return fmt.Errorf("filevol: sync area %d: %w", id, err)
+		if err := fdatasync(a.f); err != nil {
+			return flushes, fmt.Errorf("filevol: sync area %d: %w", id, err)
 		}
 		a.dirty = false
+		flushes++
 	}
 	if v.log != nil {
 		v.log.clear()
 	}
-	return nil
+	return flushes, nil
 }
 
 // SyncAll forces everything to stable storage regardless of policy: the
 // clean-shutdown flush used by Close and checkpoints.
 func (v *Volume) SyncAll() error {
+	if v.pipe != nil {
+		v.pipe.mu.Lock()
+		defer v.pipe.mu.Unlock()
+		if v.dead {
+			return ErrPowerCut
+		}
+		if err := v.pipe.fence(); err != nil {
+			return err
+		}
+		_, err := v.syncDirty()
+		return err
+	}
 	if v.dead {
 		return ErrPowerCut
 	}
-	return v.syncDirty()
+	_, err := v.syncDirty()
+	return err
 }
 
 // Close flushes (policy-independently, unless the volume is dead or
-// read-only) and closes every area file.
+// read-only), stops the pipeline, and closes every area file.
 func (v *Volume) Close() error {
+	if v.pipe != nil {
+		v.pipe.mu.Lock()
+		defer v.pipe.mu.Unlock()
+	}
 	var errs []error
+	if v.pipe != nil && !v.dead && !v.readOnly {
+		errs = append(errs, v.pipe.fence())
+	}
+	if v.pipe != nil {
+		v.pipe.stop()
+	}
 	if !v.dead && !v.readOnly {
-		errs = append(errs, v.syncDirty())
+		_, err := v.syncDirty()
+		errs = append(errs, err)
 	}
 	for id, a := range v.areas {
 		if a.f == nil {
@@ -361,12 +438,38 @@ func (v *Volume) Close() error {
 
 // Barriers returns the number of Sync calls so far. The crash matrix uses
 // it to enumerate an operation's barrier points.
-func (v *Volume) Barriers() int64 { return v.barriers }
+func (v *Volume) Barriers() int64 {
+	if v.pipe != nil {
+		v.pipe.mu.Lock()
+		defer v.pipe.mu.Unlock()
+	}
+	return v.barriers
+}
+
+// SyncStats returns the commit pipeline's cumulative durability counters.
+// It is all zeros — and the disk decorator therefore emits no pipeline
+// events — when the pipeline is disabled, keeping off-mode traces
+// byte-identical.
+func (v *Volume) SyncStats() disk.SyncStats {
+	if v.pipe == nil {
+		return disk.SyncStats{}
+	}
+	v.pipe.mu.Lock()
+	defer v.pipe.mu.Unlock()
+	return v.pipe.stats
+}
 
 // FailAtBarrier arms a power cut at the n-th Sync call from now (n ≥ 1):
 // that barrier rolls back all un-synced writes and returns ErrPowerCut, as
 // does every operation afterwards. Requires the crash log. n ≤ 0 disarms.
+// Through the pipeline a cut landing on any member of a commit group dooms
+// the whole group: the cut falls between the group's data writes and its
+// shared fsync, so no member is acknowledged.
 func (v *Volume) FailAtBarrier(n int64) error {
+	if v.pipe != nil {
+		v.pipe.mu.Lock()
+		defer v.pipe.mu.Unlock()
+	}
 	if v.log == nil {
 		return fmt.Errorf("filevol: power-cut injection needs WithCrashLog")
 	}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package filevol
+
+import "os"
+
+// fdatasync falls back to a full File.Sync where the platform has no
+// distinct data-only flush (or Go does not expose it). Same durability,
+// possibly one extra metadata journal write per call.
+func fdatasync(f *os.File) error {
+	return f.Sync()
+}

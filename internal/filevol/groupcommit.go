@@ -1,0 +1,368 @@
+package filevol
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"lobstore/internal/disk"
+)
+
+// This file is the volume's commit pipeline: the group-commit barrier
+// combiner and the asynchronous write-back writer. Both are opt-in
+// (WithGroupCommit / WithAsyncWriteback) and live entirely inside
+// filevol — the one package the determinism analyzer exempts from the
+// no-goroutines/no-sync rule — so the simulation layers above stay
+// single-threaded and the paper's cost accounting is untouched.
+//
+// Group commit. Under policy "commit" every §3.3 barrier is one fsync,
+// and BENCH_volume.json shows that fsync dwarfs the pwrite it covers
+// (~166 µs vs ~2 µs per 4-page run). When N clients commit concurrently
+// those N fsyncs are redundant: one device flush covering all their
+// writes acknowledges every barrier. The combiner implements the classic
+// leader/follower split: the first barrier to arrive forms a commit
+// group and becomes its leader; barriers arriving while the group is
+// forming join as followers and park on the group's done channel. The
+// leader waits until the group is full (MaxBatch members) or MaxDelay
+// has passed, seals the group, runs ONE fence+fdatasync pass for every
+// dirty area, and broadcasts the outcome by closing done. Every member —
+// leader and followers alike — returns only after that shared flush, so
+// each acknowledged barrier carries exactly the durability §3.3 demands.
+//
+// Async write-back. WriteRun normally pwrites on the caller's critical
+// path. With the background writer enabled the call captures its
+// crash-log pre-image, copies the payload onto a bounded FIFO queue and
+// returns; a single writer goroutine drains the queue with pwrites. The
+// hard flush-fence (pipeline.fence) drains the queue before anything
+// that must observe or make durable the file's true contents: every
+// barrier flush (so writes-before-commit ordering is exactly as in the
+// synchronous path), every ReadRun, and the rollback of an injected
+// power cut. Under policy "always" the queue is bypassed — a per-write
+// fsync serializes on the write anyway, so queueing could only add
+// copies.
+//
+// Per-policy behavior of a barrier through the pipeline:
+//
+//	commit  fence the writer, then one fdatasync per dirty area for the
+//	        whole group — the case batching exists for;
+//	always  writes are already durable; the barrier only fences and
+//	        checks the armed power cut (no group forms, nothing to
+//	        amortize);
+//	never   fence only — ordering into the OS is preserved, durability
+//	        is declined, no group forms.
+//
+// Crash injection composes: an armed power cut that lands on any member
+// of a forming group dooms the whole group. The leader, instead of the
+// shared fsync, runs the power-cut rollback — the cut falls exactly
+// between the group's data writes and its shared fsync — so NO member is
+// acknowledged: every one returns ErrPowerCut, and the rolled-back files
+// hold precisely the state of the last acknowledged barrier.
+
+// GroupCommit configures the barrier combiner.
+type GroupCommit struct {
+	// MaxBatch is the largest number of concurrent Sync calls one device
+	// flush may acknowledge. Values <= 1 disable batching: every barrier
+	// flushes for itself (the pipeline's bookkeeping still runs).
+	MaxBatch int
+	// MaxDelay bounds how long the leader holds the forming group open
+	// waiting for followers when the group is not yet full. Zero means
+	// the leader flushes immediately with whoever has already joined —
+	// no added latency, batching only under genuine contention.
+	MaxDelay time.Duration
+}
+
+// enabled reports whether barriers actually combine.
+func (g GroupCommit) enabled() bool { return g.MaxBatch > 1 }
+
+// WithGroupCommit enables the commit pipeline with group commit: N
+// concurrent commit-policy barriers are acknowledged by a single flush.
+// The volume becomes safe for concurrent use.
+func WithGroupCommit(g GroupCommit) Option {
+	return func(v *Volume) {
+		if v.pipe == nil {
+			v.pipe = &pipeline{}
+		}
+		v.pipe.gc = g
+	}
+}
+
+// WithAsyncWriteback enables the commit pipeline with the background
+// write-back writer: WriteRun queues the pwrite instead of performing
+// it, and every barrier (or read) fences the queue first. The volume
+// becomes safe for concurrent use.
+func WithAsyncWriteback() Option {
+	return func(v *Volume) {
+		if v.pipe == nil {
+			v.pipe = &pipeline{}
+		}
+		v.pipe.wantWriter = true
+	}
+}
+
+// WithSyncDelay injects artificial latency into every group flush.
+// Testing aid: it widens the window in which concurrent barriers pile
+// into one group, making batching deterministic enough to assert on.
+func WithSyncDelay(d time.Duration) Option {
+	return func(v *Volume) {
+		if v.pipe == nil {
+			v.pipe = &pipeline{}
+		}
+		v.pipe.syncDelay = d
+	}
+}
+
+// pipeline is the per-volume commit-pipeline state. Its mutex guards ALL
+// volume state (areas, dirty flags, sizes, crash log, barrier counters)
+// whenever the pipeline is enabled; without a pipeline the volume stays
+// lock-free and byte-for-byte on its original single-threaded paths.
+type pipeline struct {
+	mu         sync.Mutex
+	gc         GroupCommit
+	wantWriter bool
+	aw         *asyncWriter
+	cur        *commitGroup // forming group; nil when none
+	stats      disk.SyncStats
+	syncDelay  time.Duration
+}
+
+// commitGroup is one leader/follower batch of concurrent barriers.
+type commitGroup struct {
+	members int
+	doomed  bool          // an armed power cut landed on a member
+	full    chan struct{} // closed when members reaches MaxBatch
+	done    chan struct{} // closed by the leader after the shared flush
+	err     error         // the shared outcome; set before done closes
+}
+
+// start launches the background writer if one was requested. Called once
+// from Open, before the volume is shared.
+func (p *pipeline) start() {
+	if p.wantWriter {
+		p.aw = newAsyncWriter()
+	}
+}
+
+// fence is the hard flush-fence: it blocks until every queued write has
+// been handed to the OS. With no writer it is free.
+func (p *pipeline) fence() error {
+	if p.aw == nil {
+		return nil
+	}
+	return p.aw.drain()
+}
+
+// barrier is Volume.Sync through the pipeline. p.mu must NOT be held.
+func (p *pipeline) barrier(v *Volume) error {
+	p.mu.Lock()
+	if v.dead {
+		p.mu.Unlock()
+		return ErrPowerCut
+	}
+	v.barriers++
+	p.stats.Barriers++
+	doomed := v.failAt > 0 && v.barriers >= v.failAt
+	if v.policy != SyncCommit || !p.gc.enabled() {
+		err := p.flushLocked(v, doomed, 1)
+		p.mu.Unlock()
+		return err
+	}
+	if g := p.cur; g != nil {
+		// Follower: join the forming group and wait for its leader. The
+		// member that fills the batch seals the group so later arrivals
+		// form the next one — a group never exceeds MaxBatch.
+		g.members++
+		g.doomed = g.doomed || doomed
+		if g.members == p.gc.MaxBatch {
+			p.cur = nil
+			close(g.full)
+		}
+		p.mu.Unlock()
+		<-g.done
+		return g.err
+	}
+	// Leader: open a group, hold it open for followers, flush once.
+	g := &commitGroup{
+		members: 1,
+		doomed:  doomed,
+		full:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	p.cur = g
+	if p.gc.MaxDelay > 0 && g.members < p.gc.MaxBatch {
+		p.mu.Unlock()
+		t := time.NewTimer(p.gc.MaxDelay)
+		select {
+		case <-g.full:
+		case <-t.C:
+		}
+		t.Stop()
+		p.mu.Lock()
+	}
+	if p.cur == g {
+		p.cur = nil // seal: later barriers form the next group
+	}
+	g.err = p.flushLocked(v, g.doomed, g.members)
+	p.mu.Unlock()
+	close(g.done)
+	return g.err
+}
+
+// flushLocked makes one group (possibly of one) durable: fence the
+// writer, fire a doomed power cut, then fdatasync per policy. p.mu held.
+func (p *pipeline) flushLocked(v *Volume, doomed bool, members int) error {
+	if err := p.fence(); err != nil {
+		return err
+	}
+	if doomed {
+		return v.powerCut()
+	}
+	if v.policy != SyncCommit {
+		return nil
+	}
+	if p.syncDelay > 0 {
+		time.Sleep(p.syncDelay)
+	}
+	n, err := v.syncDirty()
+	if err != nil {
+		return err
+	}
+	p.stats.Batches++
+	p.stats.Fsyncs += int64(n)
+	if int64(members) > p.stats.MaxBatch {
+		p.stats.MaxBatch = int64(members)
+	}
+	return nil
+}
+
+// stop shuts the background writer down after draining it. p.mu held.
+func (p *pipeline) stop() {
+	if p.aw != nil {
+		p.aw.stop()
+		p.aw = nil
+	}
+}
+
+// asyncWriter is the background write-back writer: a bounded FIFO of
+// pending pwrites drained by one goroutine. The first write error is
+// sticky — it fails the fence (and with it the barrier or read that
+// fenced), every later enqueue, and stays until the volume is closed,
+// exactly like an in-line pwrite failure would poison the operation.
+type asyncWriter struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []pendingWrite
+	queued   int // payload bytes on the queue, for backpressure
+	inflight bool
+	err      error
+	closed   bool
+	exited   chan struct{}
+}
+
+type pendingWrite struct {
+	f    *os.File
+	off  int64
+	data []byte
+}
+
+// maxQueuedBytes bounds the queue's payload: an enqueue over the cap
+// blocks until the writer catches up, so a burst of writes cannot grow
+// the heap without bound.
+const maxQueuedBytes = 4 << 20
+
+func newAsyncWriter() *asyncWriter {
+	w := &asyncWriter{exited: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.run()
+	return w
+}
+
+// run drains the queue until stop. Writes keep draining after an error —
+// the queue must empty for stop to return — but only the first error is
+// kept. The pwrite itself runs outside the lock (inflight keeps drain
+// honest), so enqueues never serialize on the device.
+func (w *asyncWriter) run() {
+	defer close(w.exited)
+	for {
+		pw, ok := w.next()
+		if !ok {
+			return
+		}
+		_, err := pw.f.WriteAt(pw.data, pw.off)
+		w.complete(pw, err)
+	}
+}
+
+// next blocks until work or shutdown, pops the front write and marks it
+// in flight. ok is false when the writer should exit: closed and drained.
+func (w *asyncWriter) next() (pw pendingWrite, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.queue) == 0 && !w.closed {
+		w.cond.Wait()
+	}
+	if len(w.queue) == 0 {
+		return pendingWrite{}, false
+	}
+	pw = w.queue[0]
+	w.queue[0] = pendingWrite{} // release the payload
+	w.queue = w.queue[1:]
+	if len(w.queue) == 0 {
+		w.queue = nil // let the drained backing array go
+	}
+	w.inflight = true
+	return pw, true
+}
+
+// complete records one finished pwrite and wakes fences and backpressured
+// enqueuers.
+func (w *asyncWriter) complete(pw pendingWrite, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inflight = false
+	w.queued -= len(pw.data)
+	if err != nil && w.err == nil {
+		w.err = fmt.Errorf("filevol: async write at offset %d: %w", pw.off, err)
+	}
+	w.cond.Broadcast()
+}
+
+// enqueue copies data onto the queue (the caller reuses its buffer),
+// blocking while the queue is over its byte cap.
+func (w *asyncWriter) enqueue(f *os.File, off int64, data []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.err == nil && w.queued > maxQueuedBytes {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	w.queue = append(w.queue, pendingWrite{f: f, off: off, data: cp})
+	w.queued += len(cp)
+	w.cond.Broadcast()
+	return nil
+}
+
+// drain blocks until the queue is empty and no write is in flight — the
+// flush-fence — and returns the sticky error, if any.
+func (w *asyncWriter) drain() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.err == nil && (len(w.queue) > 0 || w.inflight) {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// stop drains the queue and joins the writer goroutine. Any sticky error
+// was (or will be) surfaced by a fence; stop itself cannot fail.
+func (w *asyncWriter) stop() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-w.exited
+}

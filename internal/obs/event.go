@@ -107,6 +107,9 @@ const (
 	KindLeafSplit
 	KindLeafMerge
 	KindExtentDouble
+	// Durable volume commit pipeline (group commit / async write-back).
+	KindVolGroupCommit
+	KindVolFsync
 	numKinds
 )
 
@@ -132,6 +135,8 @@ var kindNames = [numKinds]string{
 	KindLeafSplit:      "leaf.split",
 	KindLeafMerge:      "leaf.merge",
 	KindExtentDouble:   "extent.double",
+	KindVolGroupCommit: "vol.groupcommit",
+	KindVolFsync:       "vol.fsync",
 }
 
 func (k Kind) String() string {
@@ -170,6 +175,10 @@ func ParseKind(s string) (Kind, bool) {
 //	leaf.split        Aux1 = resulting leaf count
 //	leaf.merge        —
 //	extent.double     Aux1 = next extent size in pages
+//	vol.groupcommit   Pages = flush batches since the last emission, Aux1 =
+//	                  average barriers acknowledged per batch, Aux2 = total
+//	                  barriers acknowledged
+//	vol.fsync         Aux1 = device flushes issued since the last emission
 //	span.begin        Op/Span of the new span
 //	span.end          Aux1 = span duration in simulated µs, Wall = span
 //	                  duration in wall-clock µs; Err if failed

@@ -124,6 +124,29 @@ type Config struct {
 	// (see DB.InjectPowerCut). Testing aid: every write then pays an extra
 	// read to log its pre-image.
 	CrashInjection bool
+	// GroupCommit configures the file backend's barrier combiner: up to
+	// MaxBatch concurrent commit barriers are acknowledged by one device
+	// flush. Zero value = off. Like Coalesce it is a per-opening I/O
+	// scheduling choice, not superblock geometry. Ignored by the mem
+	// backend.
+	GroupCommit GroupCommit
+	// AsyncWriteback moves the file backend's pwrites onto a background
+	// writer goroutine; every durability barrier still fences the queue
+	// first, so §3.3 ordering is unchanged. Off by default; per-opening;
+	// ignored by the mem backend.
+	AsyncWriteback bool
+}
+
+// GroupCommit configures the file backend's group-commit barrier combiner
+// (see internal/filevol).
+type GroupCommit struct {
+	// MaxBatch is the largest number of concurrent commit barriers one
+	// device flush may acknowledge. Values <= 1 leave batching off.
+	MaxBatch int
+	// MaxDelay bounds how long the first barrier in a batch waits for
+	// company when the batch is not full. Zero = flush immediately with
+	// whoever already joined.
+	MaxDelay time.Duration
 }
 
 // DefaultConfig returns the paper's fixed system parameters with database
