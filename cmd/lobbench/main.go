@@ -56,6 +56,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 		benchOut = flag.String("benchjson", "", "write per-experiment wall/alloc/simulated-time measurements to this JSON file")
 		coalesce = flag.Bool("coalesce", false, "enable elevator write coalescing and read-ahead (changes I/O counts: paper tables need it off)")
+		conc     = flag.Bool("concurrent", false, "open each database through the concurrency engine (adds lock/epoch overhead: paper tables need it off)")
 		volOut   = flag.String("volbenchjson", "", "run the volume backend micro-benchmarks, write them to this JSON file, and exit")
 		tsOut    = flag.String("timeseries", "", "write per-cell flight-recorder windows (counters + latency percentiles over simulated time) to this JSON file")
 		tsWindow = flag.Duration("tswindow", 10*time.Second, "flight-recorder window width in simulated time (with -timeseries)")
@@ -101,6 +102,7 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.DB.Coalesce = *coalesce
+	cfg.DB.Concurrent = *conc
 
 	var names []string
 	if *expFlag == "all" {

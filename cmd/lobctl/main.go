@@ -79,6 +79,7 @@ func main() {
 		groupMax  = flag.Int("group-commit", 0, "file-backend group commit: max barriers per device flush (0 = off)")
 		groupWait = flag.Duration("group-delay", 0, "file-backend group commit: max wait for a batch to fill")
 		asyncWB   = flag.Bool("async-writeback", false, "file-backend: move pwrites onto a background writer")
+		conc      = flag.Bool("concurrent", false, "open the database through the concurrency engine (thread-safe handles, snapshot reads)")
 	)
 	flag.Parse()
 
@@ -87,6 +88,7 @@ func main() {
 	cfg.Coalesce = *coalesce
 	cfg.GroupCommit = lobstore.GroupCommit{MaxBatch: *groupMax, MaxDelay: *groupWait}
 	cfg.AsyncWriteback = *asyncWB
+	cfg.Concurrent = *conc
 	db, err := lobstore.Open(cfg)
 	if err != nil {
 		fatalf("open: %v", err)

@@ -114,8 +114,9 @@ func readSuper(dir string) (Config, error) {
 // openFile creates or reopens a durable file-backed database under
 // cfg.Dir. A directory with a superblock is an existing database and is
 // reopened (its recorded geometry wins over the caller's cfg; Dir,
-// SyncPolicy, CrashInjection, Coalesce, GroupCommit and AsyncWriteback
-// still come from the caller); otherwise a fresh database is created.
+// SyncPolicy, CrashInjection, Coalesce, GroupCommit, AsyncWriteback and
+// Concurrent still come from the caller); otherwise a fresh database is
+// created.
 func openFile(cfg Config) (*DB, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("lobstore: file backend needs Config.Dir")
@@ -136,6 +137,7 @@ func openFile(cfg Config) (*DB, error) {
 		super.Dir, super.SyncPolicy, super.CrashInjection = cfg.Dir, cfg.SyncPolicy, cfg.CrashInjection
 		super.Coalesce = cfg.Coalesce
 		super.GroupCommit, super.AsyncWriteback = cfg.GroupCommit, cfg.AsyncWriteback
+		super.Concurrent = cfg.Concurrent
 		cfg = super
 	}
 
@@ -151,6 +153,12 @@ func openFile(cfg Config) (*DB, error) {
 	}
 	if cfg.AsyncWriteback {
 		opts = append(opts, filevol.WithAsyncWriteback())
+	}
+	if cfg.Concurrent && cfg.GroupCommit.MaxBatch <= 0 && !cfg.AsyncWriteback {
+		// Concurrent committers need the commit pipeline's internal mutex
+		// even when batching is off: MaxBatch 1 engages the pipeline
+		// without changing flush behavior.
+		opts = append(opts, filevol.WithGroupCommit(filevol.GroupCommit{MaxBatch: 1}))
 	}
 	vol, err := filevol.Open(cfg.Dir, cfg.PageSize, opts...)
 	if err != nil {
@@ -194,7 +202,11 @@ func openFile(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, errors.Join(err, st.Disk.Close())
 	}
-	return &DB{st: st, cfg: cfg, cat: cat, vol: vol}, nil
+	db := &DB{st: st, cfg: cfg, cat: cat, vol: vol}
+	if cfg.Concurrent {
+		db.enableEngine()
+	}
+	return db, nil
 }
 
 // commitDurableState flushes everything held in memory (pool, space
@@ -212,6 +224,15 @@ func commitDurableState(st *store.Store) error {
 // work (recovery still runs, and finds nothing to repair); on the memory
 // backend it is cheap and optional. The database is unusable afterwards.
 func (db *DB) Close() error {
+	if db.eng != nil {
+		// Quiesce the engine first: it refuses while snapshots are open,
+		// and uninstalls its store hooks so the final flush below runs
+		// single-threaded.
+		if err := db.eng.Close(); err != nil {
+			return err
+		}
+		db.eng = nil
+	}
 	return db.st.Close()
 }
 
@@ -219,6 +240,9 @@ func (db *DB) Close() error {
 // without closing. After a checkpoint the on-disk files are a complete
 // snapshot; a following power cut loses nothing committed so far.
 func (db *DB) Checkpoint() error {
+	if db.eng != nil {
+		return db.eng.Run(func() error { return commitDurableState(db.st) })
+	}
 	return commitDurableState(db.st)
 }
 

@@ -116,6 +116,13 @@ func TestErrDiscard(t *testing.T) {
 	checkTestdata(t, ErrDiscard, "lobvettest/errtest", "errdiscard")
 }
 
+// TestErrDiscardCtxWrap pins the engine's cancellation contract: a lock
+// acquisition that aborts on ctx.Done must wrap ctx.Err() with %w so
+// errors.Is(err, context.Canceled) keeps working downstream.
+func TestErrDiscardCtxWrap(t *testing.T) {
+	checkTestdata(t, ErrDiscard, "lobvettest/ctxtest", "errdiscardctx")
+}
+
 // TestErrDiscardSyncClose pins the durable-volume contract: a dropped
 // Sync or Close is flagged, because those errors are the only proof the
 // bytes reached stable storage.
@@ -222,6 +229,21 @@ func TestDeterminismFileExempt(t *testing.T) {
 	}
 	if diags := Run(pkg, []*Analyzer{Determinism}); len(diags) != 0 {
 		t.Fatalf("determinism fired in the exempt filevol package: %v", diags)
+	}
+}
+
+// TestDeterminismEngineExempt re-checks the sync-shaped testdata under the
+// engine path: the concurrency layer exists to run goroutines and sync
+// above the deterministic core, so it is explicitly outside the contract
+// and nothing may fire.
+func TestDeterminismEngineExempt(t *testing.T) {
+	file := filepath.Join("testdata", "determinismsync", "determinismsync.go")
+	pkg, err := testLoader(t).CheckFiles("lobstore/internal/engine", filepath.Dir(file), []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkg, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Fatalf("determinism fired in the exempt engine package: %v", diags)
 	}
 }
 

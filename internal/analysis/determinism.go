@@ -31,8 +31,14 @@ var deterministicPkgs = []string{
 // durability tests legitimately observe the host system. Determinism of
 // the *simulation output* is preserved one layer up — the disk decorator
 // charges identical simulated costs whichever volume carries the bytes.
+// The engine package is the concurrency layer above the deterministic
+// core: it exists to serve many clients from one store, so goroutines,
+// sync primitives and wall-clock lock-wait timing are its whole job. The
+// core below it stays restricted; the engine boundary is where the
+// determinism contract deliberately ends.
 var exemptPkgs = []string{
 	"lobstore/internal/filevol",
+	"lobstore/internal/engine",
 }
 
 // schedulerPkgs are the deterministic packages additionally allowed to use

@@ -1,0 +1,30 @@
+// Testdata for the errdiscard analyzer against the engine's cancellation
+// contract: a lock acquisition that gives up when ctx is done must
+// surface ctx.Err() wrapped with %w, so callers can dispatch on
+// errors.Is(err, context.Canceled); %v severs the chain and fires.
+package ctxtest
+
+import (
+	"context"
+	"fmt"
+)
+
+// clean: wrapped with %w, the chain stays inspectable.
+func acquireWrapped(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("engine: write lock on object 0:1: %w", ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// violation: %v flattens the cancellation cause to text.
+func acquireSevered(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("engine: write lock on object 0:1: %v", ctx.Err()) // want `error operand formatted with %v in fmt\.Errorf`
+	default:
+		return nil
+	}
+}

@@ -1,7 +1,8 @@
 // Testdata for the locksafe analyzer: unlock-on-all-paths, the
-// latch → pool → volume ordering lattice, and no durability work under a
-// latch. Lock classes are assigned by variable name ("latch", "pool",
-// "vol"), matching the declared lattice.
+// object → store → epoch → latch → pool → volume ordering lattice, and no
+// durability work under a latch. Engine-level classes are assigned by the
+// exact names "objmu", "storemu" and "epochmu"; the lower levels by
+// variable name ("latch", "pool", "vol") as before.
 package locktest
 
 import (
@@ -12,6 +13,9 @@ import (
 )
 
 type engine struct {
+	objmu   sync.Mutex
+	storemu sync.Mutex
+	epochmu sync.Mutex
 	latch   sync.Mutex
 	poolMu  sync.Mutex
 	volLock sync.RWMutex
@@ -98,6 +102,50 @@ func (e *engine) invertedVol() {
 	defer e.volLock.Unlock()
 	e.poolMu.Lock() // want `lock-order inversion: pool-class lock "poolMu" acquired while volume-class lock "volLock" is held`
 	defer e.poolMu.Unlock()
+	e.n++
+}
+
+// --- clean: full engine descent object → store → epoch → latch ---
+
+func (e *engine) engineDescent() {
+	e.objmu.Lock()
+	defer e.objmu.Unlock()
+	e.storemu.Lock()
+	defer e.storemu.Unlock()
+	e.epochmu.Lock()
+	defer e.epochmu.Unlock()
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	e.n++
+}
+
+// --- violation: object lock taken under the store mutex ---
+
+func (e *engine) invertedObjUnderStore() {
+	e.storemu.Lock()
+	defer e.storemu.Unlock()
+	e.objmu.Lock() // want `lock-order inversion: object-class lock "objmu" acquired while store-class lock "storemu" is held`
+	defer e.objmu.Unlock()
+	e.n++
+}
+
+// --- violation: store mutex taken under the epoch mutex ---
+
+func (e *engine) invertedStoreUnderEpoch() {
+	e.epochmu.Lock()
+	defer e.epochmu.Unlock()
+	e.storemu.Lock() // want `lock-order inversion: store-class lock "storemu" acquired while epoch-class lock "epochmu" is held`
+	defer e.storemu.Unlock()
+	e.n++
+}
+
+// --- violation: store mutex taken under a stripe latch ---
+
+func (e *engine) invertedStoreUnderLatch() {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	e.storemu.Lock() // want `lock-order inversion: store-class lock "storemu" acquired while latch-class lock "latch" is held`
+	defer e.storemu.Unlock()
 	e.n++
 }
 

@@ -523,6 +523,28 @@ func (p *Pool) DropRange(addr disk.Addr, npages int) error {
 	return nil
 }
 
+// DropAll discards every resident page without writing anything back. It
+// fails if any frame is pinned. The concurrent engine's snapshot stripes
+// use it when a stripe's read-only pool must forget one frozen object
+// version before serving another bound to the same page addresses.
+func (p *Pool) DropAll() error {
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.valid {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: cannot drop pinned page %v", f.addr)
+		}
+		delete(p.index, f.addr)
+		f.valid = false
+		f.dirty = false
+		f.sticky = false
+		f.prefetched = false
+	}
+	return nil
+}
+
 // Relocate rebinds a resident page to a new disk address without I/O. The
 // shadowing protocol uses it: the in-memory copy of an index page becomes
 // the copy at its shadow location. The frame is marked dirty because the

@@ -76,6 +76,14 @@ type Disk struct {
 	// lastSync is the previous SyncStats snapshot of a GroupSyncer volume;
 	// Barrier emits events only for the delta since it.
 	lastSync SyncStats
+
+	// syncInterpose, when set, wraps the device flush at the heart of
+	// Barrier. The concurrent engine installs it to release the store-wide
+	// mutex for exactly the duration of the flush, so concurrent
+	// committers' barriers pile into the volume's group-commit batches
+	// instead of serializing; everything around the flush — the SyncStats
+	// delta and event emission — still runs under the caller's lock.
+	syncInterpose func(sync func() error) error
 }
 
 // areaGeom mirrors one area's geometry for range checks and seek-distance
@@ -141,6 +149,12 @@ func (d *Disk) FailAfter(calls int64, err error) {
 
 // SetTracer installs the event tracer. A nil tracer disables emission.
 func (d *Disk) SetTracer(t *obs.Tracer) { d.obs = t }
+
+// SetSyncInterpose installs (or, with nil, removes) the wrapper around the
+// device flush inside Barrier. The wrapper receives the flush as a closure
+// and must call it exactly once; see the field comment for why the
+// concurrent engine wants this seam.
+func (d *Disk) SetSyncInterpose(fn func(sync func() error) error) { d.syncInterpose = fn }
 
 // Tracer returns the installed event tracer (possibly nil). The buffer
 // pool and the space manager share the disk's tracer so one database
@@ -289,7 +303,13 @@ func (d *Disk) Write(addr Addr, npages int, src []byte) error {
 // simulated time and emits no events, so mem-backend cost output is
 // unaffected by the barrier placement.
 func (d *Disk) Barrier() error {
-	if err := d.vol.Sync(); err != nil {
+	sync := d.vol.Sync
+	if d.syncInterpose != nil {
+		err := d.syncInterpose(sync)
+		if err != nil {
+			return fmt.Errorf("disk: sync barrier: %w", err)
+		}
+	} else if err := sync(); err != nil {
 		return fmt.Errorf("disk: sync barrier: %w", err)
 	}
 	if d.obs.Enabled() {

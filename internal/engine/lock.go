@@ -1,0 +1,160 @@
+// Per-object reader/writer locks with fair FIFO queuing.
+//
+// The lock manager sits at the top of the engine's lock order:
+//
+//	object (objmu / per-object lock) → store (storemu) → epoch (epochmu)
+//	→ latch (stripe latch) → pool → volume
+//
+// An object lock is always acquired before the store mutex and released
+// after it; no code path acquires a second object lock while holding one,
+// so the per-object locks cannot deadlock against each other.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"lobstore/internal/disk"
+)
+
+// objLock is a fair reader/writer lock for one object. Unlike
+// sync.RWMutex, acquisition is context-cancellable and strictly FIFO:
+// a waiting writer blocks later readers, so neither side starves.
+type objLock struct {
+	mu      sync.Mutex
+	id      disk.Addr
+	writer  bool // a writer currently holds the lock
+	readers int  // readers currently holding the lock
+	queue   []*waiter
+}
+
+type waiter struct {
+	write bool
+	// granted flips under objLock.mu when the lock is handed to this
+	// waiter; ready is closed at the same moment. A cancelled waiter that
+	// finds granted set must release the lock it never used.
+	granted bool
+	ready   chan struct{}
+}
+
+func lockMode(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// acquire blocks until the lock is granted in the requested mode or ctx is
+// done. Cancellation errors wrap ctx.Err() so callers can test them with
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded.
+func (l *objLock) acquire(ctx context.Context, write bool) error {
+	l.mu.Lock()
+	if len(l.queue) == 0 && l.grantable(write) {
+		l.grant(write)
+		l.mu.Unlock()
+		return nil
+	}
+	w := &waiter{write: write, ready: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+	}
+
+	l.mu.Lock()
+	if w.granted {
+		// The grant raced the cancellation; the lock is ours, so hand it
+		// straight back before reporting the cancellation.
+		l.mu.Unlock()
+		l.release(write)
+		return fmt.Errorf("engine: %s lock on object %v: %w", lockMode(write), l.id, ctx.Err())
+	}
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			break
+		}
+	}
+	// Removing a queued writer can unblock readers queued behind it.
+	l.promote()
+	l.mu.Unlock()
+	return fmt.Errorf("engine: %s lock on object %v: %w", lockMode(write), l.id, ctx.Err())
+}
+
+// release returns the lock held in the given mode and wakes waiters.
+func (l *objLock) release(write bool) {
+	l.mu.Lock()
+	if write {
+		l.writer = false
+	} else {
+		l.readers--
+	}
+	l.promote()
+	l.mu.Unlock()
+}
+
+// grantable reports whether the lock can be taken in the given mode right
+// now, ignoring the queue. Callers must hold l.mu.
+func (l *objLock) grantable(write bool) bool {
+	if l.writer {
+		return false
+	}
+	if write {
+		return l.readers == 0
+	}
+	return true
+}
+
+func (l *objLock) grant(write bool) {
+	if write {
+		l.writer = true
+	} else {
+		l.readers++
+	}
+}
+
+// promote hands the lock to queued waiters in FIFO order: a run of leading
+// readers is granted together; a leading writer is granted alone. Callers
+// must hold l.mu.
+func (l *objLock) promote() {
+	for len(l.queue) > 0 {
+		w := l.queue[0]
+		if !l.grantable(w.write) {
+			return
+		}
+		l.queue = l.queue[1:]
+		l.grant(w.write)
+		w.granted = true
+		close(w.ready)
+		if w.write {
+			return
+		}
+	}
+}
+
+// lockTable lazily allocates one objLock per object root. Entries are
+// never deleted: the table is bounded by the number of distinct objects
+// touched, and a stable *objLock identity keeps FIFO fairness intact
+// across handle open/close cycles.
+type lockTable struct {
+	objmu sync.Mutex
+	locks map[disk.Addr]*objLock
+}
+
+func (t *lockTable) get(id disk.Addr) *objLock {
+	t.objmu.Lock()
+	l := t.locks[id]
+	if l == nil {
+		if t.locks == nil {
+			t.locks = make(map[disk.Addr]*objLock)
+		}
+		l = &objLock{id: id}
+		t.locks[id] = l
+	}
+	t.objmu.Unlock()
+	return l
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"sync"
+
+	"lobstore/internal/disk"
+)
+
+// LatchedVolume serializes access to a volume implementation that is not
+// safe for concurrent use — the in-memory backend, whose WriteRun
+// reallocates area storage. The file backend does not need it: its commit
+// pipeline already guards every operation with its own mutex.
+//
+// Sync is deliberately passed through unlatched. The volume latch ranks
+// last in the engine lock order and must never be held across a
+// durability barrier; the memory backend's Sync is a no-op and the file
+// backend never sits under this decorator.
+type LatchedVolume struct {
+	volmu sync.Mutex
+	inner disk.Volume
+}
+
+// NewLatchedVolume wraps v with a data-operation latch.
+func NewLatchedVolume(v disk.Volume) *LatchedVolume {
+	return &LatchedVolume{inner: v}
+}
+
+func (v *LatchedVolume) PageSize() int { return v.inner.PageSize() }
+
+func (v *LatchedVolume) AddArea(npages int) (disk.AreaID, error) {
+	v.volmu.Lock()
+	id, err := v.inner.AddArea(npages)
+	v.volmu.Unlock()
+	return id, err
+}
+
+func (v *LatchedVolume) AreaPages(id disk.AreaID) (int, error) {
+	v.volmu.Lock()
+	n, err := v.inner.AreaPages(id)
+	v.volmu.Unlock()
+	return n, err
+}
+
+func (v *LatchedVolume) ReadRun(addr disk.Addr, npages int, dst []byte) error {
+	v.volmu.Lock()
+	err := v.inner.ReadRun(addr, npages, dst)
+	v.volmu.Unlock()
+	return err
+}
+
+func (v *LatchedVolume) WriteRun(addr disk.Addr, npages int, src []byte) error {
+	v.volmu.Lock()
+	err := v.inner.WriteRun(addr, npages, src)
+	v.volmu.Unlock()
+	return err
+}
+
+func (v *LatchedVolume) Grow(id disk.AreaID, npages int) error {
+	v.volmu.Lock()
+	err := v.inner.Grow(id, npages)
+	v.volmu.Unlock()
+	return err
+}
+
+func (v *LatchedVolume) Sync() error { return v.inner.Sync() }
+
+func (v *LatchedVolume) Close() error {
+	v.volmu.Lock()
+	err := v.inner.Close()
+	v.volmu.Unlock()
+	return err
+}

@@ -97,6 +97,15 @@ type Metrics struct {
 	OpSim   [numOps]*HDR
 	OpWall  [numOps]*HDR
 	created [numOps]bool
+
+	// Concurrent-engine latency HDRs, in wall-clock µs. LockWait is the
+	// time a client spent blocked acquiring an object lock; EpochHold is
+	// the time a retired free batch waited for the last snapshot reader of
+	// its epoch to drain before its pages could be reclaimed. Both are fed
+	// directly by the engine (there is no event kind for them: they are
+	// wall-clock facts of the concurrent layer, not of the simulation).
+	LockWait  *HDR
+	EpochHold *HDR
 }
 
 // NewMetrics returns an empty registry.
@@ -108,7 +117,33 @@ func NewMetrics() *Metrics {
 		Depth:      NewHistogram("tree.descend.depth", "pages", depthBounds),
 		WriteRun:   NewHistogram("buf.writerun.pages", "pages", ioSizeBounds),
 		GroupBatch: NewHistogram("vol.groupcommit.batch", "acks", batchBounds),
+		LockWait:   NewHDR(),
+		EpochHold:  NewHDR(),
 	}
+}
+
+// ObserveLockWait records one object-lock acquisition that blocked for the
+// given wall-clock µs (0 records an uncontended acquisition).
+func (m *Metrics) ObserveLockWait(us int64) {
+	m.mu.Lock()
+	m.LockWait.Observe(us)
+	m.mu.Unlock()
+}
+
+// ObserveEpochHold records that a retired free batch waited the given
+// wall-clock µs before epoch-based reclamation could apply it.
+func (m *Metrics) ObserveEpochHold(us int64) {
+	m.mu.Lock()
+	m.EpochHold.Observe(us)
+	m.mu.Unlock()
+}
+
+// LockWaitLatency returns a snapshot of the object-lock wait HDR, safe to
+// read while recording continues.
+func (m *Metrics) LockWaitLatency() *HDR {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.LockWait.Clone()
 }
 
 // Add bumps a named counter.
@@ -357,7 +392,32 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			}
 		}
 	}
+	for _, eh := range m.engineHDRs() {
+		if eh.h.N() == 0 {
+			continue
+		}
+		s := eh.h.Summary()
+		if _, err := fmt.Fprintf(w, "latency %s wall[µs]: n=%d p50=%d p90=%d p95=%d p99=%d p999=%d max=%d\n",
+			eh.name, s.N, s.P50Us, s.P90Us, s.P95Us, s.P99Us, s.P999Us, s.MaxUs); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// engineHDRs lists the concurrent-engine latency histograms with their
+// report names. m.mu held.
+func (m *Metrics) engineHDRs() []struct {
+	name string
+	h    *HDR
+} {
+	return []struct {
+		name string
+		h    *HDR
+	}{
+		{"engine.lockwait", m.LockWait},
+		{"engine.epochhold", m.EpochHold},
+	}
 }
 
 // WriteCSV renders the registry as CSV rows: type,name,bucket,value.
@@ -414,6 +474,24 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 				if err := cw.Write([]string{"latency", name, r.q, strconv.FormatInt(r.v, 10)}); err != nil {
 					return err
 				}
+			}
+		}
+	}
+	for _, eh := range m.engineHDRs() {
+		if eh.h.N() == 0 {
+			continue
+		}
+		s := eh.h.Summary()
+		rows := []struct {
+			q string
+			v int64
+		}{
+			{"n", s.N}, {"p50", s.P50Us}, {"p90", s.P90Us}, {"p95", s.P95Us},
+			{"p99", s.P99Us}, {"p999", s.P999Us}, {"max", s.MaxUs},
+		}
+		for _, r := range rows {
+			if err := cw.Write([]string{"latency", eh.name + ".wall", r.q, strconv.FormatInt(r.v, 10)}); err != nil {
+				return err
 			}
 		}
 	}

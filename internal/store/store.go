@@ -84,15 +84,80 @@ type Store struct {
 	leafArea disk.AreaID
 	maxOrder uint
 	pageSize int
-	scratch  []byte
 
-	// Shadow epoch state: while an operation is open, frees are deferred
-	// so no page of the old object version can be reused before the
-	// operation's commit point (§3.3: "leaving the old one intact until it
-	// is no longer needed for recovery").
-	opDepth     int
+	// Per-operation state. The single-threaded paths run forever on the
+	// permanent base state, so their behavior is exactly as before the
+	// concurrent engine existed; the engine swaps a fresh OpState in per
+	// client operation so operations interleaved at durability barriers
+	// keep their shadow epochs and scratch buffers apart.
+	base OpState
+	cur  *OpState
+
+	// retire, when set, receives the outermost EndOp's deferred frees
+	// instead of the store applying them immediately. The concurrent
+	// engine installs it to route frees through epoch-based reclamation:
+	// pages of a superseded object version stay allocated until the last
+	// snapshot reader that may still traverse them drains.
+	retire func(leaf []Segment, meta []disk.Addr) error
+}
+
+// OpState is the state private to one logical operation: the shadow-epoch
+// nesting depth, the frees deferred until the epoch's commit point (§3.3:
+// "leaving the old one intact until it is no longer needed for recovery"),
+// and the scratch buffer. A zero OpState is ready to use.
+type OpState struct {
+	depth       int
 	pendingLeaf []Segment
 	pendingMeta []disk.Addr
+	scratch     []byte
+}
+
+// op returns the current operation state, lazily bound to the permanent
+// base state on first use.
+func (s *Store) op() *OpState {
+	if s.cur == nil {
+		s.cur = &s.base
+	}
+	return s.cur
+}
+
+// SwapOp installs st as the current operation state and returns the
+// previous one. Passing nil rebinds the store to its permanent base state.
+// The concurrent engine brackets every client operation with a swap pair so
+// that operations parked at a durability barrier do not share epoch state
+// with the operation running meanwhile; single-threaded use never calls it.
+func (s *Store) SwapOp(st *OpState) *OpState {
+	prev := s.op()
+	if st == nil {
+		st = &s.base
+	}
+	s.cur = st
+	return prev
+}
+
+// SetRetireHook routes the deferred frees of every outermost EndOp to fn
+// instead of applying them immediately. fn runs after the EndOp durability
+// barrier — the §3.3 ordering is unchanged — and takes ownership of both
+// slices. A nil fn restores immediate application.
+func (s *Store) SetRetireHook(fn func(leaf []Segment, meta []disk.Addr) error) {
+	s.retire = fn
+}
+
+// ApplyFrees returns deferred frees to the space managers. The concurrent
+// engine calls it when epoch-based reclamation decides a retired batch can
+// no longer be observed by any snapshot reader.
+func (s *Store) ApplyFrees(leaf []Segment, meta []disk.Addr) error {
+	for _, seg := range leaf {
+		if err := s.Leaf.Free(seg.Addr, int(seg.Pages)); err != nil {
+			return err
+		}
+	}
+	for _, a := range meta {
+		if err := s.Meta.Free(a, 1); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Open creates a fresh simulated database.
@@ -175,10 +240,11 @@ func (s *Store) MaxSegmentPages() int { return s.Leaf.MaxSegmentPages() }
 // invalidated by the next Scratch call; callers needing two live buffers
 // must copy.
 func (s *Store) Scratch(n int) []byte {
-	if cap(s.scratch) < n {
-		s.scratch = make([]byte, n)
+	o := s.op()
+	if cap(o.scratch) < n {
+		o.scratch = make([]byte, n)
 	}
-	return s.scratch[:n]
+	return o.scratch[:n]
 }
 
 // AllocSegment obtains a leaf segment of npages adjacent pages.
@@ -193,7 +259,7 @@ func (s *Store) AllocSegment(npages int) (Segment, error) {
 // BeginOp opens a shadow epoch: frees requested until the matching EndOp
 // are deferred, so the pages of the pre-operation object version cannot be
 // reallocated (and overwritten) before the operation commits. Calls nest.
-func (s *Store) BeginOp() { s.opDepth++ }
+func (s *Store) BeginOp() { s.op().depth++ }
 
 // EndOp closes a shadow epoch. When the outermost epoch ends — after the
 // manager has written its commit point (tree root or descriptor) — the
@@ -202,11 +268,12 @@ func (s *Store) BeginOp() { s.opDepth++ }
 // stable before any page of the old version may be reused, or a crash
 // could leave the still-referenced old version partially overwritten.
 func (s *Store) EndOp() error {
-	if s.opDepth == 0 {
+	o := s.op()
+	if o.depth == 0 {
 		return fmt.Errorf("store: EndOp without BeginOp")
 	}
-	s.opDepth--
-	if s.opDepth > 0 {
+	o.depth--
+	if o.depth > 0 {
 		return nil
 	}
 	// With write coalescing enabled, drain the pool's unprotected dirty
@@ -219,19 +286,12 @@ func (s *Store) EndOp() error {
 	if err := s.Disk.Barrier(); err != nil {
 		return err
 	}
-	leaf, meta := s.pendingLeaf, s.pendingMeta
-	s.pendingLeaf, s.pendingMeta = nil, nil
-	for _, seg := range leaf {
-		if err := s.Leaf.Free(seg.Addr, int(seg.Pages)); err != nil {
-			return err
-		}
+	leaf, meta := o.pendingLeaf, o.pendingMeta
+	o.pendingLeaf, o.pendingMeta = nil, nil
+	if s.retire != nil && (len(leaf) > 0 || len(meta) > 0) {
+		return s.retire(leaf, meta)
 	}
-	for _, a := range meta {
-		if err := s.Meta.Free(a, 1); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.ApplyFrees(leaf, meta)
 }
 
 // RunOp executes one update operation inside a shadow epoch: deferred
@@ -252,8 +312,8 @@ func (s *Store) FreeSegment(seg Segment) error {
 	if err := s.Pool.DropRange(seg.Addr, int(seg.Pages)); err != nil {
 		return err
 	}
-	if s.opDepth > 0 {
-		s.pendingLeaf = append(s.pendingLeaf, seg)
+	if o := s.op(); o.depth > 0 {
+		o.pendingLeaf = append(o.pendingLeaf, seg)
 		return nil
 	}
 	return s.Leaf.Free(seg.Addr, int(seg.Pages))
@@ -273,8 +333,8 @@ func (s *Store) TrimSegment(seg Segment, keepPages int) (Segment, error) {
 	if err := s.Pool.DropRange(tail, n); err != nil {
 		return Segment{}, err
 	}
-	if s.opDepth > 0 {
-		s.pendingLeaf = append(s.pendingLeaf, Segment{Addr: tail, Pages: int32(n)})
+	if o := s.op(); o.depth > 0 {
+		o.pendingLeaf = append(o.pendingLeaf, Segment{Addr: tail, Pages: int32(n)})
 	} else if err := s.Leaf.Free(tail, n); err != nil {
 		return Segment{}, err
 	}
@@ -291,8 +351,8 @@ func (s *Store) FreeMetaPage(a disk.Addr) error {
 	if err := s.Pool.DropRange(a, 1); err != nil {
 		return err
 	}
-	if s.opDepth > 0 {
-		s.pendingMeta = append(s.pendingMeta, a)
+	if o := s.op(); o.depth > 0 {
+		o.pendingMeta = append(o.pendingMeta, a)
 		return nil
 	}
 	return s.Meta.Free(a, 1)

@@ -35,6 +35,8 @@ import (
 	"lobstore/internal/buffer"
 	"lobstore/internal/catalog"
 	"lobstore/internal/core"
+	"lobstore/internal/disk"
+	"lobstore/internal/engine"
 	"lobstore/internal/eos"
 	"lobstore/internal/esm"
 	"lobstore/internal/filevol"
@@ -135,6 +137,21 @@ type Config struct {
 	// first, so §3.3 ordering is unchanged. Off by default; per-opening;
 	// ignored by the mem backend.
 	AsyncWriteback bool
+	// Concurrent serves the database through the concurrency engine
+	// (internal/engine): object handles become safe for concurrent use
+	// behind per-object reader/writer locks, DB accessors are guarded, and
+	// DB.Snapshot opens lock-free frozen readers that piggyback on §3.3
+	// shadowing. Requires Materialize. Off by default — and with it off,
+	// every code path, trace and paper table is byte-identical to a build
+	// without the engine; the simulation stays single-threaded and
+	// deterministic. Like Coalesce it is a per-opening choice, not
+	// superblock geometry. On the file backend the commit pipeline is
+	// engaged (at batch size 1 if GroupCommit is off) so the volume is
+	// safe for concurrent committers. Size BufferPages generously: every
+	// committer parked at a durability barrier keeps its dirty pages
+	// sticky (shadow-protected) in the shared pool, so the paper's
+	// 12-frame configuration starves once a handful of commits overlap.
+	Concurrent bool
 }
 
 // GroupCommit configures the file backend's group-commit barrier combiner
@@ -233,6 +250,15 @@ type DB struct {
 	// vol is non-nil on a file-backed database: the durable volume under
 	// the cost-accounting disk.
 	vol *filevol.Volume
+	// eng is non-nil when the database was opened with Config.Concurrent:
+	// every operation and accessor routes through it. Nil in off mode, so
+	// the deterministic single-threaded paths are untouched.
+	eng *engine.Engine
+}
+
+// enableEngine routes the database through the concurrency layer.
+func (db *DB) enableEngine() {
+	db.eng = engine.New(db.st, engine.Options{Params: storeParams(db.cfg)})
 }
 
 // storeParams translates the public configuration into store parameters.
@@ -259,6 +285,9 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.MaxSegmentPages < 1 || bits.OnesCount(uint(cfg.MaxSegmentPages)) != 1 {
 		return nil, fmt.Errorf("lobstore: MaxSegmentPages %d must be a power of two", cfg.MaxSegmentPages)
 	}
+	if cfg.Concurrent && !cfg.Materialize {
+		return nil, fmt.Errorf("lobstore: Concurrent requires Materialize (snapshot readers peek committed bytes)")
+	}
 	switch cfg.Backend {
 	case "", "mem":
 		return openMem(cfg)
@@ -270,7 +299,13 @@ func Open(cfg Config) (*DB, error) {
 
 // openMem creates a fresh in-memory simulated database.
 func openMem(cfg Config) (*DB, error) {
-	st, err := store.Open(storeParams(cfg))
+	params := storeParams(cfg)
+	if cfg.Concurrent {
+		// The raw memory volume reallocates area storage on growth; latch
+		// it so concurrent committers and snapshot readers can share it.
+		params.Volume = engine.NewLatchedVolume(disk.NewMemVolume(cfg.PageSize))
+	}
+	st, err := store.Open(params)
 	if err != nil {
 		return nil, err
 	}
@@ -283,22 +318,65 @@ func openMem(cfg Config) (*DB, error) {
 	if cat.Root() != catalogAddr() {
 		return nil, fmt.Errorf("lobstore: catalog landed at %v, expected %v", cat.Root(), catalogAddr())
 	}
-	return &DB{st: st, cfg: cfg, cat: cat}, nil
+	db := &DB{st: st, cfg: cfg, cat: cat}
+	if cfg.Concurrent {
+		db.enableEngine()
+	}
+	return db, nil
 }
 
 // Config returns the configuration the database was opened with.
 func (db *DB) Config() Config { return db.cfg }
 
+// wrapNew builds an object through construct. In concurrent mode the
+// construction runs as an engine operation and the result is wrapped in a
+// handle that locks the object per call; off mode calls construct
+// directly, leaving the deterministic path untouched.
+func (db *DB) wrapNew(construct func() (core.Object, disk.Addr, error)) (Object, error) {
+	if db.eng == nil {
+		obj, _, err := construct()
+		if err != nil {
+			return nil, err
+		}
+		return obj, nil
+	}
+	var (
+		obj  core.Object
+		root disk.Addr
+	)
+	err := db.eng.Run(func() error {
+		var err error
+		obj, root, err = construct()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db.eng.WrapObject(obj, root), nil
+}
+
 // NewESM creates an ESM large object with the given fixed leaf size in
 // pages (the paper evaluates 1, 4, 16 and 64).
 func (db *DB) NewESM(leafPages int) (Object, error) {
-	return esm.New(db.st, esm.Config{LeafPages: leafPages})
+	return db.wrapNew(func() (core.Object, disk.Addr, error) {
+		o, err := esm.New(db.st, esm.Config{LeafPages: leafPages})
+		if err != nil {
+			return nil, disk.Addr{}, err
+		}
+		return o, o.Root(), nil
+	})
 }
 
 // NewESMBasic creates an ESM object using the basic (even-split) insert
 // algorithm instead of the improved one — the paper's §3.4 ablation.
 func (db *DB) NewESMBasic(leafPages int) (Object, error) {
-	return esm.New(db.st, esm.Config{LeafPages: leafPages, Insert: esm.Basic})
+	return db.wrapNew(func() (core.Object, disk.Addr, error) {
+		o, err := esm.New(db.st, esm.Config{LeafPages: leafPages, Insert: esm.Basic})
+		if err != nil {
+			return nil, disk.Addr{}, err
+		}
+		return o, o.Root(), nil
+	})
 }
 
 // ESMOptions configures ablation variants of the ESM structure.
@@ -321,53 +399,121 @@ func (db *DB) NewESMOpts(o ESMOptions) (Object, error) {
 	if o.BasicInsert {
 		cfg.Insert = esm.Basic
 	}
-	return esm.New(db.st, cfg)
+	return db.wrapNew(func() (core.Object, disk.Addr, error) {
+		obj, err := esm.New(db.st, cfg)
+		if err != nil {
+			return nil, disk.Addr{}, err
+		}
+		return obj, obj.Root(), nil
+	})
 }
 
 // NewStarburst creates a Starburst long field. maxSegmentPages caps the
 // doubling growth pattern (0 selects the allocator maximum).
 func (db *DB) NewStarburst(maxSegmentPages int) (Object, error) {
-	return starburst.New(db.st, starburst.Config{MaxSegmentPages: maxSegmentPages})
+	return db.wrapNew(func() (core.Object, disk.Addr, error) {
+		o, err := starburst.New(db.st, starburst.Config{MaxSegmentPages: maxSegmentPages})
+		if err != nil {
+			return nil, disk.Addr{}, err
+		}
+		return o, o.Root(), nil
+	})
 }
 
 // NewStarburstKnownSize creates a Starburst long field whose eventual size
 // is declared up front, so maximal segments are used from the start (§2.2).
 func (db *DB) NewStarburstKnownSize(maxSegmentPages int, knownSize int64) (Object, error) {
-	return starburst.New(db.st, starburst.Config{
-		MaxSegmentPages: maxSegmentPages,
-		KnownSize:       knownSize,
+	return db.wrapNew(func() (core.Object, disk.Addr, error) {
+		o, err := starburst.New(db.st, starburst.Config{
+			MaxSegmentPages: maxSegmentPages,
+			KnownSize:       knownSize,
+		})
+		if err != nil {
+			return nil, disk.Addr{}, err
+		}
+		return o, o.Root(), nil
 	})
 }
 
 // NewEOS creates an EOS large object with the given segment size threshold
 // in pages (the paper evaluates 1, 4, 16 and 64).
 func (db *DB) NewEOS(threshold int) (Object, error) {
-	return eos.New(db.st, eos.Config{Threshold: threshold})
+	return db.wrapNew(func() (core.Object, disk.Addr, error) {
+		o, err := eos.New(db.st, eos.Config{Threshold: threshold})
+		if err != nil {
+			return nil, disk.Addr{}, err
+		}
+		return o, o.Root(), nil
+	})
 }
 
 // NewEOSMaxSeg creates an EOS object with an explicit maximum segment size.
 func (db *DB) NewEOSMaxSeg(threshold, maxSegmentPages int) (Object, error) {
-	return eos.New(db.st, eos.Config{Threshold: threshold, MaxSegmentPages: maxSegmentPages})
+	return db.wrapNew(func() (core.Object, disk.Addr, error) {
+		o, err := eos.New(db.st, eos.Config{Threshold: threshold, MaxSegmentPages: maxSegmentPages})
+		if err != nil {
+			return nil, disk.Addr{}, err
+		}
+		return o, o.Root(), nil
+	})
 }
 
-// Now returns the simulated time spent on I/O so far.
-func (db *DB) Now() time.Duration { return db.st.Clock.Now().Std() }
+// Now returns the simulated time spent on I/O so far. In concurrent mode
+// the read is serialized with in-flight operations; in off mode the
+// database is single-threaded by contract, so the unguarded read is
+// exact.
+func (db *DB) Now() time.Duration {
+	if db.eng != nil {
+		var now time.Duration
+		db.eng.View(func() { now = db.st.Clock.Now().Std() })
+		return now
+	}
+	return db.st.Clock.Now().Std()
+}
 
-// Stats returns cumulative disk activity.
-func (db *DB) Stats() Stats { return fromSim(db.st.Disk.Stats()) }
+// Stats returns cumulative disk activity. Safe while operations are in
+// flight in concurrent mode (the counters are read under the engine's
+// store mutex); in off mode the caller is the only thread by contract.
+func (db *DB) Stats() Stats {
+	if db.eng != nil {
+		var st sim.Stats
+		db.eng.View(func() { st = db.st.Disk.Stats() })
+		return fromSim(st)
+	}
+	return fromSim(db.st.Disk.Stats())
+}
 
-// Measure runs f and returns the disk activity it caused.
+// Measure runs f and returns the disk activity it caused. In concurrent
+// mode the delta also includes whatever other clients did while f ran —
+// per-client attribution needs a quiesced database.
 func (db *DB) Measure(f func() error) (Stats, error) {
+	if db.eng != nil {
+		before := db.Stats()
+		err := f()
+		return db.Stats().Sub(before), err
+	}
 	st, err := db.st.MeasureOp(f)
 	return fromSim(st), err
 }
 
 // PoolHitRate returns buffer pool hits and misses so far.
-func (db *DB) PoolHitRate() (hits, misses int64) { return db.st.Pool.HitRate() }
+func (db *DB) PoolHitRate() (hits, misses int64) {
+	if db.eng != nil {
+		db.eng.View(func() { hits, misses = db.st.Pool.HitRate() })
+		return hits, misses
+	}
+	return db.st.Pool.HitRate()
+}
 
 // SpaceInUse reports the allocated page counts of the data and metadata
 // areas.
 func (db *DB) SpaceInUse() (dataPages, metaPages int64) {
+	if db.eng != nil {
+		db.eng.View(func() {
+			dataPages, metaPages = db.st.Leaf.UsedBlocks(), db.st.Meta.UsedBlocks()
+		})
+		return dataPages, metaPages
+	}
 	return db.st.Leaf.UsedBlocks(), db.st.Meta.UsedBlocks()
 }
 
@@ -430,11 +576,16 @@ func (db *DB) EnableMetrics(m *Metrics) *Metrics {
 	}
 	db.metrics = m
 	db.st.Obs.Attach(m)
+	if db.eng != nil {
+		db.eng.SetMetrics(m)
+	}
 	return m
 }
 
 // Metrics returns the registry attached with EnableMetrics, or nil when
-// metrics are disabled.
+// metrics are disabled. The registry itself is internally synchronized,
+// so reading it while operations are in flight is safe in concurrent
+// mode; in off mode the database is single-threaded by contract.
 func (db *DB) Metrics() *Metrics { return db.metrics }
 
 // TimeSeries is a flight-recorder event sink: it seals periodic windows of
@@ -460,7 +611,14 @@ func (db *DB) AttachTimeSeries(ts *TimeSeries) {
 
 // LeafFragmentation snapshots the free-list state of the data area's buddy
 // allocator. It inspects only the cached directory — no I/O is charged.
-func (db *DB) LeafFragmentation() Fragmentation { return db.st.Leaf.Fragmentation() }
+func (db *DB) LeafFragmentation() Fragmentation {
+	if db.eng != nil {
+		var f Fragmentation
+		db.eng.View(func() { f = db.st.Leaf.Fragmentation() })
+		return f
+	}
+	return db.st.Leaf.Fragmentation()
+}
 
 // InjectIOFailure arms disk fault injection: the next calls I/O operations
 // succeed, after which every operation fails with err until re-armed

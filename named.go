@@ -7,7 +7,9 @@ import (
 	"os"
 
 	"lobstore/internal/catalog"
+	"lobstore/internal/core"
 	"lobstore/internal/disk"
+	"lobstore/internal/engine"
 	"lobstore/internal/eos"
 	"lobstore/internal/esm"
 	"lobstore/internal/starburst"
@@ -36,8 +38,33 @@ type ObjectInfo struct {
 // Create makes a new named large object. Named objects are registered in
 // the database catalog and survive SaveImage/OpenImage.
 func (db *DB) Create(name string, spec ObjectSpec) (Object, error) {
+	if db.eng == nil {
+		obj, _, err := db.createRaw(name, spec)
+		if err != nil {
+			return nil, err
+		}
+		return obj, nil
+	}
 	var (
-		obj  Object
+		obj  core.Object
+		root disk.Addr
+	)
+	err := db.eng.Run(func() error {
+		var err error
+		obj, root, err = db.createRaw(name, spec)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db.eng.WrapObject(obj, root), nil
+}
+
+// createRaw is Create against the bare store; in concurrent mode it runs
+// inside an engine operation.
+func (db *DB) createRaw(name string, spec ObjectSpec) (core.Object, disk.Addr, error) {
+	var (
+		obj  core.Object
 		kind catalog.Kind
 		root disk.Addr
 		err  error
@@ -65,43 +92,121 @@ func (db *DB) Create(name string, spec ObjectSpec) (Object, error) {
 		err = fmt.Errorf("lobstore: unknown engine %q (esm, starburst, eos)", spec.Engine)
 	}
 	if err != nil {
-		return nil, err
+		return nil, disk.Addr{}, err
 	}
 	if err := db.cat.Put(catalog.Entry{Name: name, Kind: kind, Root: root}); err != nil {
 		// Roll the object back so a name clash leaks no space. A failed
 		// rollback leaks pages: report it alongside the primary error.
 		if derr := obj.Destroy(); derr != nil {
-			return nil, errors.Join(err, fmt.Errorf("lobstore: rollback of %q failed: %w", name, derr))
+			return nil, disk.Addr{}, errors.Join(err, fmt.Errorf("lobstore: rollback of %q failed: %w", name, derr))
 		}
-		return nil, err
+		return nil, disk.Addr{}, err
 	}
-	return obj, nil
+	return obj, root, nil
 }
 
 // OpenObject reattaches to a named object created earlier (possibly in a
 // previous session of a saved database image).
 func (db *DB) OpenObject(name string) (Object, error) {
+	if db.eng == nil {
+		obj, _, err := db.openRaw(name)
+		if err != nil {
+			return nil, err
+		}
+		return obj, nil
+	}
+	var (
+		obj  core.Object
+		root disk.Addr
+	)
+	err := db.eng.Run(func() error {
+		var err error
+		obj, root, err = db.openRaw(name)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db.eng.WrapObject(obj, root), nil
+}
+
+// openRaw reattaches to a cataloged object against the bare store.
+func (db *DB) openRaw(name string) (core.Object, disk.Addr, error) {
 	e, ok, err := db.cat.Get(name)
+	if err != nil {
+		return nil, disk.Addr{}, err
+	}
+	if !ok {
+		return nil, disk.Addr{}, fmt.Errorf("lobstore: no object named %q", name)
+	}
+	open, err := openerFor(e.Kind)
+	if err != nil {
+		return nil, disk.Addr{}, fmt.Errorf("lobstore: object %q: %w", name, err)
+	}
+	obj, err := open(db.st, e.Root)
+	if err != nil {
+		return nil, disk.Addr{}, err
+	}
+	return obj, e.Root, nil
+}
+
+// openerFor maps a catalog kind to its manager's Open function, in the
+// shape snapshot stripes need to reopen a frozen image.
+func openerFor(k catalog.Kind) (engine.Opener, error) {
+	switch k {
+	case catalog.KindESM:
+		return func(st *store.Store, root disk.Addr) (core.Object, error) { return esm.Open(st, root) }, nil
+	case catalog.KindStarburst:
+		return func(st *store.Store, root disk.Addr) (core.Object, error) { return starburst.Open(st, root) }, nil
+	case catalog.KindEOS:
+		return func(st *store.Store, root disk.Addr) (core.Object, error) { return eos.Open(st, root) }, nil
+	}
+	return nil, fmt.Errorf("unknown kind %v", k)
+}
+
+// Snapshot opens a read-only view of a named object frozen at its current
+// committed state. Requires Config.Concurrent. The snapshot reads
+// lock-free against the §3.3 pre-image while writers keep mutating the
+// live object; Close it to let the space its image pins be reclaimed.
+func (db *DB) Snapshot(name string) (*Snapshot, error) {
+	if db.eng == nil {
+		return nil, fmt.Errorf("lobstore: snapshots require Config.Concurrent")
+	}
+	var (
+		e  catalog.Entry
+		ok bool
+	)
+	err := db.eng.Run(func() error {
+		var err error
+		e, ok, err = db.cat.Get(name)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, fmt.Errorf("lobstore: no object named %q", name)
 	}
-	switch e.Kind {
-	case catalog.KindESM:
-		return esm.Open(db.st, e.Root)
-	case catalog.KindStarburst:
-		return starburst.Open(db.st, e.Root)
-	case catalog.KindEOS:
-		return eos.Open(db.st, e.Root)
+	open, err := openerFor(e.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("lobstore: object %q: %w", name, err)
 	}
-	return nil, fmt.Errorf("lobstore: object %q has unknown kind %v", name, e.Kind)
+	return db.eng.OpenSnapshot(e.Root, open)
 }
+
+// Snapshot is a frozen read-only view of one object; see DB.Snapshot.
+type Snapshot = engine.Snapshot
 
 // Drop destroys a named object and removes it from the catalog.
 func (db *DB) Drop(name string) error {
-	obj, err := db.OpenObject(name)
+	if db.eng != nil {
+		return db.eng.Run(func() error { return db.dropRaw(name) })
+	}
+	return db.dropRaw(name)
+}
+
+func (db *DB) dropRaw(name string) error {
+	obj, _, err := db.openRaw(name)
 	if err != nil {
 		return err
 	}
@@ -113,6 +218,19 @@ func (db *DB) Drop(name string) error {
 
 // Objects lists the cataloged objects.
 func (db *DB) Objects() ([]ObjectInfo, error) {
+	if db.eng != nil {
+		var out []ObjectInfo
+		err := db.eng.Run(func() error {
+			var err error
+			out, err = db.objectsRaw()
+			return err
+		})
+		return out, err
+	}
+	return db.objectsRaw()
+}
+
+func (db *DB) objectsRaw() ([]ObjectInfo, error) {
 	entries, err := db.cat.List()
 	if err != nil {
 		return nil, err
@@ -128,6 +246,9 @@ func (db *DB) Objects() ([]ObjectInfo, error) {
 // catalog — to w. Objects should be Closed first so growth-pattern slack is
 // trimmed. Reopen with OpenImage.
 func (db *DB) SaveImage(w io.Writer) error {
+	if db.eng != nil {
+		return db.eng.Run(func() error { return db.st.SaveImage(w) })
+	}
 	return db.st.SaveImage(w)
 }
 

@@ -201,6 +201,17 @@ func TestOffModeTraceUnchanged(t *testing.T) {
 			t.Fatalf("off-mode metrics: %s = %d, want 0", c, n)
 		}
 	}
+
+	// The concurrent engine sits above this path and must be completely
+	// dark with Concurrent unset: no lock, snapshot or epoch activity may
+	// leak into off-mode accounting (the traces compared above would
+	// catch extra I/O; these counters catch the engine running at all).
+	for _, c := range []string{"engine.lock.acquires", "engine.lock.cancels",
+		"engine.snapshot.opens", "engine.epoch.retired", "engine.epoch.reclaimed"} {
+		if n := m.Counter(c); n != 0 {
+			t.Fatalf("off-mode metrics: %s = %d, want 0", c, n)
+		}
+	}
 }
 
 // TestSharedMetricsRegistry accumulates two databases into one registry.
