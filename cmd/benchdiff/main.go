@@ -28,9 +28,14 @@
 //	benchdiff -enforce-p99 baseline.json fresh.json
 //	benchdiff -enforce-sim baseline.json fresh.json
 //
-// Both schemas are recognized by their fields: harness reports contribute
+// The schemas are recognized by their fields: harness reports contribute
 // prepass/experiment wall milliseconds, per-experiment p99 µs and
-// micro-benchmark ns/op, volume reports contribute per-case ns/op. Metrics
+// micro-benchmark ns/op, volume reports contribute per-case ns/op, and
+// server reports (BENCH_server.json, written by lobload) contribute
+// per-case ops/s, p99 µs and goodput. Throughput metrics (suffix "ops/s")
+// regress downward — a fresh rate more than -threshold below baseline is
+// flagged — while every latency metric regresses upward; server p99 µs
+// metrics share the -enforce-p99 hard gate with the harness ones. Metrics
 // below -min-wall-ms (or the ns/op equivalent) in the baseline are skipped,
 // as are p99 metrics below -min-p99-us: relative comparison of sub-noise
 // cells produces only false alarms.
@@ -64,13 +69,24 @@ type volCase struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
+// serverCase mirrors one named lobload run in a BENCH_server.json
+// artifact: end-to-end network serving throughput and wall-clock tail
+// latency, plus goodput when the run carried an SLO.
+type serverCase struct {
+	Name             string  `json:"name"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	P99Us            float64 `json:"p99_us"`
+	GoodputOpsPerSec float64 `json:"goodput_ops_per_sec"`
+}
+
 type report struct {
-	Prepass     *phase    `json:"prepass"`
-	Experiments []phase   `json:"experiments"`
-	Micro       []micro   `json:"micro"`
-	TotalSimMs  float64   `json:"total_sim_ms"`
-	TotalWallMs float64   `json:"total_wall_ms"`
-	Cases       []volCase `json:"cases"`
+	Prepass     *phase       `json:"prepass"`
+	Experiments []phase      `json:"experiments"`
+	Micro       []micro      `json:"micro"`
+	TotalSimMs  float64      `json:"total_sim_ms"`
+	TotalWallMs float64      `json:"total_wall_ms"`
+	Cases       []volCase    `json:"cases"`
+	ServerCases []serverCase `json:"server_cases"`
 }
 
 // metrics flattens a report into named wall-clock numbers, all in
@@ -102,6 +118,17 @@ func metrics(r *report) map[string]float64 {
 	for _, c := range r.Cases {
 		out["case "+c.Name+" ns/op"] = c.NsPerOp
 	}
+	for _, c := range r.ServerCases {
+		if c.OpsPerSec > 0 {
+			out["server "+c.Name+" ops/s"] = c.OpsPerSec
+		}
+		if c.P99Us > 0 {
+			out["server "+c.Name+" p99_us"] = c.P99Us
+		}
+		if c.GoodputOpsPerSec > 0 {
+			out["server "+c.Name+" goodput ops/s"] = c.GoodputOpsPerSec
+		}
+	}
 	return out
 }
 
@@ -132,6 +159,17 @@ func compare(base, cur map[string]float64, threshold, floorMs, floorUs float64) 
 		}
 		if isSimMetric(n) {
 			continue // simulated time is gated exactly, by compareSim
+		}
+		if isOpsMetric(n) {
+			// Throughput regresses downward: flag when the fresh rate falls
+			// more than threshold below baseline. No floor — a server case
+			// measured at all is above noise, and a collapse to near zero is
+			// exactly the regression to catch. ratio > 1 means "times worse"
+			// in both families.
+			if c < b*(1-threshold) {
+				regs = append(regs, regression{name: n, base: b, cur: c, ratio: b / c})
+			}
+			continue
 		}
 		floor := floorMs
 		switch {
@@ -191,6 +229,12 @@ func isNsMetric(name string) bool {
 
 func isUsMetric(name string) bool {
 	return len(name) > 6 && name[len(name)-6:] == "p99_us"
+}
+
+// isOpsMetric marks throughput metrics (server ops/s and goodput), which
+// regress downward rather than upward.
+func isOpsMetric(name string) bool {
+	return len(name) > 5 && name[len(name)-5:] == "ops/s"
 }
 
 func load(path string) (map[string]float64, error) {

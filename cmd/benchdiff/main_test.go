@@ -118,6 +118,73 @@ func TestCompareSimGatesExactly(t *testing.T) {
 	}
 }
 
+// TestCompareThroughputRegressesDownward pins the inverted gate for ops/s
+// metrics: a throughput drop beyond threshold is a regression, a rise (or
+// a latency-style increase) never is, and goodput shares the family.
+func TestCompareThroughputRegressesDownward(t *testing.T) {
+	base := map[string]float64{
+		"server closed-16 ops/s":         40000,
+		"server closed-16 goodput ops/s": 39000,
+		"server closed-1 ops/s":          9000,
+		"server closed-16 p99_us":        800,
+	}
+	cur := map[string]float64{
+		"server closed-16 ops/s":         30000, // -25%: regression
+		"server closed-16 goodput ops/s": 50000, // faster: fine
+		"server closed-1 ops/s":          8000,  // -11%: under threshold
+		"server closed-16 p99_us":        1200,  // +50%: latency regression
+	}
+	regs := compare(base, cur, 0.20, 10, 100)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %v, want 2", len(regs), regs)
+	}
+	if regs[0].name != "server closed-16 ops/s" {
+		t.Fatalf("wrong throughput regression: %+v", regs[0])
+	}
+	if regs[0].ratio < 1.32 || regs[0].ratio > 1.34 {
+		t.Fatalf("throughput ratio %.2f, want ~1.33 (times worse)", regs[0].ratio)
+	}
+	if regs[1].name != "server closed-16 p99_us" {
+		t.Fatalf("server p99 not compared as latency: %+v", regs[1])
+	}
+	// Boundary: exactly base*(1-threshold) is not a regression.
+	at := map[string]float64{"server closed-16 ops/s": 32000}
+	if regs := compare(map[string]float64{"server closed-16 ops/s": 40000}, at, 0.20, 10, 100); len(regs) != 0 {
+		t.Fatalf("exactly-at-threshold throughput flagged: %v", regs)
+	}
+}
+
+func TestMetricsFlattensServerSchema(t *testing.T) {
+	r := &report{
+		ServerCases: []serverCase{
+			{Name: "closed-16", OpsPerSec: 40000, P99Us: 800, GoodputOpsPerSec: 39000},
+			{Name: "open-5000", OpsPerSec: 5000, P99Us: 1500}, // no SLO: no goodput metric
+		},
+	}
+	m := metrics(r)
+	want := map[string]float64{
+		"server closed-16 ops/s":         40000,
+		"server closed-16 p99_us":        800,
+		"server closed-16 goodput ops/s": 39000,
+		"server open-5000 ops/s":         5000,
+		"server open-5000 p99_us":        1500,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("got %d metrics %v, want %d", len(m), m, len(want))
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Fatalf("metric %q = %v, want %v", k, m[k], v)
+		}
+	}
+	if !isUsMetric("server closed-16 p99_us") {
+		t.Fatal("server p99 metric must share the p99 gate")
+	}
+	if !isOpsMetric("server closed-16 goodput ops/s") || isOpsMetric("micro append ns/op") {
+		t.Fatal("ops/s suffix detection wrong")
+	}
+}
+
 func TestMetricsFlattensBothSchemas(t *testing.T) {
 	r := &report{
 		Prepass:     &phase{Name: "prepass", WallMs: 3},

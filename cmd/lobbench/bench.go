@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"net"
 	"os"
 	"runtime"
 	"sync"
@@ -11,7 +12,9 @@ import (
 	"lobstore"
 	"lobstore/internal/buffer"
 	"lobstore/internal/disk"
+	"lobstore/internal/engine"
 	"lobstore/internal/sim"
+	"lobstore/internal/wire"
 )
 
 // benchReport is the BENCH_harness.json schema: per-experiment wall time,
@@ -128,9 +131,11 @@ func (t *benchTracker) measurePhase(name string, fn func() error) (benchPhase, e
 }
 
 // microBenchmarks measures the allocation behaviour of the I/O hot paths
-// via testing.Benchmark: the buffer pool's multi-page hit path and the
-// simulated disk's materialized read. Both were allocation sites before
-// the scratch-reuse work; the JSON keeps them pinned.
+// via testing.Benchmark: the buffer pool's multi-page hit path, the
+// simulated disk's materialized read, the engine lock manager's
+// uncontended cycle, and the wire protocol's loopback round trip at
+// pipeline depths 1 and 16. All were (or guard against becoming)
+// allocation sites; the JSON keeps them pinned.
 func microBenchmarks() []microResult {
 	specs := []struct {
 		name string
@@ -139,6 +144,9 @@ func microBenchmarks() []microResult {
 		{"FixRunHit4", benchFixRunHit},
 		{"DiskReadMaterialized4", benchDiskReadMaterialized},
 		{"DiskSequentialWriteGrow", benchDiskWriteGrow},
+		{"LockUncontended", benchLockUncontended},
+		{"WireRoundTripSerial", func(b *testing.B) { benchWireRoundTrip(b, 1) }},
+		{"WireRoundTripPipelined", func(b *testing.B) { benchWireRoundTrip(b, 16) }},
 	}
 	out := make([]microResult, 0, len(specs))
 	for _, s := range specs {
@@ -181,6 +189,87 @@ func benchFixRunHit(b *testing.B) {
 			b.Fatal(err)
 		}
 		buffer.UnfixAll(hs, false)
+	}
+}
+
+// benchLockUncontended measures the lock manager's fast path: one
+// goroutine cycling a shared then exclusive lock on one object with
+// nobody waiting — the fixed per-request overhead of the serving path.
+func benchLockUncontended(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := engine.LockCycle(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchWireRoundTrip measures b.N empty round trips against a loopback
+// echo peer with depth requests kept in flight: depth 1 is the serial
+// protocol, depth 16 shows what request pipelining recovers from the
+// per-round-trip socket latency.
+func benchWireRoundTrip(b *testing.B, depth int) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close() //lobvet:ignore errdiscard — benchmark teardown
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close() //lobvet:ignore errdiscard — benchmark teardown
+		r := wire.NewReader(conn, 0)
+		var hdr [wire.HeaderSize]byte
+		var body []byte
+		for {
+			h, err := r.Next()
+			if err != nil {
+				return
+			}
+			if body, err = r.Payload(h, body); err != nil {
+				return
+			}
+			wire.PutHeader(hdr[:], wire.Header{Type: wire.RespOK, Flags: wire.FlagLast, ReqID: h.ReqID, Len: 8})
+			var ok [8]byte
+			if _, err := (&net.Buffers{hdr[:], ok[:]}).WriteTo(conn); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close() //lobvet:ignore errdiscard — benchmark teardown
+	r := wire.NewReader(conn, 0)
+	var hdr [wire.HeaderSize]byte
+	var body []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	inflight := 0
+	drain := func() {
+		h, err := r.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if body, err = r.Payload(h, body); err != nil {
+			b.Fatal(err)
+		}
+		inflight--
+	}
+	for i := 0; i < b.N; i++ {
+		wire.PutHeader(hdr[:], wire.Header{Type: wire.OpPing, Flags: wire.FlagLast, ReqID: uint32(i), Len: 0})
+		if _, err := conn.Write(hdr[:]); err != nil {
+			b.Fatal(err)
+		}
+		inflight++
+		for inflight >= depth {
+			drain()
+		}
+	}
+	for inflight > 0 {
+		drain()
 	}
 }
 

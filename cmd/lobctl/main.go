@@ -38,10 +38,19 @@
 // cross-checks a durable database's on-disk allocation directories against
 // the set of pages reachable from its catalog, reporting leaked
 // (allocated-but-unowned) and doubly-owned pages.
+//
+// The subcommand
+//
+//	lobctl serve -addr HOST:PORT [flags]
+//
+// serves the database over TCP, speaking the internal/wire protocol; it
+// is the same server as the standalone lobserve command (see that
+// command for the flag list).
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,11 +59,15 @@ import (
 	"strings"
 
 	"lobstore"
+	"lobstore/internal/server"
 	"lobstore/internal/workload"
 )
 
 func main() {
 	// Subcommands come first on the command line, before any flags.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(server.RunServe("lobctl serve", os.Args[2:], os.Stderr))
+	}
 	if len(os.Args) > 1 && os.Args[1] == "fsck" {
 		fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 		dir := fs.String("dir", "", "directory of the file-backed database")
@@ -80,6 +93,7 @@ func main() {
 		groupWait = flag.Duration("group-delay", 0, "file-backend group commit: max wait for a batch to fill")
 		asyncWB   = flag.Bool("async-writeback", false, "file-backend: move pwrites onto a background writer")
 		conc      = flag.Bool("concurrent", false, "open the database through the concurrency engine (thread-safe handles, snapshot reads)")
+		bufPages  = flag.Int("buffer-pages", 0, "buffer pool size in pages (0 = paper default; -concurrent needs a larger pool and picks one)")
 	)
 	flag.Parse()
 
@@ -89,8 +103,20 @@ func main() {
 	cfg.GroupCommit = lobstore.GroupCommit{MaxBatch: *groupMax, MaxDelay: *groupWait}
 	cfg.AsyncWriteback = *asyncWB
 	cfg.Concurrent = *conc
+	switch {
+	case *bufPages > 0:
+		// An explicit pool size is the user's to get wrong: a
+		// starvation-prone choice under -concurrent is rejected by Open
+		// below with a configuration error, not silently padded.
+		cfg.BufferPages = *bufPages
+	case *conc:
+		cfg.BufferPages = lobstore.MinConcurrentBufferPages
+	}
 	db, err := lobstore.Open(cfg)
 	if err != nil {
+		if errors.Is(err, lobstore.ErrConfig) {
+			fatalf("configuration: %v", err)
+		}
 		fatalf("open: %v", err)
 	}
 	var traceFile *os.File
@@ -146,6 +172,12 @@ func main() {
 		}
 	}
 	if *backend == "file" {
+		// Trim growth-pattern slack (Starburst, EOS) so the saved image is
+		// exact and an offline fsck comes back clean without a reopen. A
+		// destroyed object has nothing left to trim; don't fail the exit.
+		if err := obj.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "lobctl: close object: %v\n", err)
+		}
 		if err := db.Close(); err != nil {
 			fatalf("close: %v", err)
 		}

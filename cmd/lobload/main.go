@@ -1,0 +1,189 @@
+// Command lobload drives a running lobserve with an open- or closed-loop
+// synthetic workload and reports wall-clock latency percentiles, following
+// the discipline distinction of Schroeder et al. (Open Versus Closed): in
+// closed loop each of -clients keeps exactly one request in flight, so
+// latency is service time; with -rate R the generator switches to open
+// loop, issuing requests on a fixed schedule and measuring latency from
+// each request's *scheduled* start, which corrects for coordinated
+// omission.
+//
+//	$ lobload -addr 127.0.0.1:7431 -clients 16 -duration 5s -slo 2ms
+//	$ lobload -addr 127.0.0.1:7431 -rate 5000 -duration 10s
+//
+// The working set is -objects large objects preloaded to -object-bytes
+// each; the op mix is set by integer weights (-read/-append/-insert/
+// -delete/-stat) and key choice is uniform, Zipf-skewed (-zipf) or
+// hotspot (-hot-frac/-hot-set).
+//
+// With -json FILE the run is recorded as a named case in a
+// BENCH_server.json artifact (creating the file or replacing the case in
+// place), the format cmd/benchdiff compares across commits:
+//
+//	$ lobload -addr ... -clients 16 -name closed-16 -json BENCH_server.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lobstore/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7431", "lobserve TCP address")
+		objects    = flag.Int("objects", 16, "working-set size in objects")
+		objBytes   = flag.String("object-bytes", "256K", "preloaded size of each object (K/M suffixes)")
+		engine     = flag.String("engine", "eos", "engine for created objects: esm, starburst or eos")
+		param      = flag.Int("param", 0, "engine parameter (0 = ESM leaf 4 / EOS threshold 16 / Starburst allocator max)")
+		readBytes  = flag.String("read-bytes", "4096", "read request size (K/M suffixes)")
+		writeBytes = flag.String("write-bytes", "4096", "append/insert payload size (K/M suffixes)")
+		mixRead    = flag.Int("read", 80, "read weight in the op mix")
+		mixAppend  = flag.Int("append", 20, "append weight in the op mix")
+		mixInsert  = flag.Int("insert", 0, "insert weight in the op mix")
+		mixDelete  = flag.Int("delete", 0, "delete weight in the op mix")
+		mixStat    = flag.Int("stat", 0, "stat weight in the op mix")
+		zipf       = flag.Float64("zipf", 0, "Zipf key skew exponent (>1 enables; 0 = uniform)")
+		hotFrac    = flag.Float64("hot-frac", 0, "fraction of requests sent to the hot set (0 = uniform)")
+		hotSet     = flag.Int("hot-set", 1, "number of objects in the hot set")
+		seed       = flag.Int64("seed", 1, "RNG seed for reproducible key/op sequences")
+		clients    = flag.Int("clients", 1, "closed-loop multiprogramming level (worker count in open loop)")
+		rate       = flag.Float64("rate", 0, "open-loop target request rate per second (0 = closed loop)")
+		duration   = flag.Duration("duration", time.Second, "measured interval, after preload")
+		slo        = flag.Duration("slo", 0, "latency objective for goodput (0 = disabled)")
+		name       = flag.String("name", "", "case name for the -json artifact")
+		jsonPath   = flag.String("json", "", "record the run as a case in this BENCH_server.json file")
+	)
+	flag.Parse()
+
+	ob, err := parseSize(*objBytes)
+	if err != nil {
+		fatalf("-object-bytes: %v", err)
+	}
+	rb, err := parseSize(*readBytes)
+	if err != nil {
+		fatalf("-read-bytes: %v", err)
+	}
+	wb, err := parseSize(*writeBytes)
+	if err != nil {
+		fatalf("-write-bytes: %v", err)
+	}
+	code, err := loadgen.EngineCode(*engine)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *jsonPath != "" && *name == "" {
+		fatalf("-json requires -name")
+	}
+
+	spec := loadgen.Spec{
+		Addr:        *addr,
+		Objects:     *objects,
+		ObjectBytes: ob,
+		Engine:      code,
+		Param:       uint32(*param),
+		ReadBytes:   int(rb),
+		WriteBytes:  int(wb),
+		Mix: loadgen.Mix{
+			Read: *mixRead, Append: *mixAppend, Insert: *mixInsert,
+			Delete: *mixDelete, Stat: *mixStat,
+		},
+		Zipf:       *zipf,
+		HotFrac:    *hotFrac,
+		HotSet:     *hotSet,
+		Seed:       *seed,
+		Clients:    *clients,
+		TargetRate: *rate,
+		Duration:   *duration,
+		SLOMicros:  slo.Microseconds(),
+	}
+	res, err := loadgen.Run(spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("%s loop, %d clients", res.Mode, res.Clients)
+	if res.TargetRate > 0 {
+		fmt.Printf(", target %.0f req/s", res.TargetRate)
+	}
+	fmt.Printf(": %d ops in %.0fms = %.0f ops/s (%d errors)\n",
+		res.Ops, res.ElapsedMs, res.OpsPerSec, res.Errors)
+	fmt.Printf("latency µs: mean %.1f  p50 %d  p95 %d  p99 %d  max %d\n",
+		res.MeanUs, res.P50Us, res.P95Us, res.P99Us, res.MaxUs)
+	if res.SLOUs > 0 {
+		fmt.Printf("goodput at %dµs SLO: %.0f ops/s\n", res.SLOUs, res.GoodputOpsPerSec)
+	}
+
+	if *jsonPath != "" {
+		if err := record(*jsonPath, *name, res); err != nil {
+			fatalf("recording %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("recorded case %q in %s\n", *name, *jsonPath)
+	}
+}
+
+// serverCase is one named run in a BENCH_server.json artifact.
+type serverCase struct {
+	Name string `json:"name"`
+	*loadgen.Result
+}
+
+// artifact is the BENCH_server.json layout cmd/benchdiff ingests.
+type artifact struct {
+	ServerCases []serverCase `json:"server_cases"`
+}
+
+// record upserts the run as a named case in the artifact at path, so a
+// baseline script can accumulate several lobload invocations in one file.
+func record(path, name string, res *loadgen.Result) error {
+	var a artifact
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &a); err != nil {
+			return fmt.Errorf("existing artifact: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	replaced := false
+	for i := range a.ServerCases {
+		if a.ServerCases[i].Name == name {
+			a.ServerCases[i].Result = res
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		a.ServerCases = append(a.ServerCases, serverCase{Name: name, Result: res})
+	}
+	out, err := json.MarshalIndent(&a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// parseSize parses a byte count with optional K/M suffix (powers of two).
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lobload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lobstore/internal/loadgen"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"4096", 4096, false},
+		{"4K", 4 << 10, false},
+		{"4k", 4 << 10, false},
+		{"256K", 256 << 10, false},
+		{"2M", 2 << 20, false},
+		{"1m", 1 << 20, false},
+		{"", 0, true},
+		{"K", 0, true},
+		{"-1", 0, true},
+		{"4G", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("parseSize(%q) err = %v, want err %v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("parseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRecordUpsert(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_server.json")
+
+	// Create, then add a second case, then replace the first.
+	if err := record(path, "a", &loadgen.Result{Mode: "closed", Clients: 1, OpsPerSec: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := record(path, "b", &loadgen.Result{Mode: "open", Clients: 4, OpsPerSec: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := record(path, "a", &loadgen.Result{Mode: "closed", Clients: 1, OpsPerSec: 300}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if len(a.ServerCases) != 2 {
+		t.Fatalf("got %d cases, want 2", len(a.ServerCases))
+	}
+	if a.ServerCases[0].Name != "a" || a.ServerCases[0].OpsPerSec != 300 {
+		t.Errorf("case a = %+v, want replaced ops/s 300", a.ServerCases[0])
+	}
+	if a.ServerCases[1].Name != "b" || a.ServerCases[1].OpsPerSec != 200 {
+		t.Errorf("case b = %+v", a.ServerCases[1])
+	}
+}
+
+func TestRecordRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_server.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := record(path, "a", &loadgen.Result{}); err == nil {
+		t.Fatal("record over a corrupt artifact should fail, not clobber it")
+	}
+}

@@ -2,6 +2,7 @@ package lobstore_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -13,18 +14,49 @@ import (
 func concurrentConfig() lobstore.Config {
 	cfg := testConfig()
 	cfg.Concurrent = true
+	// Open rejects starvation-prone pools under Concurrent; the paper's
+	// 12-frame default is exactly that.
+	cfg.BufferPages = lobstore.MinConcurrentBufferPages
 	return cfg
 }
 
 // TestConcurrentRequiresMaterialize pins the facade contract: snapshot
 // readers serve committed bytes, so Concurrent without Materialize is a
-// configuration error, not a silent downgrade.
+// configuration error — wrapped so front-ends can errors.Is it — not a
+// silent downgrade.
 func TestConcurrentRequiresMaterialize(t *testing.T) {
 	cfg := concurrentConfig()
 	cfg.Materialize = false
-	if _, err := lobstore.Open(cfg); err == nil {
+	_, err := lobstore.Open(cfg)
+	if err == nil {
 		t.Fatal("Open accepted Concurrent without Materialize")
 	}
+	if !errors.Is(err, lobstore.ErrConfig) {
+		t.Fatalf("got %v, want an ErrConfig-wrapped error", err)
+	}
+}
+
+// TestConcurrentRejectsStarvationPronePool pins the PR 9 sizing note as
+// an enforced contract: Concurrent with the paper's 12-frame pool would
+// starve FixRun once commits overlap, so Open refuses it up front.
+func TestConcurrentRejectsStarvationPronePool(t *testing.T) {
+	cfg := concurrentConfig()
+	cfg.BufferPages = lobstore.MinConcurrentBufferPages - 1
+	_, err := lobstore.Open(cfg)
+	if err == nil {
+		t.Fatal("Open accepted a starvation-prone BufferPages under Concurrent")
+	}
+	if !errors.Is(err, lobstore.ErrConfig) {
+		t.Fatalf("got %v, want an ErrConfig-wrapped error", err)
+	}
+	// The same pool without Concurrent stays legal: the single-threaded
+	// simulation never parks a committer.
+	cfg.Concurrent = false
+	db, err := lobstore.Open(cfg)
+	if err != nil {
+		t.Fatalf("non-concurrent open with small pool: %v", err)
+	}
+	db.Close()
 }
 
 // TestSnapshotRequiresConcurrent pins the off-mode contract: the default
@@ -170,6 +202,7 @@ func TestGroupCommitBatchingUnderConcurrency(t *testing.T) {
 	const writers = 8
 	cfg := fileConfig(t.TempDir())
 	cfg.Concurrent = true
+	cfg.BufferPages = lobstore.MinConcurrentBufferPages
 	cfg.GroupCommit = lobstore.GroupCommit{MaxBatch: writers, MaxDelay: 2 * time.Millisecond}
 	db, err := lobstore.Open(cfg)
 	if err != nil {

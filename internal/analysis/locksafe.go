@@ -13,18 +13,20 @@ import (
 //
 //  1. unlock-on-all-paths: a lock acquired in a function is released on
 //     every exit (directly or by defer), and never released twice;
-//  2. lock-ordering lattice: locks are ranked object → store → epoch →
-//     latch → pool → volume. The three engine levels rank by exact
-//     variable name ("objmu", "storemu", "epochmu"); below them, "latch"
-//     names, buffer-package/"pool" names, and disk/filevol-package/"vol"
-//     names rank as before. Acquiring a lower-ranked lock while holding a
+//  2. lock-ordering lattice: locks are ranked conn → object → store →
+//     epoch → latch → pool → volume. The server's connection-layer lock
+//     ("connmu") sits above everything — it must never be held across an
+//     engine call; the three engine levels rank by exact variable name
+//     ("objmu", "storemu", "epochmu"); below them, "latch" names,
+//     buffer-package/"pool" names, and disk/filevol-package/"vol" names
+//     rank as before. Acquiring a lower-ranked lock while holding a
 //     higher-ranked one is an inversion;
 //  3. no durability barrier or durable file I/O while a latch-class lock
 //     is held — transitive call summaries decide whether a callee
 //     reaches Volume.Barrier/SyncBarrier or the filevol layer.
 var LockSafe = &Analyzer{
 	Name: "locksafe",
-	Doc: "check unlock-on-all-paths, the object→store→epoch→latch→pool→volume " +
+	Doc: "check unlock-on-all-paths, the conn→object→store→epoch→latch→pool→volume " +
 		"lock-ordering lattice, and that no barrier or durable I/O runs under a latch",
 	Run: runLockSafe,
 }
@@ -75,18 +77,20 @@ func lockRank(v *types.Var) (int, string) {
 		pkg = v.Pkg().Path()
 	}
 	switch {
+	case name == "connmu":
+		return 0, "conn"
 	case name == "objmu":
-		return 0, "object"
+		return 1, "object"
 	case name == "storemu":
-		return 1, "store"
+		return 2, "store"
 	case name == "epochmu":
-		return 2, "epoch"
+		return 3, "epoch"
 	case strings.Contains(name, "latch"):
-		return 3, "latch"
+		return 4, "latch"
 	case pkg == bufferPkgPath || strings.Contains(name, "pool"):
-		return 4, "pool"
+		return 5, "pool"
 	case pkg == diskPkgPath || pkg == filevolPkgPath || strings.Contains(name, "vol"):
-		return 5, "volume"
+		return 6, "volume"
 	}
 	return -1, ""
 }
@@ -227,7 +231,7 @@ func runLockSafe(pass *Pass) {
 				hr, hclass := lockRank(hv)
 				if hr >= 0 && nr < hr {
 					reportOnce(c, call.Pos(),
-						"lock-order inversion: %s-class lock %q acquired while %s-class lock %q is held (declared order: object → store → epoch → latch → pool → volume)",
+						"lock-order inversion: %s-class lock %q acquired while %s-class lock %q is held (declared order: conn → object → store → epoch → latch → pool → volume)",
 						nclass, v.Name(), hclass, hv.Name())
 				}
 			}

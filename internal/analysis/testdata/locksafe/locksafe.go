@@ -1,8 +1,9 @@
 // Testdata for the locksafe analyzer: unlock-on-all-paths, the
-// object → store → epoch → latch → pool → volume ordering lattice, and no
-// durability work under a latch. Engine-level classes are assigned by the
-// exact names "objmu", "storemu" and "epochmu"; the lower levels by
-// variable name ("latch", "pool", "vol") as before.
+// conn → object → store → epoch → latch → pool → volume ordering lattice,
+// and no durability work under a latch. The connection and engine-level
+// classes are assigned by the exact names "connmu", "objmu", "storemu"
+// and "epochmu"; the lower levels by variable name ("latch", "pool",
+// "vol") as before.
 package locktest
 
 import (
@@ -13,6 +14,7 @@ import (
 )
 
 type engine struct {
+	connmu  sync.RWMutex
 	objmu   sync.Mutex
 	storemu sync.Mutex
 	epochmu sync.Mutex
@@ -102,6 +104,36 @@ func (e *engine) invertedVol() {
 	defer e.volLock.Unlock()
 	e.poolMu.Lock() // want `lock-order inversion: pool-class lock "poolMu" acquired while volume-class lock "volLock" is held`
 	defer e.poolMu.Unlock()
+	e.n++
+}
+
+// --- clean: connection layer above the engine, conn → object ---
+
+func (e *engine) connDescent() {
+	e.connmu.Lock()
+	defer e.connmu.Unlock()
+	e.objmu.Lock()
+	defer e.objmu.Unlock()
+	e.n++
+}
+
+// --- violation: conn lock taken under an engine lock ---
+
+func (e *engine) invertedConnUnderObj() {
+	e.objmu.Lock()
+	defer e.objmu.Unlock()
+	e.connmu.Lock() // want `lock-order inversion: conn-class lock "connmu" acquired while object-class lock "objmu" is held`
+	defer e.connmu.Unlock()
+	e.n++
+}
+
+// --- violation: conn read lock taken under the store mutex ---
+
+func (e *engine) invertedConnUnderStore() {
+	e.storemu.Lock()
+	defer e.storemu.Unlock()
+	e.connmu.RLock() // want `lock-order inversion: conn-class lock "connmu" acquired while store-class lock "storemu" is held`
+	defer e.connmu.RUnlock()
 	e.n++
 }
 

@@ -45,6 +45,16 @@ type Pool struct {
 	// used to maintain the sliding-window recency maximum.
 	deque []int
 
+	// hfree recycles Handle structs: Unfix pushes, the Fix* paths pop, so
+	// steady-state fixing allocates nothing. The pool is single-threaded
+	// (the concurrent engine serializes all store work under one mutex),
+	// so a plain slice suffices. Capacity-bounded: excess handles are
+	// dropped to the GC.
+	hfree []*Handle
+	// runHS is FixRun's result scratch; the returned slice is only valid
+	// until the next FixRun call.
+	runHS []*Handle
+
 	// Write-back scheduler and read-ahead state (flush.go). All of it is
 	// inert when coalesce is false: the paper configuration writes every
 	// dirty page back individually so I/O-call accounting matches §4.1.
@@ -106,6 +116,8 @@ func New(d *disk.Disk, cfg Config) (*Pool, error) {
 		pageSize: ps,
 		runIdx:   make([]int, cfg.MaxRun),
 		deque:    make([]int, cfg.Frames),
+		hfree:    make([]*Handle, 0, 2*cfg.Frames),
+		runHS:    make([]*Handle, 0, cfg.MaxRun),
 		coalesce: cfg.Coalesce,
 	}
 	if cfg.Coalesce {
@@ -151,6 +163,19 @@ type Handle struct {
 	Addr disk.Addr
 }
 
+// newHandle returns a handle on frame i, reusing one recycled by Unfix
+// when available.
+func (p *Pool) newHandle(i int, addr disk.Addr) *Handle {
+	if n := len(p.hfree); n > 0 {
+		h := p.hfree[n-1]
+		p.hfree[n-1] = nil
+		p.hfree = p.hfree[:n-1]
+		h.p, h.frame, h.Data, h.Addr = p, i, p.data(i), addr
+		return h
+	}
+	return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}
+}
+
 // Contains reports whether addr is resident. Testing aid.
 func (p *Pool) Contains(addr disk.Addr) bool {
 	_, ok := p.index[addr]
@@ -175,7 +200,7 @@ func (p *Pool) FixPage(addr disk.Addr) (*Handle, error) {
 				return nil, err
 			}
 		}
-		return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
+		return p.newHandle(i, addr), nil
 	}
 	p.misses++
 	if p.obs.Enabled() {
@@ -197,7 +222,7 @@ func (p *Pool) FixPage(addr disk.Addr) (*Handle, error) {
 			return nil, err
 		}
 	}
-	return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
+	return p.newHandle(i, addr), nil
 }
 
 // FixNew returns a handle on page addr without reading it from disk: the
@@ -211,7 +236,7 @@ func (p *Pool) FixNew(addr disk.Addr) (*Handle, error) {
 		p.frames[i].pins++
 		p.frames[i].dirty = true
 		p.frames[i].lastUse = p.tick
-		return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
+		return p.newHandle(i, addr), nil
 	}
 	i, err := p.freeWindow(1)
 	if err != nil {
@@ -221,18 +246,29 @@ func (p *Pool) FixNew(addr disk.Addr) (*Handle, error) {
 	p.install(i, addr)
 	p.frames[i].pins = 1
 	p.frames[i].dirty = true
-	return &Handle{p: p, frame: i, Data: p.data(i), Addr: addr}, nil
+	return p.newHandle(i, addr), nil
 }
 
-// Unfix releases a handle. dirty declares that the caller modified the page.
+// Unfix releases a handle. dirty declares that the caller modified the
+// page. The handle is dead afterwards — it is recycled by the pool, so any
+// later use (enforced impossible by the fixunfix analyzer) panics rather
+// than silently reading another page.
 func (h *Handle) Unfix(dirty bool) {
-	f := &h.p.frames[h.frame]
+	p := h.p
+	if p == nil {
+		panic("buffer: unfix of an already-unfixed handle")
+	}
+	f := &p.frames[h.frame]
 	if f.pins <= 0 {
 		panic("buffer: unfix of unpinned frame")
 	}
 	f.pins--
 	if dirty {
 		f.dirty = true
+	}
+	h.p, h.Data = nil, nil
+	if len(p.hfree) < cap(p.hfree) {
+		p.hfree = append(p.hfree, h)
 	}
 }
 
@@ -242,6 +278,10 @@ func (h *Handle) Unfix(dirty bool) {
 // cached (possibly non-adjacent) frames are returned. npages must be at
 // most MaxRun. Returns ErrNoRun when the pool cannot host the run; callers
 // then bypass the pool.
+//
+// The returned slice is pool-owned scratch: it is valid until the next
+// FixRun call on this pool. Callers must unfix (and stop using) the run
+// before fixing another, which the store's read path already guarantees.
 func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 	if npages < 1 || npages > p.maxRun {
 		return nil, fmt.Errorf("buffer: run of %d pages outside [1,%d]", npages, p.maxRun)
@@ -251,7 +291,8 @@ func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []*Handle{h}, nil
+		p.runHS = append(p.runHS[:0], h)
+		return p.runHS, nil
 	}
 	p.tick++
 	// Full cache hit?
@@ -260,13 +301,13 @@ func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 		if p.obs.Enabled() {
 			p.emit(obs.KindBufHit, addr, npages)
 		}
-		hs, hbuf := make([]*Handle, npages), make([]Handle, npages)
+		hs := p.runHS[:0]
 		for k, i := range idx {
 			p.frames[i].pins++
 			p.frames[i].lastUse = p.tick
-			hbuf[k] = Handle{p: p, frame: i, Data: p.data(i), Addr: addr.Add(k)}
-			hs[k] = &hbuf[k]
+			hs = append(hs, p.newHandle(i, addr.Add(k)))
 		}
+		p.runHS = hs
 		if p.coalesce {
 			if err := p.noteHit(addr, npages, idx); err != nil {
 				UnfixAll(hs, false)
@@ -295,14 +336,14 @@ func (p *Pool) FixRun(addr disk.Addr, npages int) ([]*Handle, error) {
 	if err := p.d.Read(addr, npages, p.arena[start*p.pageSize:(start+npages)*p.pageSize]); err != nil {
 		return nil, err
 	}
-	hs, hbuf := make([]*Handle, npages), make([]Handle, npages)
+	hs := p.runHS[:0]
 	for k := 0; k < npages; k++ {
 		i := start + k
 		p.install(i, addr.Add(k))
 		p.frames[i].pins = 1
-		hbuf[k] = Handle{p: p, frame: i, Data: p.data(i), Addr: addr.Add(k)}
-		hs[k] = &hbuf[k]
+		hs = append(hs, p.newHandle(i, addr.Add(k)))
 	}
+	p.runHS = hs
 	if seq {
 		if err := p.maybePrefetch(addr.Add(npages)); err != nil {
 			UnfixAll(hs, false)

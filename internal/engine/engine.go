@@ -187,6 +187,14 @@ func (e *Engine) reclaimLocked() error {
 	return nil
 }
 
+// opPool recycles the per-operation OpState across all engines: the
+// state escapes into the store via SwapOp, so a stack allocation is
+// impossible and a fresh heap OpState per request would be the busiest
+// allocation on the serving hot path. Ownership is strict: an OpState is
+// returned to the pool only after its operation fully ended (EndOp has
+// transferred any pending frees out by then).
+var opPool = sync.Pool{New: func() any { return new(store.OpState) }}
+
 // Run executes f against the core under storemu with a private OpState.
 // It is the entry point for operations that need no object lock (object
 // creation, catalog access, checkpoints).
@@ -210,10 +218,12 @@ func (e *Engine) run(root disk.Addr, write bool, f func() error) error {
 		e.writing[root]++
 	}
 	e.inflight++
-	var op store.OpState
-	prev := e.st.SwapOp(&op)
+	op := opPool.Get().(*store.OpState)
+	prev := e.st.SwapOp(op)
 	err := f()
 	e.st.SwapOp(prev)
+	op.Reset()
+	opPool.Put(op)
 	e.inflight--
 	if write {
 		if e.writing[root]--; e.writing[root] == 0 {
@@ -271,6 +281,48 @@ func (e *Engine) Do(ctx context.Context, root disk.Addr, write bool, f func() er
 	e.addMetric("engine.lock.acquires", 1)
 	err := e.run(root, write, f)
 	l.release(write)
+	return err
+}
+
+// ReadObject is Do(shared) + run fused for the one operation the server
+// hot path repeats millions of times: a positional read. Fusing matters
+// because Do/run take the operation as a closure, and a closure over
+// (obj, off, dst) is a heap allocation per request; here the operation is
+// inlined so the steady-state engine read performs zero allocations —
+// the OpState comes from the pool and nothing else escapes. Semantics
+// are identical to Do(ctx, root, false, read): same FIFO object lock,
+// same lock-wait telemetry, same private OpState under storemu.
+func (e *Engine) ReadObject(ctx context.Context, root disk.Addr, obj core.Object, off int64, dst []byte) error {
+	l := e.locks.get(root)
+	start := obs.WallNow()
+	if err := l.acquire(ctx, false); err != nil {
+		e.addMetric("engine.lock.cancels", 1)
+		return err
+	}
+	if m := e.metrics.Load(); m != nil {
+		m.ObserveLockWait(obs.WallNow() - start)
+	}
+	e.addMetric("engine.lock.acquires", 1)
+
+	e.storemu.Lock()
+	if e.closed {
+		e.storemu.Unlock()
+		l.release(false)
+		return fmt.Errorf("engine: read: %w", ErrClosed)
+	}
+	e.inflight++
+	op := opPool.Get().(*store.OpState)
+	prev := e.st.SwapOp(op)
+	err := obj.Read(off, dst)
+	e.st.SwapOp(prev)
+	op.Reset()
+	opPool.Put(op)
+	e.inflight--
+	if e.inflight == 0 {
+		e.quiet.Broadcast()
+	}
+	e.storemu.Unlock()
+	l.release(false)
 	return err
 }
 

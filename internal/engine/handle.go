@@ -49,8 +49,11 @@ func (h *Handle) Append(data []byte) error {
 	return h.write(func() error { return h.inner.Append(data) })
 }
 
+// Read routes through the engine's fused read fast path: identical
+// locking and isolation to every other operation, but no per-request
+// closure or OpState allocation. See Engine.ReadObject.
 func (h *Handle) Read(off int64, dst []byte) error {
-	return h.read(func() error { return h.inner.Read(off, dst) })
+	return h.e.ReadObject(h.ctx, h.root, h.inner, off, dst)
 }
 
 func (h *Handle) Replace(off int64, data []byte) error {

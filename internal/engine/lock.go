@@ -158,3 +158,25 @@ func (t *lockTable) get(id disk.Addr) *objLock {
 	t.objmu.Unlock()
 	return l
 }
+
+// LockCycle runs n uncontended shared-then-exclusive acquire/release
+// cycles on one object lock — the fixed per-request overhead every
+// serving operation pays before touching the store. Exported for the
+// lobbench micro harness, which pins its cost (and zero-allocation
+// behaviour) in the tracked bench artifact.
+func LockCycle(n int) error {
+	var t lockTable
+	l := t.get(disk.Addr{Area: 1, Page: 42})
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		if err := l.acquire(ctx, false); err != nil {
+			return err
+		}
+		l.release(false)
+		if err := l.acquire(ctx, true); err != nil {
+			return err
+		}
+		l.release(true)
+	}
+	return nil
+}

@@ -46,6 +46,10 @@ type Object struct {
 	nextPages  int // next allocation size in the doubling pattern
 
 	dataPages int64 // running count of allocated data pages
+
+	// pathBuf is readOp's descent-path scratch. Operations on one object
+	// are serialized by the engine, so reuse is safe.
+	pathBuf postree.Path
 }
 
 var _ core.Object = (*Object)(nil)
@@ -166,10 +170,11 @@ func (o *Object) readOp(off int64, dst []byte) error {
 	if len(dst) == 0 {
 		return nil
 	}
-	e, start, path, err := o.tree.Find(off)
+	e, start, path, err := o.tree.FindInto(off, o.pathBuf)
 	if err != nil {
 		return err
 	}
+	o.pathBuf = path[:0] // keep the backing array for the next read
 	pos := off
 	for len(dst) > 0 {
 		offIn := pos - start
@@ -187,7 +192,7 @@ func (o *Object) readOp(off int64, dst []byte) error {
 		}
 		start += e.Bytes
 		var ok bool
-		e, path, ok, err = o.tree.NextLeaf(path)
+		e, path, ok, err = o.tree.NextLeafInPlace(path)
 		if err != nil {
 			return err
 		}
@@ -272,6 +277,12 @@ func (o *Object) advancePattern(justAllocated int) {
 // segment so that every segment obeys pages == ceil(bytes/pageSize). Called
 // before structural updates; costs no I/O (the buddy directory is cached).
 func (o *Object) normalizeRight() error {
+	// The growth pattern restarts here: it sized the over-allocation being
+	// retired, and keeping it doubled across structural updates lets an
+	// append/insert alternation allocate MaxSegmentPages for every appended
+	// byte — each trimmed segment pins its buddy space, exhausting the area
+	// ~500x faster than the object grows.
+	o.nextPages = 0
 	if o.rightAlloc == 0 || o.Size() == 0 {
 		o.rightPtr, o.rightAlloc = 0, 0
 		return nil

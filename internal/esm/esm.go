@@ -59,6 +59,9 @@ type Object struct {
 	cfg      Config
 	leafCap  int64  // leaf capacity in bytes
 	wholeBuf []byte // staging buffer for the WholeLeafIO ablation
+	// pathBuf is readOp's descent-path scratch. Operations on one object
+	// are serialized by the engine, so reuse is safe.
+	pathBuf postree.Path
 }
 
 var _ core.Object = (*Object)(nil)
@@ -174,10 +177,11 @@ func (o *Object) readOp(off int64, dst []byte) error {
 	if len(dst) == 0 {
 		return nil
 	}
-	e, start, path, err := o.tree.Find(off)
+	e, start, path, err := o.tree.FindInto(off, o.pathBuf)
 	if err != nil {
 		return err
 	}
+	o.pathBuf = path[:0] // keep the backing array for the next read
 	pos := off
 	for len(dst) > 0 {
 		offIn := pos - start
@@ -195,7 +199,7 @@ func (o *Object) readOp(off int64, dst []byte) error {
 		}
 		start += e.Bytes
 		var ok bool
-		e, path, ok, err = o.tree.NextLeaf(path)
+		e, path, ok, err = o.tree.NextLeafInPlace(path)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,217 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+
+	"lobstore/internal/wire"
+)
+
+// Client is a synchronous single-connection wire-protocol client with
+// reusable buffers: after warm-up, a request/response cycle performs no
+// heap allocation, so measured latencies are the server's, not the
+// generator's GC. Not safe for concurrent use; the load generator gives
+// each worker its own Client.
+type Client struct {
+	conn net.Conn
+	r    *wire.Reader
+	id   uint32
+	enc  []byte // encoded request scratch
+	body []byte // response payload scratch
+}
+
+// Dial connects to a lobserve address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: wire.NewReader(conn, wire.MaxPayload)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call frames payload (already appended after a header-sized hole is not
+// used; payload is built by the per-op methods into c.enc[wire.HeaderSize:]),
+// sends it, and reads response frames until the last one. It returns the
+// final response type and its payload, which is valid until the next call.
+func (c *Client) call(op byte) (byte, []byte, error) {
+	c.id++
+	wire.PutHeader(c.enc[:wire.HeaderSize], wire.Header{
+		Type:  op,
+		Flags: wire.FlagLast,
+		ReqID: c.id,
+		Len:   uint32(len(c.enc) - wire.HeaderSize),
+	})
+	if _, err := c.conn.Write(c.enc); err != nil {
+		return 0, nil, err
+	}
+	for {
+		h, err := c.r.Next()
+		if err != nil {
+			return 0, nil, err
+		}
+		if h.ReqID != c.id {
+			return 0, nil, fmt.Errorf("loadgen: response for request %d, want %d", h.ReqID, c.id)
+		}
+		if c.body, err = c.r.Payload(h, c.body); err != nil {
+			return 0, nil, err
+		}
+		if h.Last() {
+			return h.Type, c.body, nil
+		}
+	}
+}
+
+// begin resets the request scratch to a header-sized hole.
+func (c *Client) begin() { c.enc = append(c.enc[:0], make([]byte, wire.HeaderSize)...) }
+
+// ServerError is an error the server reported in a RespErr frame — the
+// request was delivered and answered, the operation itself failed (out of
+// range, unknown object, ...). The connection stays usable. Transport
+// failures are returned as ordinary errors, so errors.As against
+// *ServerError separates "the op failed" from "the server is gone".
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
+
+func respErr(typ byte, body []byte) error {
+	if typ != wire.RespErr {
+		return fmt.Errorf("loadgen: unexpected response type %#x", typ)
+	}
+	msg, err := wire.ParseErrResp(body)
+	if err != nil {
+		return fmt.Errorf("loadgen: undecodable error response: %w", err)
+	}
+	return &ServerError{Msg: string(msg.Msg)}
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	c.begin()
+	typ, body, err := c.call(wire.OpPing)
+	if err != nil {
+		return err
+	}
+	if typ != wire.RespOK {
+		return respErr(typ, body)
+	}
+	return nil
+}
+
+// Create creates an object with the given engine code and parameter.
+func (c *Client) Create(name []byte, engine byte, param uint32) error {
+	c.begin()
+	c.enc = wire.AppendCreateReq(c.enc, wire.CreateReq{Name: name, Engine: engine, Param: param})
+	typ, body, err := c.call(wire.OpCreate)
+	if err != nil {
+		return err
+	}
+	if typ != wire.RespOK {
+		return respErr(typ, body)
+	}
+	return nil
+}
+
+// Append appends data and returns the object's new size.
+func (c *Client) Append(name, data []byte) (uint64, error) {
+	c.begin()
+	c.enc = wire.AppendAppendReq(c.enc, wire.AppendReqMsg{Name: name, Data: data})
+	return c.okCall(wire.OpAppend)
+}
+
+// Insert inserts data at off and returns the object's new size.
+func (c *Client) Insert(name []byte, off uint64, data []byte) (uint64, error) {
+	c.begin()
+	c.enc = wire.AppendInsertReq(c.enc, wire.InsertReq{Name: name, Off: off, Data: data})
+	return c.okCall(wire.OpInsert)
+}
+
+// Delete removes n bytes at off and returns the object's new size.
+func (c *Client) Delete(name []byte, off, n uint64) (uint64, error) {
+	c.begin()
+	c.enc = wire.AppendDeleteReq(c.enc, wire.DeleteReq{Name: name, Off: off, Len: n})
+	return c.okCall(wire.OpDelete)
+}
+
+// Stat returns the object's size.
+func (c *Client) Stat(name []byte) (uint64, error) {
+	c.begin()
+	c.enc = wire.AppendStatReq(c.enc, wire.StatReq{Name: name})
+	typ, body, err := c.call(wire.OpStat)
+	if err != nil {
+		return 0, err
+	}
+	if typ != wire.RespStat {
+		return 0, respErr(typ, body)
+	}
+	resp, err := wire.ParseStatResp(body)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Size, nil
+}
+
+// Read reads n bytes at off, draining the chunked response stream, and
+// returns the number of payload bytes received. The data itself is
+// discarded — the generator measures service time, not content.
+func (c *Client) Read(name []byte, off uint64, n uint32) (int, error) {
+	c.begin()
+	c.enc = wire.AppendReadReq(c.enc, wire.ReadReq{Name: name, Off: off, Len: n})
+	c.id++
+	wire.PutHeader(c.enc[:wire.HeaderSize], wire.Header{
+		Type:  wire.OpRead,
+		Flags: wire.FlagLast,
+		ReqID: c.id,
+		Len:   uint32(len(c.enc) - wire.HeaderSize),
+	})
+	if _, err := c.conn.Write(c.enc); err != nil {
+		return 0, err
+	}
+	got := 0
+	for {
+		h, err := c.r.Next()
+		if err != nil {
+			return got, err
+		}
+		if h.ReqID != c.id {
+			return got, fmt.Errorf("loadgen: response for request %d, want %d", h.ReqID, c.id)
+		}
+		if c.body, err = c.r.Payload(h, c.body); err != nil {
+			return got, err
+		}
+		switch h.Type {
+		case wire.RespData:
+			got += len(c.body)
+		case wire.RespErr:
+			return got, respErr(h.Type, c.body)
+		default:
+			return got, fmt.Errorf("loadgen: unexpected response type %#x to read", h.Type)
+		}
+		if h.Last() {
+			return got, nil
+		}
+	}
+}
+
+// okCall finishes a mutation call expecting a RespOK carrying the size.
+func (c *Client) okCall(op byte) (uint64, error) {
+	typ, body, err := c.call(op)
+	if err != nil {
+		return 0, err
+	}
+	if typ != wire.RespOK {
+		return 0, respErr(typ, body)
+	}
+	resp, err := wire.ParseOKResp(body)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Size, nil
+}

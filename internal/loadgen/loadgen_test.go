@@ -1,0 +1,208 @@
+package loadgen
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"lobstore"
+	"lobstore/internal/server"
+	"lobstore/internal/wire"
+)
+
+// startServer brings up an in-process lobserve over a mem-backed
+// concurrent store and returns its address.
+func startServer(t *testing.T) string {
+	t.Helper()
+	cfg := lobstore.DefaultConfig()
+	cfg.Concurrent = true
+	cfg.BufferPages = lobstore.MinConcurrentBufferPages
+	cfg.LeafAreaPages = 1 << 14
+	cfg.MetaAreaPages = 1 << 12
+	cfg.MaxSegmentPages = 512
+	db, err := lobstore.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv, err := server.New(db, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(nil) })
+	return ln.Addr().String()
+}
+
+func TestClosedLoop(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(Spec{
+		Addr:        addr,
+		Objects:     4,
+		ObjectBytes: 32 << 10,
+		Engine:      wire.EngineEOS,
+		Param:       16,
+		ReadBytes:   2048,
+		WriteBytes:  1024,
+		Mix:         Mix{Read: 70, Append: 15, Insert: 10, Stat: 5},
+		Seed:        42,
+		Clients:     4,
+		Duration:    200 * time.Millisecond,
+		SLOMicros:   1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "closed" || res.Clients != 4 {
+		t.Fatalf("mode/clients: %+v", res)
+	}
+	if res.Ops == 0 || res.OpsPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	// Objects only grow under this mix, so every read window stays valid.
+	if res.Errors != 0 {
+		t.Fatalf("%d errored requests (growing-mix runs should be clean): %+v", res.Errors, res)
+	}
+	if res.P50Us <= 0 || res.P99Us < res.P50Us || res.MaxUs < res.P99Us {
+		t.Fatalf("percentiles not ordered: %+v", res)
+	}
+	// Every request was far below the 1s SLO, so goodput == throughput.
+	if res.GoodputOpsPerSec != res.OpsPerSec {
+		t.Fatalf("goodput %v != throughput %v under a trivially loose SLO", res.GoodputOpsPerSec, res.OpsPerSec)
+	}
+}
+
+func TestOpenLoop(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(Spec{
+		Addr:        addr,
+		Objects:     2,
+		ObjectBytes: 16 << 10,
+		Engine:      wire.EngineESM,
+		Param:       4,
+		ReadBytes:   1024,
+		Mix:         Mix{Read: 100},
+		Seed:        7,
+		Clients:     2,
+		TargetRate:  500,
+		Duration:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" || res.TargetRate != 500 {
+		t.Fatalf("mode: %+v", res)
+	}
+	// 500/s for 200ms = 100 scheduled requests, all dispatched.
+	if res.Ops != 100 {
+		t.Fatalf("ops %d, want the full 100-request schedule", res.Ops)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors: %+v", res.Errors, res)
+	}
+}
+
+// TestDeleteMixSurvives runs a mix with deletes: objects can transiently
+// shrink below the read window, so some out-of-range errors are expected
+// and must be counted rather than kill the run.
+func TestDeleteMixSurvives(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(Spec{
+		Addr:        addr,
+		Objects:     4,
+		ObjectBytes: 32 << 10,
+		Engine:      wire.EngineEOS,
+		Param:       16,
+		WriteBytes:  1024,
+		Mix:         Mix{Read: 60, Append: 20, Delete: 20},
+		Seed:        3,
+		Clients:     2,
+		Duration:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatalf("no ops: %+v", res)
+	}
+	if res.Errors >= res.Ops/2 {
+		t.Fatalf("mostly errors (%d/%d): %+v", res.Errors, res.Ops, res)
+	}
+}
+
+// TestPreloadIdempotent re-runs against the same server: objects exist, so
+// the second run must skip creation and not re-append.
+func TestPreloadIdempotent(t *testing.T) {
+	addr := startServer(t)
+	spec := Spec{
+		Addr:        addr,
+		Objects:     2,
+		ObjectBytes: 8 << 10,
+		Engine:      wire.EngineEOS,
+		Param:       8,
+		Mix:         Mix{Stat: 1},
+		Clients:     1,
+		Duration:    20 * time.Millisecond,
+	}
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec); err != nil {
+		t.Fatalf("second run against a warm server: %v", err)
+	}
+}
+
+func TestKeyDistributions(t *testing.T) {
+	spec := &Spec{Objects: 100, HotFrac: 0.9, HotSet: 10}
+	w := &worker{spec: spec, r: rand.New(rand.NewSource(1))}
+	hot := 0
+	for i := 0; i < 10000; i++ {
+		k := w.key()
+		if k < 0 || k >= spec.Objects {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k < spec.HotSet {
+			hot++
+		}
+	}
+	if hot < 8500 || hot > 9500 {
+		t.Fatalf("hot fraction %d/10000, want ~9000", hot)
+	}
+
+	zspec := &Spec{Objects: 100, Zipf: 1.2}
+	zw := &worker{spec: zspec, r: rand.New(rand.NewSource(1))}
+	zw.zipf = rand.NewZipf(zw.r, zspec.Zipf, 1, uint64(zspec.Objects-1))
+	counts := make([]int, zspec.Objects)
+	for i := 0; i < 10000; i++ {
+		counts[zw.key()]++
+	}
+	if counts[0] <= counts[50]+counts[51]+counts[52] {
+		t.Fatalf("zipf not skewed: head %d vs mid %d", counts[0], counts[50])
+	}
+}
+
+func TestObjName(t *testing.T) {
+	w := &worker{}
+	for _, tc := range []struct {
+		i    int
+		want string
+	}{{0, "lg-0"}, {7, "lg-7"}, {10, "lg-10"}, {12345, "lg-12345"}} {
+		if got := string(w.objName(tc.i)); got != tc.want {
+			t.Fatalf("objName(%d) = %q, want %q", tc.i, got, tc.want)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(Spec{Addr: "none", Objects: 4, ObjectBytes: 100, ReadBytes: 200}); err == nil {
+		t.Fatal("ReadBytes > ObjectBytes accepted")
+	}
+	if _, err := Run(Spec{Addr: "none", Objects: 4, HotSet: 4}); err == nil {
+		t.Fatal("hot set covering the whole working set accepted")
+	}
+}

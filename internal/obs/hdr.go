@@ -158,6 +158,29 @@ func (h *HDR) Quantile(p float64) int64 {
 	return h.max
 }
 
+// CountAtOrBelow returns how many samples were at most v — up to bucket
+// quantization: every sample in v's own bucket counts, so the result can
+// overshoot by at most the bucket width (< 1% relative). It is the
+// goodput primitive: requests answered within an SLO bound are
+// CountAtOrBelow(slo) of the latency histogram.
+func (h *HDR) CountAtOrBelow(v int64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if v >= h.max {
+		return h.n
+	}
+	i := hdrIndex(v)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	var cum int64
+	for j := 0; j <= i; j++ {
+		cum += h.counts[j]
+	}
+	return cum
+}
+
 // Merge adds o's samples into h. Element-wise count addition makes the
 // operation associative and commutative: merging any permutation of the same
 // histograms yields identical state.

@@ -188,3 +188,77 @@ func TestHDRSummary(t *testing.T) {
 		t.Fatalf("MeanUs = %v, want 50.5", s.MeanUs)
 	}
 }
+
+// TestHDRCountAtOrBelow pins the goodput primitive against a brute-force
+// count, allowing the documented one-bucket overshoot.
+func TestHDRCountAtOrBelow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vs := hdrSamples(rng, 5000)
+	h := NewHDR()
+	for _, v := range vs {
+		h.Observe(v)
+	}
+	sorted := append([]int64(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, bound := range []int64{0, 1, 100, 255, 256, 1000, 50_000, 10_000_000, 1 << 31} {
+		var exact int64
+		for _, v := range vs {
+			if v <= bound {
+				exact++
+			}
+		}
+		got := h.CountAtOrBelow(bound)
+		if got < exact {
+			t.Fatalf("CountAtOrBelow(%d) = %d undercounts exact %d", bound, got, exact)
+		}
+		// Overshoot is bounded by the population of bound's own bucket:
+		// everything counted beyond `exact` must be < bound*(1+2^-7)+1.
+		slack := bound>>7 + 1
+		var lax int64
+		for _, v := range vs {
+			if v <= bound+slack {
+				lax++
+			}
+		}
+		if got > lax {
+			t.Fatalf("CountAtOrBelow(%d) = %d overshoots lax bound %d", bound, got, lax)
+		}
+	}
+	if got := h.CountAtOrBelow(h.Max()); got != h.N() {
+		t.Fatalf("CountAtOrBelow(max) = %d, want all %d", got, h.N())
+	}
+	if got := NewHDR().CountAtOrBelow(100); got != 0 {
+		t.Fatalf("empty histogram counted %d", got)
+	}
+}
+
+// TestSyncHDRMatchesPlain drives SyncHDR from one goroutine and checks it
+// is a transparent wrapper; concurrency is covered in race_test.go.
+func TestSyncHDRMatchesPlain(t *testing.T) {
+	s := NewSyncHDR()
+	plain := NewHDR()
+	rng := rand.New(rand.NewSource(3))
+	for _, v := range hdrSamples(rng, 1000) {
+		s.Observe(v)
+		plain.Observe(v)
+	}
+	other := NewHDR()
+	for _, v := range hdrSamples(rng, 500) {
+		other.Observe(v)
+		plain.Observe(v)
+	}
+	s.Merge(other)
+	if s.N() != plain.N() {
+		t.Fatalf("N = %d, want %d", s.N(), plain.N())
+	}
+	if got, want := s.Snapshot().Summary(), plain.Summary(); got != want {
+		t.Fatalf("summary %+v, want %+v", got, want)
+	}
+	// Snapshot must be independent of later observations.
+	snap := s.Snapshot()
+	n := snap.N()
+	s.Observe(1)
+	if snap.N() != n {
+		t.Fatal("snapshot tracked a later observation")
+	}
+}

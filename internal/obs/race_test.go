@@ -94,3 +94,39 @@ func TestConcurrentAttachClose(t *testing.T) {
 		wg.Wait()
 	}
 }
+
+// TestSyncHDRRace hammers concurrent observers, mergers and snapshot
+// readers of one shared latency histogram — the serving layer's exact
+// usage shape.
+func TestSyncHDRRace(t *testing.T) {
+	s := NewSyncHDR()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(3)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := int64(0); i < 500; i++ {
+				s.Observe(seed*1000 + i)
+			}
+		}(int64(g))
+		go func() {
+			defer wg.Done()
+			h := NewHDR()
+			for i := int64(0); i < 100; i++ {
+				h.Observe(i)
+			}
+			s.Merge(h)
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = s.Snapshot().Summary()
+				_ = s.N()
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(4*500 + 4*100); s.N() != want {
+		t.Fatalf("N = %d, want %d", s.N(), want)
+	}
+}

@@ -197,13 +197,22 @@ func (t *Tree) fix(a disk.Addr) (*buffer.Handle, node, error) {
 // Find locates the data segment containing byte offset off. It returns the
 // entry, the object offset of the entry's first byte, and the descent path.
 func (t *Tree) Find(off int64) (Entry, int64, Path, error) {
+	return t.FindInto(off, nil)
+}
+
+// FindInto is Find with a caller-provided path buffer: the returned path
+// appends into path[:0], so a caller keeping a per-object scratch buffer
+// descends without allocating. The buffer must not be shared between
+// concurrently running operations (operations on one object are
+// serialized by the engine, so a per-object buffer qualifies).
+func (t *Tree) FindInto(off int64, path Path) (Entry, int64, Path, error) {
 	if t.size == 0 {
 		return Entry{}, 0, nil, ErrEmpty
 	}
 	if off < 0 || off >= t.size {
 		return Entry{}, 0, nil, fmt.Errorf("postree: offset %d outside object of %d bytes", off, t.size)
 	}
-	var path Path
+	path = path[:0]
 	addr := t.root
 	pos := off
 	skipped := int64(0)
@@ -259,19 +268,29 @@ func (t *Tree) EntryAt(path Path) (Entry, error) {
 }
 
 // NextLeaf steps a path to the following data segment entry. ok is false at
-// the end of the object.
+// the end of the object. The input path is not modified.
 func (t *Tree) NextLeaf(path Path) (Entry, Path, bool, error) {
-	return t.stepLeaf(path, +1)
+	return t.stepLeaf(path.Clone(), +1)
 }
 
 // PrevLeaf steps a path to the preceding data segment entry. ok is false at
-// the start of the object.
+// the start of the object. The input path is not modified.
 func (t *Tree) PrevLeaf(path Path) (Entry, Path, bool, error) {
-	return t.stepLeaf(path, -1)
+	return t.stepLeaf(path.Clone(), -1)
 }
 
-func (t *Tree) stepLeaf(path Path, dir int) (Entry, Path, bool, error) {
-	np := path.Clone()
+// NextLeafInPlace is NextLeaf without the defensive copy: the returned
+// path is the input path, advanced in place (a step never changes path
+// length). For callers that own the path and do not need the previous
+// position — the sequential read loop. When ok is false the path is
+// untouched.
+func (t *Tree) NextLeafInPlace(path Path) (Entry, Path, bool, error) {
+	return t.stepLeaf(path, +1)
+}
+
+// stepLeaf advances np in place; callers that need the input preserved
+// pass a clone.
+func (t *Tree) stepLeaf(np Path, dir int) (Entry, Path, bool, error) {
 	// Climb until a sideways step is possible.
 	d := len(np) - 1
 	for ; d >= 0; d-- {

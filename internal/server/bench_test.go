@@ -1,0 +1,76 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"lobstore/internal/wire"
+)
+
+// BenchmarkServerRead measures the full steady-state streaming read
+// path — socket in, wire decode, engine read, chunked zero-copy
+// response, writev out — with an alloc-free client, so allocs/op is the
+// server-plus-engine per-request allocation count. The acceptance gate
+// for this PR is ≤ 2 allocs/op here.
+func BenchmarkServerRead(b *testing.B) {
+	benchServerRead(b, 4096)
+}
+
+// BenchmarkServerReadChunked is the same path with a 32 KiB read
+// answered as four chunk frames per request.
+func BenchmarkServerReadChunked(b *testing.B) {
+	benchServerRead(b, 32<<10)
+}
+
+func benchServerRead(b *testing.B, readLen int) {
+	db := testDB(b)
+	defer db.Close()
+	_, addr := startServer(b, db, Options{ChunkBytes: 8 << 10})
+	c := dialClient(b, addr)
+
+	name := []byte("bench")
+	c.mustOK(wire.OpCreate, wire.AppendCreateReq(nil, wire.CreateReq{Name: name, Engine: wire.EngineEOS, Param: 16}))
+	c.mustOK(wire.OpAppend, wire.AppendAppendReq(nil, wire.AppendReqMsg{Name: name, Data: bytes.Repeat([]byte{0xaa}, 64<<10)}))
+
+	// Pre-encode the request once; the loop reuses the bytes and the
+	// response buffer, so the client contributes no allocations.
+	var hdr [wire.HeaderSize]byte
+	payload := wire.AppendReadReq(nil, wire.ReadReq{Name: name, Off: 0, Len: uint32(readLen)})
+	wire.PutHeader(hdr[:], wire.Header{Type: wire.OpRead, Flags: wire.FlagLast, ReqID: 1, Len: uint32(len(payload))})
+	req := append(hdr[:], payload...)
+
+	// Warm the pools and the buffer pool before counting.
+	for i := 0; i < 64; i++ {
+		if err := roundTrip(c, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(readLen))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := roundTrip(c, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// roundTrip sends the pre-encoded request and drains its response
+// stream into the client's reusable buffer.
+func roundTrip(c *testClient, req []byte) error {
+	if _, err := c.conn.Write(req); err != nil {
+		return err
+	}
+	for {
+		h, err := c.r.Next()
+		if err != nil {
+			return err
+		}
+		if c.body, err = c.r.Payload(h, c.body); err != nil {
+			return err
+		}
+		if h.Last() {
+			return nil
+		}
+	}
+}

@@ -112,6 +112,18 @@ type OpState struct {
 	scratch     []byte
 }
 
+// Reset returns the state to its zero condition while keeping the
+// backing arrays, so a pooled OpState reused across operations carries
+// no epoch state over but also costs no fresh allocations. A parked
+// operation's pending frees are owned by that operation; Reset must only
+// run after the operation has fully ended.
+func (o *OpState) Reset() {
+	o.depth = 0
+	o.pendingLeaf = o.pendingLeaf[:0]
+	o.pendingMeta = o.pendingMeta[:0]
+	// scratch is kept: it is the whole point of pooling.
+}
+
 // op returns the current operation state, lazily bound to the permanent
 // base state on first use.
 func (s *Store) op() *OpState {

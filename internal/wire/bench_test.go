@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"net"
+	"testing"
+)
+
+// echoPeer answers every frame with an empty RespOK carrying the same
+// request id. It is the minimal server against which framing overhead
+// and pipelining depth can be measured without any storage behind it.
+func echoPeer(t testing.TB, ln net.Listener) {
+	conn, err := ln.Accept()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	r := NewReader(conn, 0)
+	var hdr [HeaderSize]byte
+	var body []byte
+	for {
+		h, err := r.Next()
+		if err != nil {
+			return
+		}
+		body, err = r.Payload(h, body)
+		if err != nil {
+			return
+		}
+		PutHeader(hdr[:], Header{Type: RespOK, Flags: FlagLast, ReqID: h.ReqID, Len: 8})
+		var ok [8]byte
+		if _, err := (&net.Buffers{hdr[:], ok[:]}).WriteTo(conn); err != nil {
+			return
+		}
+	}
+}
+
+// benchRoundTrip measures b.N ping round trips against a loopback echo
+// peer with `depth` requests kept in flight. depth 1 is the serial
+// protocol; deeper pipelines amortize the per-round-trip socket latency
+// across concurrent requests.
+func benchRoundTrip(b *testing.B, depth int) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go echoPeer(b, ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+
+	r := NewReader(conn, 0)
+	var hdr [HeaderSize]byte
+	var body []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	inflight := 0
+	for i := 0; i < b.N; i++ {
+		PutHeader(hdr[:], Header{Type: OpPing, Flags: FlagLast, ReqID: uint32(i), Len: 0})
+		if _, err := conn.Write(hdr[:]); err != nil {
+			b.Fatal(err)
+		}
+		inflight++
+		for inflight >= depth {
+			h, err := r.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if body, err = r.Payload(h, body); err != nil {
+				b.Fatal(err)
+			}
+			inflight--
+		}
+	}
+	for inflight > 0 {
+		h, err := r.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if body, err = r.Payload(h, body); err != nil {
+			b.Fatal(err)
+		}
+		inflight--
+	}
+}
+
+func BenchmarkRoundTripSerial(b *testing.B)    { benchRoundTrip(b, 1) }
+func BenchmarkRoundTripPipelined(b *testing.B) { benchRoundTrip(b, 16) }
+
+// BenchmarkEncodeHeader isolates the pure codec cost: header encode +
+// parse with CRC, no socket.
+func BenchmarkEncodeHeader(b *testing.B) {
+	var buf [HeaderSize]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PutHeader(buf[:], Header{Type: OpRead, Flags: FlagLast, ReqID: uint32(i), Len: 4096})
+		if _, err := ParseHeader(buf[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

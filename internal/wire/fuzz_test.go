@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzParseHeader throws arbitrary bytes at the header parser. Any input
+// must either decode to a header that re-encodes byte-identically or
+// fail with an error — never panic.
+func FuzzParseHeader(f *testing.F) {
+	var seed [HeaderSize]byte
+	PutHeader(seed[:], Header{Type: OpRead, Flags: FlagLast, ReqID: 9, Len: 128})
+	f.Add(seed[:])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := ParseHeader(b)
+		if err != nil {
+			return
+		}
+		var re [HeaderSize]byte
+		PutHeader(re[:], h)
+		if !bytes.Equal(re[:], b[:HeaderSize]) {
+			t.Fatalf("accepted header does not re-encode identically: % x vs % x", re, b[:HeaderSize])
+		}
+	})
+}
+
+// FuzzReader feeds arbitrary byte streams to the frame reader with a
+// small payload cap. The reader must consume the stream without panics,
+// and — the memory-safety property the protocol promises — must never
+// hand back a payload buffer larger than its configured maximum, no
+// matter what lengths the stream declares.
+func FuzzReader(f *testing.F) {
+	const maxPayload = 1 << 12
+	f.Add(frame(OpPing, FlagLast, 1, nil))
+	f.Add(frame(OpAppend, FlagLast, 2, []byte("data")))
+	big := frame(OpAppend, 0, 3, nil)
+	// Hand-corrupt a length field beyond the cap (CRC left stale on
+	// purpose — the CRC check must fire first for this input).
+	big[8] = 0xff
+	f.Add(big)
+	f.Add([]byte{Version})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := NewReader(bytes.NewReader(b), maxPayload)
+		var buf []byte
+		for i := 0; i < 64; i++ {
+			h, err := r.Next()
+			if err != nil {
+				return
+			}
+			if h.Len > maxPayload {
+				t.Fatalf("Next accepted a %d-byte frame over the %d cap", h.Len, maxPayload)
+			}
+			buf, err = r.Payload(h, buf)
+			if err != nil {
+				return
+			}
+			if len(buf) > maxPayload {
+				t.Fatalf("Payload returned %d bytes over the %d cap", len(buf), maxPayload)
+			}
+		}
+	})
+}
+
+// FuzzParseMessages runs every payload decoder over arbitrary bytes:
+// decoding must never panic, and whatever decodes must re-encode to the
+// bytes that were accepted.
+func FuzzParseMessages(f *testing.F) {
+	f.Add(AppendCreateReq(nil, CreateReq{Name: []byte("n"), Engine: EngineESM, Param: 4}))
+	f.Add(AppendReadReq(nil, ReadReq{Name: []byte("n"), Off: 1, Len: 2}))
+	f.Add(AppendAppendReq(nil, AppendReqMsg{Name: []byte("n"), Data: []byte("d")}))
+	f.Add(AppendInsertReq(nil, InsertReq{Name: []byte("n"), Off: 3, Data: []byte("d")}))
+	f.Add(AppendDeleteReq(nil, DeleteReq{Name: []byte("n"), Off: 4, Len: 5}))
+	f.Add(AppendStatReq(nil, StatReq{Name: []byte("n")}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		if r, err := ParseCreateReq(p); err == nil {
+			if got := AppendCreateReq(nil, r); !bytes.Equal(got, p) {
+				t.Fatalf("create: re-encode mismatch")
+			}
+		}
+		if r, err := ParseReadReq(p); err == nil {
+			if got := AppendReadReq(nil, r); !bytes.Equal(got, p) {
+				t.Fatalf("read: re-encode mismatch")
+			}
+		}
+		if r, err := ParseAppendReq(p); err == nil {
+			if got := AppendAppendReq(nil, r); !bytes.Equal(got, p) {
+				t.Fatalf("append: re-encode mismatch")
+			}
+		}
+		if r, err := ParseInsertReq(p); err == nil {
+			if got := AppendInsertReq(nil, r); !bytes.Equal(got, p) {
+				t.Fatalf("insert: re-encode mismatch")
+			}
+		}
+		if r, err := ParseDeleteReq(p); err == nil {
+			if got := AppendDeleteReq(nil, r); !bytes.Equal(got, p) {
+				t.Fatalf("delete: re-encode mismatch")
+			}
+		}
+		if r, err := ParseStatReq(p); err == nil {
+			if got := AppendStatReq(nil, r); !bytes.Equal(got, p) {
+				t.Fatalf("stat: re-encode mismatch")
+			}
+		}
+	})
+}
+
+// TestFuzzCorpusSmoke runs the fuzz targets' seed logic directly so the
+// malformed-input guarantees are exercised on every plain `go test` run,
+// not only under -fuzz.
+func TestFuzzCorpusSmoke(t *testing.T) {
+	inputs := [][]byte{
+		{},
+		{Version},
+		bytes.Repeat([]byte{0x00}, HeaderSize),
+		bytes.Repeat([]byte{0xff}, HeaderSize+64),
+		frame(OpAppend, FlagLast, 1, []byte("ok"))[:HeaderSize+1],
+	}
+	// A well-formed header with a huge declared length, CRC valid.
+	var huge [HeaderSize]byte
+	PutHeader(huge[:], Header{Type: OpAppend, Len: 1 << 31})
+	inputs = append(inputs, huge[:])
+
+	for i, in := range inputs {
+		r := NewReader(bytes.NewReader(in), 1<<12)
+		h, err := r.Next()
+		if err != nil {
+			continue
+		}
+		if _, err := r.Payload(h, nil); err == nil && int(h.Len) > len(in) {
+			t.Fatalf("input %d: payload succeeded beyond stream", i)
+		}
+	}
+	// And Payload must tolerate io.EOF mid-body.
+	f := frame(OpAppend, FlagLast, 1, bytes.Repeat([]byte{1}, 32))
+	r := NewReader(io.LimitReader(bytes.NewReader(f), int64(HeaderSize+5)), 0)
+	h, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Payload(h, nil); err == nil {
+		t.Fatal("truncated body decoded without error")
+	}
+}

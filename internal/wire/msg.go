@@ -1,0 +1,284 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Payload codecs. Every request that names an object carries the name as
+// a u16-length-prefixed byte string; decoded Name fields alias the
+// payload buffer (they are []byte, not string) so a server can look the
+// handle up without allocating — Go's map[string] lookup on a
+// string(bytes) conversion used only as the key does not copy.
+
+// maxNameLen bounds object names on the wire. The catalog has no hard
+// limit, but an unbounded name is an unbounded allocation.
+const maxNameLen = 4096
+
+// CreateReq asks the server to create an object.
+//
+//	name    u16-prefixed bytes
+//	engine  u8 (0 esm, 1 starburst, 2 eos)
+//	param   u32 (leaf pages / max segment pages / threshold, per engine)
+type CreateReq struct {
+	Name   []byte
+	Engine byte
+	Param  uint32
+}
+
+// Engine codes for CreateReq.
+const (
+	EngineESM       byte = 0
+	EngineStarburst byte = 1
+	EngineEOS       byte = 2
+)
+
+// AppendCreateReq appends the encoding of r to dst.
+func AppendCreateReq(dst []byte, r CreateReq) []byte {
+	dst = appendName(dst, r.Name)
+	dst = append(dst, r.Engine)
+	return binary.LittleEndian.AppendUint32(dst, r.Param)
+}
+
+// ParseCreateReq decodes a CreateReq. Name aliases p.
+func ParseCreateReq(p []byte) (CreateReq, error) {
+	name, rest, err := splitName(p)
+	if err != nil {
+		return CreateReq{}, err
+	}
+	if len(rest) != 5 {
+		return CreateReq{}, fmt.Errorf("wire: create: %d-byte tail, want 5: %w", len(rest), ErrTruncated)
+	}
+	return CreateReq{Name: name, Engine: rest[0], Param: binary.LittleEndian.Uint32(rest[1:])}, nil
+}
+
+// ReadReq asks for Len bytes of the object at Off.
+//
+//	name  u16-prefixed bytes
+//	off   u64
+//	len   u32
+type ReadReq struct {
+	Name []byte
+	Off  uint64
+	Len  uint32
+}
+
+// AppendReadReq appends the encoding of r to dst.
+func AppendReadReq(dst []byte, r ReadReq) []byte {
+	dst = appendName(dst, r.Name)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Off)
+	return binary.LittleEndian.AppendUint32(dst, r.Len)
+}
+
+// ParseReadReq decodes a ReadReq. Name aliases p.
+func ParseReadReq(p []byte) (ReadReq, error) {
+	name, rest, err := splitName(p)
+	if err != nil {
+		return ReadReq{}, err
+	}
+	if len(rest) != 12 {
+		return ReadReq{}, fmt.Errorf("wire: read: %d-byte tail, want 12: %w", len(rest), ErrTruncated)
+	}
+	return ReadReq{
+		Name: name,
+		Off:  binary.LittleEndian.Uint64(rest),
+		Len:  binary.LittleEndian.Uint32(rest[8:]),
+	}, nil
+}
+
+// AppendReqMsg appends Data to the object. (Named to avoid colliding
+// with the verb "append" in AppendXxx codec helpers.)
+//
+//	name  u16-prefixed bytes
+//	data  rest of payload
+type AppendReqMsg struct {
+	Name []byte
+	Data []byte
+}
+
+// AppendAppendReq appends the encoding of r to dst.
+func AppendAppendReq(dst []byte, r AppendReqMsg) []byte {
+	dst = appendName(dst, r.Name)
+	return append(dst, r.Data...)
+}
+
+// ParseAppendReq decodes an append request. Name and Data alias p.
+func ParseAppendReq(p []byte) (AppendReqMsg, error) {
+	name, rest, err := splitName(p)
+	if err != nil {
+		return AppendReqMsg{}, err
+	}
+	return AppendReqMsg{Name: name, Data: rest}, nil
+}
+
+// InsertReq inserts Data before Off.
+//
+//	name  u16-prefixed bytes
+//	off   u64
+//	data  rest of payload
+type InsertReq struct {
+	Name []byte
+	Off  uint64
+	Data []byte
+}
+
+// AppendInsertReq appends the encoding of r to dst.
+func AppendInsertReq(dst []byte, r InsertReq) []byte {
+	dst = appendName(dst, r.Name)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Off)
+	return append(dst, r.Data...)
+}
+
+// ParseInsertReq decodes an InsertReq. Name and Data alias p.
+func ParseInsertReq(p []byte) (InsertReq, error) {
+	name, rest, err := splitName(p)
+	if err != nil {
+		return InsertReq{}, err
+	}
+	if len(rest) < 8 {
+		return InsertReq{}, fmt.Errorf("wire: insert: %w", ErrTruncated)
+	}
+	return InsertReq{Name: name, Off: binary.LittleEndian.Uint64(rest), Data: rest[8:]}, nil
+}
+
+// DeleteReq deletes Len bytes at Off.
+//
+//	name  u16-prefixed bytes
+//	off   u64
+//	len   u64
+type DeleteReq struct {
+	Name []byte
+	Off  uint64
+	Len  uint64
+}
+
+// AppendDeleteReq appends the encoding of r to dst.
+func AppendDeleteReq(dst []byte, r DeleteReq) []byte {
+	dst = appendName(dst, r.Name)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Off)
+	return binary.LittleEndian.AppendUint64(dst, r.Len)
+}
+
+// ParseDeleteReq decodes a DeleteReq. Name aliases p.
+func ParseDeleteReq(p []byte) (DeleteReq, error) {
+	name, rest, err := splitName(p)
+	if err != nil {
+		return DeleteReq{}, err
+	}
+	if len(rest) != 16 {
+		return DeleteReq{}, fmt.Errorf("wire: delete: %d-byte tail, want 16: %w", len(rest), ErrTruncated)
+	}
+	return DeleteReq{
+		Name: name,
+		Off:  binary.LittleEndian.Uint64(rest),
+		Len:  binary.LittleEndian.Uint64(rest[8:]),
+	}, nil
+}
+
+// StatReq asks for the object's size.
+//
+//	name  u16-prefixed bytes
+type StatReq struct {
+	Name []byte
+}
+
+// AppendStatReq appends the encoding of r to dst.
+func AppendStatReq(dst []byte, r StatReq) []byte {
+	return appendName(dst, r.Name)
+}
+
+// ParseStatReq decodes a StatReq. Name aliases p.
+func ParseStatReq(p []byte) (StatReq, error) {
+	name, rest, err := splitName(p)
+	if err != nil {
+		return StatReq{}, err
+	}
+	if len(rest) != 0 {
+		return StatReq{}, fmt.Errorf("wire: stat: %d trailing bytes: %w", len(rest), ErrTruncated)
+	}
+	return StatReq{Name: name}, nil
+}
+
+// OKResp acknowledges a mutation and reports the object's size after it.
+//
+//	size  u64
+type OKResp struct {
+	Size uint64
+}
+
+// AppendOKResp appends the encoding of r to dst.
+func AppendOKResp(dst []byte, r OKResp) []byte {
+	return binary.LittleEndian.AppendUint64(dst, r.Size)
+}
+
+// ParseOKResp decodes an OKResp.
+func ParseOKResp(p []byte) (OKResp, error) {
+	if len(p) != 8 {
+		return OKResp{}, fmt.Errorf("wire: ok: %d bytes, want 8: %w", len(p), ErrTruncated)
+	}
+	return OKResp{Size: binary.LittleEndian.Uint64(p)}, nil
+}
+
+// StatResp reports an object's size.
+//
+//	size  u64
+type StatResp struct {
+	Size uint64
+}
+
+// AppendStatResp appends the encoding of r to dst.
+func AppendStatResp(dst []byte, r StatResp) []byte {
+	return binary.LittleEndian.AppendUint64(dst, r.Size)
+}
+
+// ParseStatResp decodes a StatResp.
+func ParseStatResp(p []byte) (StatResp, error) {
+	if len(p) != 8 {
+		return StatResp{}, fmt.Errorf("wire: stat resp: %d bytes, want 8: %w", len(p), ErrTruncated)
+	}
+	return StatResp{Size: binary.LittleEndian.Uint64(p)}, nil
+}
+
+// ErrResp carries a server-side error message.
+//
+//	msg  rest of payload (UTF-8)
+type ErrResp struct {
+	Msg []byte
+}
+
+// AppendErrResp appends the encoding of r to dst.
+func AppendErrResp(dst []byte, r ErrResp) []byte {
+	return append(dst, r.Msg...)
+}
+
+// ParseErrResp decodes an ErrResp. Msg aliases p.
+func ParseErrResp(p []byte) (ErrResp, error) {
+	return ErrResp{Msg: p}, nil
+}
+
+// appendName appends a u16-length-prefixed name. Names longer than
+// maxNameLen are truncated at encode time rather than rejected; decoders
+// are the enforcement point.
+func appendName(dst, name []byte) []byte {
+	if len(name) > maxNameLen {
+		name = name[:maxNameLen]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(name)))
+	return append(dst, name...)
+}
+
+// splitName peels a u16-length-prefixed name off the front of p. The
+// returned name aliases p.
+func splitName(p []byte) (name, rest []byte, err error) {
+	if len(p) < 2 {
+		return nil, nil, fmt.Errorf("wire: name length: %w", ErrTruncated)
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if n > maxNameLen {
+		return nil, nil, fmt.Errorf("wire: name of %d bytes (max %d): %w", n, maxNameLen, ErrTooLarge)
+	}
+	if len(p) < 2+n {
+		return nil, nil, fmt.Errorf("wire: name of %d bytes in %d-byte payload: %w", n, len(p), ErrTruncated)
+	}
+	return p[2 : 2+n], p[2+n:], nil
+}

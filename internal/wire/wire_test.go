@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// frame assembles one encoded frame for tests.
+func frame(t byte, flags uint16, reqID uint32, payload []byte) []byte {
+	buf := make([]byte, HeaderSize+len(payload))
+	PutHeader(buf, Header{Type: t, Flags: flags, ReqID: reqID, Len: uint32(len(payload))})
+	copy(buf[HeaderSize:], payload)
+	return buf
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	for _, h := range []Header{
+		{},
+		{Type: OpRead, Flags: FlagLast, ReqID: 42, Len: 12345},
+		{Type: RespErr, Flags: 0xffff, ReqID: ^uint32(0), Len: ^uint32(0)},
+	} {
+		var buf [HeaderSize]byte
+		PutHeader(buf[:], h)
+		got, err := ParseHeader(buf[:])
+		if err != nil {
+			t.Fatalf("ParseHeader(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v, want %+v", got, h)
+		}
+	}
+}
+
+func TestHeaderBadVersion(t *testing.T) {
+	var buf [HeaderSize]byte
+	PutHeader(buf[:], Header{Type: OpPing})
+	buf[0] = 2
+	// Recompute the CRC so only the version is wrong.
+	binary.LittleEndian.PutUint32(buf[12:], 0)
+	if _, err := ParseHeader(buf[:]); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestHeaderBadCRC(t *testing.T) {
+	var buf [HeaderSize]byte
+	PutHeader(buf[:], Header{Type: OpPing, ReqID: 7})
+	buf[12] ^= 0x5a
+	if _, err := ParseHeader(buf[:]); !errors.Is(err, ErrCRC) {
+		t.Fatalf("got %v, want ErrCRC", err)
+	}
+	// A flipped body byte also breaks the CRC.
+	PutHeader(buf[:], Header{Type: OpPing, ReqID: 7})
+	buf[5] ^= 1
+	if _, err := ParseHeader(buf[:]); !errors.Is(err, ErrCRC) {
+		t.Fatalf("flipped body byte: got %v, want ErrCRC", err)
+	}
+}
+
+func TestHeaderShort(t *testing.T) {
+	if _, err := ParseHeader(make([]byte, HeaderSize-1)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xab}, 100_000),
+	}
+	var stream bytes.Buffer
+	for i, p := range payloads {
+		stream.Write(frame(OpAppend, FlagLast, uint32(i), p))
+	}
+	r := NewReader(&stream, 0)
+	var buf []byte
+	for i, p := range payloads {
+		h, err := r.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if h.ReqID != uint32(i) || int(h.Len) != len(p) || !h.Last() {
+			t.Fatalf("frame %d: header %+v", i, h)
+		}
+		buf, err = r.Payload(h, buf)
+		if err != nil {
+			t.Fatalf("frame %d payload: %v", i, err)
+		}
+		if !bytes.Equal(buf, p) {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(buf), len(p))
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestReaderTruncatedHeader(t *testing.T) {
+	f := frame(OpPing, FlagLast, 1, nil)
+	r := NewReader(bytes.NewReader(f[:HeaderSize-3]), 0)
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderTruncatedPayload(t *testing.T) {
+	f := frame(OpAppend, FlagLast, 1, []byte("full payload"))
+	r := NewReader(bytes.NewReader(f[:len(f)-4]), 0)
+	h, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if _, err := r.Payload(h, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderOversizedFrame(t *testing.T) {
+	// A valid header declaring a payload over the reader's limit must be
+	// rejected by Next, before any payload-sized buffer exists.
+	var buf [HeaderSize]byte
+	PutHeader(buf[:], Header{Type: OpAppend, Len: 1 << 30})
+	r := NewReader(bytes.NewReader(buf[:]), 4096)
+	if _, err := r.Next(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReaderPayloadReuse(t *testing.T) {
+	var stream bytes.Buffer
+	stream.Write(frame(OpAppend, 0, 1, bytes.Repeat([]byte{1}, 64)))
+	stream.Write(frame(OpAppend, 0, 2, bytes.Repeat([]byte{2}, 16)))
+	r := NewReader(&stream, 0)
+	h, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := r.Payload(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &buf[0]
+	h, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err = r.Payload(h, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 16 || &buf[0] != first {
+		t.Fatalf("smaller payload did not reuse the caller's buffer")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	name := []byte("photos/cat.jpg")
+	data := bytes.Repeat([]byte{0xcd}, 500)
+
+	cr, err := ParseCreateReq(AppendCreateReq(nil, CreateReq{Name: name, Engine: EngineEOS, Param: 16}))
+	if err != nil || !bytes.Equal(cr.Name, name) || cr.Engine != EngineEOS || cr.Param != 16 {
+		t.Fatalf("create round trip: %+v, %v", cr, err)
+	}
+
+	rr, err := ParseReadReq(AppendReadReq(nil, ReadReq{Name: name, Off: 1 << 40, Len: 4096}))
+	if err != nil || !bytes.Equal(rr.Name, name) || rr.Off != 1<<40 || rr.Len != 4096 {
+		t.Fatalf("read round trip: %+v, %v", rr, err)
+	}
+
+	ar, err := ParseAppendReq(AppendAppendReq(nil, AppendReqMsg{Name: name, Data: data}))
+	if err != nil || !bytes.Equal(ar.Name, name) || !bytes.Equal(ar.Data, data) {
+		t.Fatalf("append round trip: %+v, %v", ar, err)
+	}
+
+	ir, err := ParseInsertReq(AppendInsertReq(nil, InsertReq{Name: name, Off: 99, Data: data}))
+	if err != nil || !bytes.Equal(ir.Name, name) || ir.Off != 99 || !bytes.Equal(ir.Data, data) {
+		t.Fatalf("insert round trip: %+v, %v", ir, err)
+	}
+
+	dr, err := ParseDeleteReq(AppendDeleteReq(nil, DeleteReq{Name: name, Off: 5, Len: 10}))
+	if err != nil || !bytes.Equal(dr.Name, name) || dr.Off != 5 || dr.Len != 10 {
+		t.Fatalf("delete round trip: %+v, %v", dr, err)
+	}
+
+	sr, err := ParseStatReq(AppendStatReq(nil, StatReq{Name: name}))
+	if err != nil || !bytes.Equal(sr.Name, name) {
+		t.Fatalf("stat round trip: %+v, %v", sr, err)
+	}
+
+	ok, err := ParseOKResp(AppendOKResp(nil, OKResp{Size: 1 << 50}))
+	if err != nil || ok.Size != 1<<50 {
+		t.Fatalf("ok round trip: %+v, %v", ok, err)
+	}
+
+	st, err := ParseStatResp(AppendStatResp(nil, StatResp{Size: 77}))
+	if err != nil || st.Size != 77 {
+		t.Fatalf("stat resp round trip: %+v, %v", st, err)
+	}
+
+	er, err := ParseErrResp(AppendErrResp(nil, ErrResp{Msg: []byte("boom")}))
+	if err != nil || string(er.Msg) != "boom" {
+		t.Fatalf("err resp round trip: %+v, %v", er, err)
+	}
+}
+
+func TestMessageTruncation(t *testing.T) {
+	full := AppendInsertReq(nil, InsertReq{Name: []byte("x"), Off: 1, Data: []byte("abc")})
+	// Every strict prefix short of the fixed fields must fail cleanly.
+	for n := 0; n < 2+1+8; n++ {
+		if _, err := ParseInsertReq(full[:n]); err == nil {
+			t.Fatalf("ParseInsertReq accepted a %d-byte prefix", n)
+		} else if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix %d: got %v, want ErrTruncated", n, err)
+		}
+	}
+	if _, err := ParseOKResp(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty ok: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	// A length prefix beyond maxNameLen is rejected even when the payload
+	// claims to carry it.
+	p := binary.LittleEndian.AppendUint16(nil, maxNameLen+1)
+	p = append(p, strings.Repeat("a", maxNameLen+1)...)
+	if _, _, err := splitName(p); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+	// Encoding truncates rather than producing an undecodable frame.
+	enc := appendName(nil, bytes.Repeat([]byte{'b'}, maxNameLen+100))
+	name, _, err := splitName(enc)
+	if err != nil || len(name) != maxNameLen {
+		t.Fatalf("oversized name encoded to %d bytes, err %v", len(name), err)
+	}
+}
+
+func TestNameAliasesPayload(t *testing.T) {
+	// The decoded Name must alias the payload buffer, not a copy: the
+	// server's alloc-free handle lookup depends on it.
+	p := AppendStatReq(nil, StatReq{Name: []byte("obj")})
+	sr, err := ParseStatReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[2] = 'X'
+	if sr.Name[0] != 'X' {
+		t.Fatal("decoded name is a copy, not an alias")
+	}
+}

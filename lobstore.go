@@ -26,6 +26,7 @@
 package lobstore
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/bits"
@@ -150,7 +151,9 @@ type Config struct {
 	// safe for concurrent committers. Size BufferPages generously: every
 	// committer parked at a durability barrier keeps its dirty pages
 	// sticky (shadow-protected) in the shared pool, so the paper's
-	// 12-frame configuration starves once a handful of commits overlap.
+	// 12-frame configuration starves once a handful of commits overlap —
+	// Open enforces BufferPages >= MinConcurrentBufferPages (wrapping
+	// ErrConfig) rather than letting FixRun fail mid-commit.
 	Concurrent bool
 }
 
@@ -277,16 +280,41 @@ func storeParams(cfg Config) store.Params {
 	}
 }
 
+// ErrConfig is the sentinel wrapped by every configuration rejection
+// Open returns: errors.Is(err, lobstore.ErrConfig) distinguishes "fix
+// your Config" from I/O and recovery failures, so front-ends (lobctl,
+// lobserve) can print the message and exit without a stack of retries.
+var ErrConfig = errors.New("invalid configuration")
+
+// ErrNotExist is the sentinel wrapped by OpenObject and Snapshot when no
+// object with the requested name is cataloged. Front-ends use
+// errors.Is(err, lobstore.ErrNotExist) to tell "create it" (a lobload
+// preload probe, a lobctl reopen) from store failures.
+var ErrNotExist = errors.New("object does not exist")
+
+// MinConcurrentBufferPages is the smallest buffer pool Open accepts with
+// Config.Concurrent set. Every committer parked at a durability barrier
+// keeps its dirty pages sticky (shadow-protected) in the shared pool, so
+// the paper's 12-frame configuration starves — FixRun returns ErrNoRun —
+// once a handful of commits overlap.
+const MinConcurrentBufferPages = 64
+
 // Open creates a fresh simulated database (Backend "mem", the default), or
 // creates/reopens a durable file-backed one (Backend "file", rooted at
 // Dir). Reopening runs reachability recovery, so a file-backed database
 // that was killed mid-operation comes back crash-consistent.
+//
+// Configuration errors wrap ErrConfig.
 func Open(cfg Config) (*DB, error) {
 	if cfg.MaxSegmentPages < 1 || bits.OnesCount(uint(cfg.MaxSegmentPages)) != 1 {
-		return nil, fmt.Errorf("lobstore: MaxSegmentPages %d must be a power of two", cfg.MaxSegmentPages)
+		return nil, fmt.Errorf("lobstore: %w: MaxSegmentPages %d must be a power of two", ErrConfig, cfg.MaxSegmentPages)
 	}
 	if cfg.Concurrent && !cfg.Materialize {
-		return nil, fmt.Errorf("lobstore: Concurrent requires Materialize (snapshot readers peek committed bytes)")
+		return nil, fmt.Errorf("lobstore: %w: Concurrent requires Materialize (snapshot readers peek committed bytes)", ErrConfig)
+	}
+	if cfg.Concurrent && cfg.BufferPages < MinConcurrentBufferPages {
+		return nil, fmt.Errorf("lobstore: %w: Concurrent with BufferPages %d is starvation-prone (parked committers pin their shadow pages in the shared pool; need >= %d)",
+			ErrConfig, cfg.BufferPages, MinConcurrentBufferPages)
 	}
 	switch cfg.Backend {
 	case "", "mem":
@@ -294,7 +322,7 @@ func Open(cfg Config) (*DB, error) {
 	case "file":
 		return openFile(cfg)
 	}
-	return nil, fmt.Errorf("lobstore: unknown backend %q (mem, file)", cfg.Backend)
+	return nil, fmt.Errorf("lobstore: %w: unknown backend %q (mem, file)", ErrConfig, cfg.Backend)
 }
 
 // openMem creates a fresh in-memory simulated database.

@@ -137,7 +137,7 @@ func (db *DB) openRaw(name string) (core.Object, disk.Addr, error) {
 		return nil, disk.Addr{}, err
 	}
 	if !ok {
-		return nil, disk.Addr{}, fmt.Errorf("lobstore: no object named %q", name)
+		return nil, disk.Addr{}, fmt.Errorf("lobstore: %w: no object named %q", ErrNotExist, name)
 	}
 	open, err := openerFor(e.Kind)
 	if err != nil {
@@ -185,7 +185,7 @@ func (db *DB) Snapshot(name string) (*Snapshot, error) {
 		return nil, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("lobstore: no object named %q", name)
+		return nil, fmt.Errorf("lobstore: %w: no object named %q", ErrNotExist, name)
 	}
 	open, err := openerFor(e.Kind)
 	if err != nil {
